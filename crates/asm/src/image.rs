@@ -1,0 +1,90 @@
+//! Executable memory images.
+
+use std::collections::HashMap;
+
+/// Base address of the code segment.
+pub const CODE_BASE: u32 = 0x0000_1000;
+/// Initial stack pointer (grows down).
+pub const STACK_TOP: u32 = 0x003f_0000;
+/// Size of the simulated physical memory.
+pub const MEM_SIZE: u32 = 0x0040_0000;
+
+/// A linked, executable program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Entry PC (the synthesized `_start`).
+    pub entry: u32,
+    /// Base address of the code segment.
+    pub code_base: u32,
+    /// Encoded instruction words.
+    pub code: Vec<u32>,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Initialized data bytes (zero-filled holes included).
+    pub data: Vec<u8>,
+    /// Symbol table: functions, labels, and data objects.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Address one past the last code byte.
+    #[must_use]
+    pub fn code_end(&self) -> u32 {
+        self.code_base + (self.code.len() as u32) * 4
+    }
+
+    /// Looks up a symbol address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Writes the image into a flat memory buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit into `mem`.
+    pub fn load_into(&self, mem: &mut [u8]) {
+        for (i, w) in self.code.iter().enumerate() {
+            let a = self.code_base as usize + i * 4;
+            mem[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let d = self.data_base as usize;
+        mem[d..d + self.data.len()].copy_from_slice(&self.data);
+    }
+
+    /// The instruction word at `pc`, if inside the code segment.
+    #[must_use]
+    pub fn fetch(&self, pc: u32) -> Option<u32> {
+        if pc < self.code_base || pc >= self.code_end() || pc % 4 != 0 {
+            return None;
+        }
+        Some(self.code[((pc - self.code_base) / 4) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_fetch() {
+        let img = Image {
+            entry: CODE_BASE,
+            code_base: CODE_BASE,
+            code: vec![0xdead_beef, 0x0102_0304],
+            data_base: CODE_BASE + 0x100,
+            data: vec![1, 2, 3],
+            symbols: HashMap::from([("main".to_string(), CODE_BASE)]),
+        };
+        assert_eq!(img.fetch(CODE_BASE), Some(0xdead_beef));
+        assert_eq!(img.fetch(CODE_BASE + 4), Some(0x0102_0304));
+        assert_eq!(img.fetch(CODE_BASE + 8), None);
+        assert_eq!(img.fetch(CODE_BASE + 1), None);
+        assert_eq!(img.symbol("main"), Some(CODE_BASE));
+        let mut mem = vec![0u8; (CODE_BASE + 0x200) as usize];
+        img.load_into(&mut mem);
+        assert_eq!(mem[CODE_BASE as usize], 0xef);
+        assert_eq!(mem[(CODE_BASE + 0x100) as usize], 1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Linker: code/data layout, `_start` synthesis, relocation, encoding.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use straight_isa::{AluImmOp, Dist, Inst};
+use straight_riscv::{Reg, RvInst};
+
+use crate::{
+    image::{Image, CODE_BASE},
+    object::{RvFunc, RvItem, RvProgram, RvReloc, SFunc, SItem, SProgram, SReloc},
+};
+
+/// Environment-service codes shared by both ISAs (`SYS code` /
+/// `ecall` with the code in `a7`). They match `straight_ir::SysOp`.
+pub mod abi {
+    /// Print a signed decimal plus newline.
+    pub const SYS_PRINT_INT: u16 = 1;
+    /// Print one character.
+    pub const SYS_PRINT_CHAR: u16 = 2;
+    /// Terminate with an exit code.
+    pub const SYS_EXIT: u16 = 3;
+}
+
+/// Linking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A referenced symbol was not defined.
+    Undefined(String),
+    /// Two definitions share a name.
+    Duplicate(String),
+    /// A branch target is too far for its offset field.
+    OutOfRange {
+        /// Symbol the branch targets.
+        symbol: String,
+        /// Required word offset.
+        offset: i64,
+    },
+    /// The program has no `main`.
+    NoMain,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::Duplicate(s) => write!(f, "duplicate symbol `{s}`"),
+            LinkError::OutOfRange { symbol, offset } => {
+                write!(f, "branch to `{symbol}` out of range (offset {offset})")
+            }
+            LinkError::NoMain => write!(f, "program defines no `main` function"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The STRAIGHT `_start` stub: call `main`, pass its return value to
+/// the exit service, halt. After the call returns, `[1]` is the
+/// callee's `JR` and `[2]` is `retval0` per the calling convention.
+fn straight_start_stub() -> SFunc {
+    SFunc {
+        name: "_start".to_string(),
+        items: vec![
+            SItem { inst: Inst::Jal { offset: 0 }, reloc: Some(SReloc::BranchTo("main".into())) },
+            SItem::plain(Inst::Sys { code: abi::SYS_EXIT, s: Dist::of(2) }),
+            SItem::plain(Inst::Halt),
+        ],
+        labels: vec![],
+    }
+}
+
+/// The RV32 `_start` stub: call `main`, move its return value into the
+/// exit service, halt.
+fn riscv_start_stub() -> RvFunc {
+    RvFunc {
+        name: "_start".to_string(),
+        items: vec![
+            RvItem { inst: RvInst::Jal { rd: Reg::RA, offset: 0 }, reloc: Some(RvReloc::JalTo("main".into())) },
+            RvItem::plain(RvInst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A7,
+                rs1: Reg::ZERO,
+                imm: i32::from(abi::SYS_EXIT),
+            }),
+            RvItem::plain(RvInst::Ecall),
+            RvItem::plain(RvInst::Ebreak),
+        ],
+        labels: vec![],
+    }
+}
+
+struct Layout {
+    symbols: HashMap<String, u32>,
+    func_bases: Vec<u32>,
+    data_base: u32,
+    data: Vec<u8>,
+}
+
+fn layout(
+    func_names: &[&str],
+    func_lens: &[usize],
+    func_labels: &[&[(String, usize)]],
+    data: &[crate::DataItem],
+) -> Result<Layout, LinkError> {
+    let mut symbols = HashMap::new();
+    let mut func_bases = Vec::with_capacity(func_lens.len());
+    let mut cursor = CODE_BASE;
+    for ((name, len), labels) in func_names.iter().zip(func_lens).zip(func_labels) {
+        if symbols.insert((*name).to_string(), cursor).is_some() {
+            return Err(LinkError::Duplicate((*name).to_string()));
+        }
+        func_bases.push(cursor);
+        for (label, idx) in labels.iter() {
+            let addr = cursor + (*idx as u32) * 4;
+            if symbols.insert(format!("{name}.{label}"), addr).is_some() {
+                return Err(LinkError::Duplicate(format!("{name}.{label}")));
+            }
+        }
+        cursor += (*len as u32) * 4;
+    }
+    let data_base = cursor.next_multiple_of(0x100);
+    let mut bytes = Vec::new();
+    for d in data {
+        let pad = (data_base + bytes.len() as u32).next_multiple_of(d.align.max(1)) - (data_base + bytes.len() as u32);
+        bytes.extend(std::iter::repeat(0).take(pad as usize));
+        let addr = data_base + bytes.len() as u32;
+        if symbols.insert(d.name.clone(), addr).is_some() {
+            return Err(LinkError::Duplicate(d.name.clone()));
+        }
+        bytes.extend_from_slice(&d.init);
+        bytes.extend(std::iter::repeat(0).take((d.size as usize).saturating_sub(d.init.len())));
+    }
+    Ok(Layout { symbols, func_bases, data_base, data: bytes })
+}
+
+fn resolve(symbols: &HashMap<String, u32>, func: &str, target: &str) -> Result<u32, LinkError> {
+    symbols
+        .get(&format!("{func}.{target}"))
+        .or_else(|| symbols.get(target))
+        .copied()
+        .ok_or_else(|| LinkError::Undefined(target.to_string()))
+}
+
+/// Links a STRAIGHT program into an executable image.
+///
+/// # Errors
+///
+/// Returns [`LinkError`] on undefined/duplicate symbols, missing
+/// `main`, or out-of-range branch offsets.
+pub fn link_straight(prog: &SProgram) -> Result<Image, LinkError> {
+    if !prog.funcs.iter().any(|f| f.name == "main") {
+        return Err(LinkError::NoMain);
+    }
+    let stub = straight_start_stub();
+    let funcs: Vec<&SFunc> = std::iter::once(&stub).chain(prog.funcs.iter()).collect();
+    let names: Vec<&str> = funcs.iter().map(|f| f.name.as_str()).collect();
+    let lens: Vec<usize> = funcs.iter().map(|f| f.items.len()).collect();
+    let labels: Vec<&[(String, usize)]> = funcs.iter().map(|f| f.labels.as_slice()).collect();
+    let lo = layout(&names, &lens, &labels, &prog.data)?;
+
+    let mut code = Vec::new();
+    for (fi, f) in funcs.iter().enumerate() {
+        for (i, item) in f.items.iter().enumerate() {
+            let pc = lo.func_bases[fi] + (i as u32) * 4;
+            let mut inst = item.inst;
+            if let Some(reloc) = &item.reloc {
+                match reloc {
+                    SReloc::BranchTo(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        let woff = (i64::from(addr) - i64::from(pc)) / 4;
+                        let fail = || LinkError::OutOfRange { symbol: target.clone(), offset: woff };
+                        match &mut inst {
+                            Inst::Bez { offset, .. } | Inst::Bnz { offset, .. } => {
+                                *offset = i16::try_from(woff).map_err(|_| fail())?;
+                            }
+                            Inst::J { offset } | Inst::Jal { offset } => {
+                                if !(-(1i64 << 25)..(1i64 << 25)).contains(&woff) {
+                                    return Err(fail());
+                                }
+                                *offset = woff as i32;
+                            }
+                            other => panic!("BranchTo reloc on non-branch {other}"),
+                        }
+                    }
+                    SReloc::AbsHi(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        match &mut inst {
+                            Inst::Lui { imm } => *imm = (addr >> 16) as u16,
+                            other => panic!("AbsHi reloc on non-LUI {other}"),
+                        }
+                    }
+                    SReloc::AbsLo(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        match &mut inst {
+                            Inst::AluImm { op: AluImmOp::Ori, imm, .. } => {
+                                *imm = (addr & 0xffff) as u16 as i16;
+                            }
+                            other => panic!("AbsLo reloc on non-ORi {other}"),
+                        }
+                    }
+                }
+            }
+            code.push(straight_isa::encode(&inst));
+        }
+    }
+    Ok(Image {
+        entry: CODE_BASE,
+        code_base: CODE_BASE,
+        code,
+        data_base: lo.data_base,
+        data: lo.data,
+        symbols: lo.symbols,
+    })
+}
+
+/// Links an RV32 program into an executable image.
+///
+/// # Errors
+///
+/// See [`link_straight`].
+pub fn link_riscv(prog: &RvProgram) -> Result<Image, LinkError> {
+    if !prog.funcs.iter().any(|f| f.name == "main") {
+        return Err(LinkError::NoMain);
+    }
+    let stub = riscv_start_stub();
+    let funcs: Vec<&RvFunc> = std::iter::once(&stub).chain(prog.funcs.iter()).collect();
+    let names: Vec<&str> = funcs.iter().map(|f| f.name.as_str()).collect();
+    let lens: Vec<usize> = funcs.iter().map(|f| f.items.len()).collect();
+    let labels: Vec<&[(String, usize)]> = funcs.iter().map(|f| f.labels.as_slice()).collect();
+    let lo = layout(&names, &lens, &labels, &prog.data)?;
+
+    let mut code = Vec::new();
+    for (fi, f) in funcs.iter().enumerate() {
+        for (i, item) in f.items.iter().enumerate() {
+            let pc = lo.func_bases[fi] + (i as u32) * 4;
+            let mut inst = item.inst;
+            if let Some(reloc) = &item.reloc {
+                match reloc {
+                    RvReloc::BranchTo(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        let boff = i64::from(addr) - i64::from(pc);
+                        let fail = || LinkError::OutOfRange { symbol: target.clone(), offset: boff / 4 };
+                        match &mut inst {
+                            RvInst::Branch { offset, .. } => {
+                                if !(-4096..4096).contains(&boff) {
+                                    return Err(fail());
+                                }
+                                *offset = boff as i32;
+                            }
+                            other => panic!("BranchTo reloc on non-branch {other}"),
+                        }
+                    }
+                    RvReloc::JalTo(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        let boff = i64::from(addr) - i64::from(pc);
+                        if !(-(1i64 << 20)..(1i64 << 20)).contains(&boff) {
+                            return Err(LinkError::OutOfRange { symbol: target.clone(), offset: boff / 4 });
+                        }
+                        match &mut inst {
+                            RvInst::Jal { offset, .. } => *offset = boff as i32,
+                            other => panic!("JalTo reloc on non-jal {other}"),
+                        }
+                    }
+                    RvReloc::Hi20(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        let hi = addr.wrapping_add(0x800) & 0xffff_f000;
+                        match &mut inst {
+                            RvInst::Lui { imm, .. } => *imm = hi,
+                            other => panic!("Hi20 reloc on non-lui {other}"),
+                        }
+                    }
+                    RvReloc::Lo12(target) => {
+                        let addr = resolve(&lo.symbols, &f.name, target)?;
+                        let lo12 = ((addr & 0xfff) as i32) << 20 >> 20;
+                        match &mut inst {
+                            RvInst::OpImm { imm, .. } => *imm = lo12,
+                            RvInst::Load { offset, .. } | RvInst::Store { offset, .. } | RvInst::Jalr { offset, .. } => {
+                                *offset = lo12;
+                            }
+                            other => panic!("Lo12 reloc on {other}"),
+                        }
+                    }
+                }
+            }
+            code.push(straight_riscv::encode(&inst));
+        }
+    }
+    Ok(Image {
+        entry: CODE_BASE,
+        code_base: CODE_BASE,
+        code,
+        data_base: lo.data_base,
+        data: lo.data,
+        symbols: lo.symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataItem;
+
+    fn minimal_straight() -> SProgram {
+        SProgram {
+            funcs: vec![SFunc {
+                name: "main".into(),
+                items: vec![
+                    SItem::plain(Inst::AluImm { op: AluImmOp::Addi, s1: Dist::ZERO, imm: 42 }),
+                    SItem::plain(Inst::Rmov { s: Dist::of(1) }),
+                    SItem::plain(Inst::Jr { s: Dist::of(3) }),
+                ],
+                labels: vec![],
+            }],
+            data: vec![DataItem { name: "g".into(), size: 8, align: 4, init: vec![1, 2, 3, 4] }],
+        }
+    }
+
+    #[test]
+    fn straight_link_produces_stub_and_symbols() {
+        let img = link_straight(&minimal_straight()).unwrap();
+        assert_eq!(img.entry, CODE_BASE);
+        // Stub (3 insts) then main.
+        assert_eq!(img.symbol("main"), Some(CODE_BASE + 12));
+        assert!(img.symbol("g").unwrap() >= img.code_end());
+        // The stub's JAL points at main: word offset 3.
+        let jal = straight_isa::decode(img.code[0]).unwrap();
+        assert_eq!(jal, Inst::Jal { offset: 3 });
+    }
+
+    #[test]
+    fn straight_abs_relocs_resolve() {
+        let mut p = minimal_straight();
+        p.funcs[0].items.insert(
+            0,
+            SItem { inst: Inst::Lui { imm: 0 }, reloc: Some(SReloc::AbsHi("g".into())) },
+        );
+        p.funcs[0].items.insert(
+            1,
+            SItem {
+                inst: Inst::AluImm { op: AluImmOp::Ori, s1: Dist::of(1), imm: 0 },
+                reloc: Some(SReloc::AbsLo("g".into())),
+            },
+        );
+        let img = link_straight(&p).unwrap();
+        let g = img.symbol("g").unwrap();
+        let lui = straight_isa::decode(img.code[3]).unwrap();
+        let ori = straight_isa::decode(img.code[4]).unwrap();
+        let (hi, lo) = match (lui, ori) {
+            (Inst::Lui { imm: hi }, Inst::AluImm { op: AluImmOp::Ori, imm, .. }) => (hi, imm),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((u32::from(hi) << 16) | u32::from(lo as u16), g);
+    }
+
+    #[test]
+    fn local_labels_resolve_before_globals() {
+        let p = SProgram {
+            funcs: vec![SFunc {
+                name: "main".into(),
+                items: vec![
+                    SItem::plain(Inst::Nop),
+                    SItem { inst: Inst::J { offset: 0 }, reloc: Some(SReloc::BranchTo("top".into())) },
+                ],
+                labels: vec![("top".into(), 0)],
+            }],
+            data: vec![],
+        };
+        let img = link_straight(&p).unwrap();
+        let j = straight_isa::decode(*img.code.last().unwrap()).unwrap();
+        assert_eq!(j, Inst::J { offset: -1 });
+    }
+
+    #[test]
+    fn riscv_link_hi_lo() {
+        let p = RvProgram {
+            funcs: vec![RvFunc {
+                name: "main".into(),
+                items: vec![
+                    RvItem { inst: RvInst::Lui { rd: Reg::A0, imm: 0 }, reloc: Some(RvReloc::Hi20("g".into())) },
+                    RvItem {
+                        inst: RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 0 },
+                        reloc: Some(RvReloc::Lo12("g".into())),
+                    },
+                    RvItem::plain(RvInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
+                ],
+                labels: vec![],
+            }],
+            data: vec![DataItem { name: "g".into(), size: 4, align: 4, init: vec![] }],
+        };
+        let img = link_riscv(&p).unwrap();
+        let g = img.symbol("g").unwrap();
+        let base = 4; // after the 4-instruction stub
+        let (hi, lo) = match (
+            straight_riscv::decode(img.code[base]).unwrap(),
+            straight_riscv::decode(img.code[base + 1]).unwrap(),
+        ) {
+            (RvInst::Lui { imm, .. }, RvInst::OpImm { imm: lo, .. }) => (imm, lo),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(hi.wrapping_add(lo as u32), g);
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        assert_eq!(link_straight(&SProgram::default()).unwrap_err(), LinkError::NoMain);
+        assert_eq!(link_riscv(&RvProgram::default()).unwrap_err(), LinkError::NoMain);
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let p = SProgram {
+            funcs: vec![SFunc {
+                name: "main".into(),
+                items: vec![SItem { inst: Inst::J { offset: 0 }, reloc: Some(SReloc::BranchTo("ghost".into())) }],
+                labels: vec![],
+            }],
+            data: vec![],
+        };
+        assert_eq!(link_straight(&p).unwrap_err(), LinkError::Undefined("ghost".into()));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut p = minimal_straight();
+        p.data.push(DataItem { name: "main".into(), size: 4, align: 4, init: vec![] });
+        assert_eq!(link_straight(&p).unwrap_err(), LinkError::Duplicate("main".into()));
+    }
+}

@@ -1,0 +1,120 @@
+//! Symbolic object format produced by the compiler back-ends.
+
+use straight_isa::Inst;
+use straight_riscv::RvInst;
+
+/// A pending fix-up on a STRAIGHT instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SReloc {
+    /// Patch the branch/jump word-offset field to reach `0` (a local
+    /// label or a function symbol).
+    BranchTo(String),
+    /// Patch a `LUI` immediate with the high 16 bits of the symbol
+    /// address.
+    AbsHi(String),
+    /// Patch an `ORi` immediate with the low 16 bits of the symbol
+    /// address.
+    AbsLo(String),
+}
+
+/// A pending fix-up on an RV32 instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvReloc {
+    /// Patch a conditional-branch byte offset.
+    BranchTo(String),
+    /// Patch a `jal` byte offset (jumps and calls).
+    JalTo(String),
+    /// Patch a `lui` with `%hi(symbol)` (with the +0x800 rounding).
+    Hi20(String),
+    /// Patch an I/S-type immediate with `%lo(symbol)`.
+    Lo12(String),
+}
+
+/// One STRAIGHT instruction with an optional relocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SItem {
+    /// The instruction; offset/immediate fields covered by `reloc`
+    /// hold 0 until link time.
+    pub inst: Inst,
+    /// Pending relocation.
+    pub reloc: Option<SReloc>,
+}
+
+impl SItem {
+    /// An item with no relocation.
+    #[must_use]
+    pub fn plain(inst: Inst) -> SItem {
+        SItem { inst, reloc: None }
+    }
+}
+
+/// A STRAIGHT function body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SFunc {
+    /// Global symbol name.
+    pub name: String,
+    /// Instructions in layout order.
+    pub items: Vec<SItem>,
+    /// Local labels: `(name, item index)`. Resolved function-locally
+    /// first, then against global symbols.
+    pub labels: Vec<(String, usize)>,
+}
+
+/// One RV32 instruction with an optional relocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RvItem {
+    /// The instruction.
+    pub inst: RvInst,
+    /// Pending relocation.
+    pub reloc: Option<RvReloc>,
+}
+
+impl RvItem {
+    /// An item with no relocation.
+    #[must_use]
+    pub fn plain(inst: RvInst) -> RvItem {
+        RvItem { inst, reloc: None }
+    }
+}
+
+/// An RV32 function body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RvFunc {
+    /// Global symbol name.
+    pub name: String,
+    /// Instructions in layout order.
+    pub items: Vec<RvItem>,
+    /// Local labels.
+    pub labels: Vec<(String, usize)>,
+}
+
+/// A named, initialized data object (global variable or string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataItem {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes (zero-filled beyond `init`).
+    pub size: u32,
+    /// Alignment in bytes.
+    pub align: u32,
+    /// Initial bytes.
+    pub init: Vec<u8>,
+}
+
+/// A linkable STRAIGHT program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SProgram {
+    /// Functions; `main` must exist for linking.
+    pub funcs: Vec<SFunc>,
+    /// Data objects.
+    pub data: Vec<DataItem>,
+}
+
+/// A linkable RV32 program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RvProgram {
+    /// Functions; `main` must exist for linking.
+    pub funcs: Vec<RvFunc>,
+    /// Data objects.
+    pub data: Vec<DataItem>,
+}

@@ -1,0 +1,366 @@
+//! Textual STRAIGHT assembler accepting the paper's listing syntax.
+
+use std::fmt;
+
+use straight_isa::{AluImmOp, AluOp, Dist, Inst, MemWidth};
+
+use crate::object::{DataItem, SFunc, SItem, SProgram, SReloc};
+
+/// Assembly syntax error with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Parses STRAIGHT assembly text into a linkable [`SProgram`].
+///
+/// Syntax, matching the paper's listings:
+///
+/// ```text
+/// .data
+/// tab:   .space 40
+/// msg:   .asciz "hi"
+/// .text
+/// func main:
+/// loop:
+///     ADDi [0] 1
+///     ADD [1] [2]
+///     BEZ [1] loop
+///     JR [4]
+/// ```
+///
+/// Comments start with `;`, `#`, or `//`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line.
+pub fn parse_straight_asm(src: &str) -> Result<SProgram, AsmError> {
+    let mut prog = SProgram::default();
+    let mut in_text = true;
+    let mut cur: Option<SFunc> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = (lineno + 1) as u32;
+        let err = |msg: &str| AsmError { line, msg: msg.to_string() };
+        let mut text = raw;
+        for marker in [";", "#", "//"] {
+            if let Some(i) = text.find(marker) {
+                text = &text[..i];
+            }
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if text == ".text" {
+            in_text = true;
+            continue;
+        }
+        if text == ".data" {
+            in_text = false;
+            continue;
+        }
+        if !in_text {
+            // `name: .directive args`
+            let (name, rest) = text.split_once(':').ok_or_else(|| err("expected `name: .directive`"))?;
+            let name = name.trim().to_string();
+            let rest = rest.trim();
+            let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let item = match dir {
+                ".space" => {
+                    let n: u32 = args.trim().parse().map_err(|_| err("bad .space size"))?;
+                    DataItem { name, size: n, align: 4, init: vec![] }
+                }
+                ".word" => {
+                    let mut init = Vec::new();
+                    for w in args.split(',') {
+                        let v = parse_int(w.trim()).ok_or_else(|| err("bad .word value"))?;
+                        init.extend_from_slice(&(v as u32).to_le_bytes());
+                    }
+                    DataItem { name, size: init.len() as u32, align: 4, init }
+                }
+                ".byte" => {
+                    let mut init = Vec::new();
+                    for b in args.split(',') {
+                        let v = parse_int(b.trim()).ok_or_else(|| err("bad .byte value"))?;
+                        init.push(v as u8);
+                    }
+                    DataItem { name, size: init.len() as u32, align: 1, init }
+                }
+                ".ascii" | ".asciz" => {
+                    let s = args.trim();
+                    if !(s.starts_with('"') && s.ends_with('"') && s.len() >= 2) {
+                        return Err(err("expected a quoted string"));
+                    }
+                    let mut init = s[1..s.len() - 1].as_bytes().to_vec();
+                    if dir == ".asciz" {
+                        init.push(0);
+                    }
+                    DataItem { name, size: init.len() as u32, align: 1, init }
+                }
+                _ => return Err(err("unknown data directive")),
+            };
+            prog.data.push(item);
+            continue;
+        }
+        // .text section.
+        if let Some(rest) = text.strip_prefix("func ") {
+            if let Some(f) = cur.take() {
+                prog.funcs.push(f);
+            }
+            let name = rest.trim().trim_end_matches(':').to_string();
+            if name.is_empty() {
+                return Err(err("missing function name"));
+            }
+            cur = Some(SFunc { name, ..SFunc::default() });
+            continue;
+        }
+        let f = cur.as_mut().ok_or_else(|| err("instruction outside a function (`func name:` first)"))?;
+        if let Some(label) = text.strip_suffix(':') {
+            if label.contains(char::is_whitespace) {
+                return Err(err("bad label"));
+            }
+            f.labels.push((label.to_string(), f.items.len()));
+            continue;
+        }
+        let item = parse_inst(text).map_err(|msg| AsmError { line, msg })?;
+        f.items.push(item);
+    }
+    if let Some(f) = cur.take() {
+        prog.funcs.push(f);
+    }
+    Ok(prog)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_dist(s: &str) -> Result<Dist, String> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a distance like [2], found `{s}`"))?;
+    let n: u32 = inner.trim().parse().map_err(|_| format!("bad distance `{s}`"))?;
+    Dist::new(n).map_err(|e| e.to_string())
+}
+
+fn parse_imm16(s: &str) -> Result<i16, String> {
+    let v = parse_int(s).ok_or_else(|| format!("bad immediate `{s}`"))?;
+    i16::try_from(v).map_err(|_| format!("immediate `{s}` out of 16-bit range"))
+}
+
+fn parse_inst(text: &str) -> Result<SItem, String> {
+    let mut parts = text.split_whitespace();
+    let mn = parts.next().expect("nonempty");
+    let ops: Vec<&str> = parts.collect();
+    let nops = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mn} takes {n} operand(s), got {}", ops.len()))
+        }
+    };
+
+    // Register–register ALU.
+    if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+        nops(2)?;
+        return Ok(SItem::plain(Inst::Alu { op: *op, s1: parse_dist(ops[0])?, s2: parse_dist(ops[1])? }));
+    }
+    // Register–immediate ALU (with %lo support on ORi).
+    if let Some(op) = AluImmOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+        nops(2)?;
+        let s1 = parse_dist(ops[0])?;
+        if let Some(sym) = ops[1].strip_prefix("%lo(").and_then(|s| s.strip_suffix(')')) {
+            if *op != AluImmOp::Ori {
+                return Err("%lo() is only valid on ORi".into());
+            }
+            return Ok(SItem {
+                inst: Inst::AluImm { op: *op, s1, imm: 0 },
+                reloc: Some(SReloc::AbsLo(sym.to_string())),
+            });
+        }
+        return Ok(SItem::plain(Inst::AluImm { op: *op, s1, imm: parse_imm16(ops[1])? }));
+    }
+
+    let (ld_width, st_width) = (
+        |suffix: &str| match suffix {
+            "" => Some(MemWidth::W),
+            ".B" => Some(MemWidth::B),
+            ".BU" => Some(MemWidth::Bu),
+            ".H" => Some(MemWidth::H),
+            ".HU" => Some(MemWidth::Hu),
+            _ => None,
+        },
+        |suffix: &str| match suffix {
+            "" => Some(MemWidth::W),
+            ".B" => Some(MemWidth::B),
+            ".H" => Some(MemWidth::H),
+            _ => None,
+        },
+    );
+
+    if let Some(suffix) = mn.strip_prefix("LD") {
+        let width = ld_width(suffix).ok_or_else(|| format!("bad load width `{mn}`"))?;
+        nops(2)?;
+        return Ok(SItem::plain(Inst::Ld { width, addr: parse_dist(ops[0])?, offset: parse_imm16(ops[1])? }));
+    }
+    if let Some(suffix) = mn.strip_prefix("ST") {
+        let width = st_width(suffix).ok_or_else(|| format!("bad store width `{mn}`"))?;
+        nops(2)?;
+        return Ok(SItem::plain(Inst::St { width, val: parse_dist(ops[0])?, addr: parse_dist(ops[1])? }));
+    }
+
+    match mn {
+        "NOP" => {
+            nops(0)?;
+            Ok(SItem::plain(Inst::Nop))
+        }
+        "HALT" => {
+            nops(0)?;
+            Ok(SItem::plain(Inst::Halt))
+        }
+        "LUI" => {
+            nops(1)?;
+            if let Some(sym) = ops[0].strip_prefix("%hi(").and_then(|s| s.strip_suffix(')')) {
+                return Ok(SItem { inst: Inst::Lui { imm: 0 }, reloc: Some(SReloc::AbsHi(sym.to_string())) });
+            }
+            let v = parse_int(ops[0]).ok_or("bad LUI immediate")?;
+            let imm = u16::try_from(v).map_err(|_| "LUI immediate out of range")?;
+            Ok(SItem::plain(Inst::Lui { imm }))
+        }
+        "RMOV" => {
+            nops(1)?;
+            Ok(SItem::plain(Inst::Rmov { s: parse_dist(ops[0])? }))
+        }
+        "SPADD" => {
+            nops(1)?;
+            Ok(SItem::plain(Inst::SpAdd { imm: parse_imm16(ops[0])? }))
+        }
+        "BEZ" | "BNZ" => {
+            nops(2)?;
+            let s = parse_dist(ops[0])?;
+            let target = ops[1].to_string();
+            let inst = if mn == "BEZ" { Inst::Bez { s, offset: 0 } } else { Inst::Bnz { s, offset: 0 } };
+            Ok(SItem { inst, reloc: Some(SReloc::BranchTo(target)) })
+        }
+        "J" | "JAL" => {
+            nops(1)?;
+            let target = ops[0].to_string();
+            let inst = if mn == "J" { Inst::J { offset: 0 } } else { Inst::Jal { offset: 0 } };
+            Ok(SItem { inst, reloc: Some(SReloc::BranchTo(target)) })
+        }
+        "JR" => {
+            nops(1)?;
+            Ok(SItem::plain(Inst::Jr { s: parse_dist(ops[0])? }))
+        }
+        "JALR" => {
+            nops(1)?;
+            Ok(SItem::plain(Inst::Jalr { s: parse_dist(ops[0])? }))
+        }
+        "SYS" => {
+            nops(2)?;
+            let code = parse_int(ops[0]).and_then(|v| u16::try_from(v).ok()).ok_or("bad SYS code")?;
+            Ok(SItem::plain(Inst::Sys { code, s: parse_dist(ops[1])? }))
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_fibonacci() {
+        // Figure 1(a) of the paper, plus scaffolding.
+        let src = "
+.text
+func main:
+    ADDi [0] 1        ; I1
+    ADDi [0] 1        ; I2
+loop:
+    ADD [1] [2]       ; I3: Fibonacci step
+    J loop
+";
+        let p = parse_straight_asm(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.items.len(), 4);
+        assert_eq!(f.labels, vec![("loop".to_string(), 2)]);
+        assert_eq!(f.items[2].inst, Inst::Alu { op: AluOp::Add, s1: Dist::of(1), s2: Dist::of(2) });
+    }
+
+    #[test]
+    fn parses_data_section() {
+        let src = "
+.data
+tab: .space 16
+vals: .word 1, -2, 0x10
+msg: .asciz \"ok\"
+.text
+func main:
+    NOP
+";
+        let p = parse_straight_asm(src).unwrap();
+        assert_eq!(p.data.len(), 3);
+        assert_eq!(p.data[1].init.len(), 12);
+        assert_eq!(p.data[2].init, vec![b'o', b'k', 0]);
+    }
+
+    #[test]
+    fn parses_all_memory_widths_and_sys() {
+        let src = "
+.text
+func main:
+    LD [1] -4
+    LD.BU [2] 0
+    ST.B [1] [2]
+    SYS 1 [1]
+    SPADD -16
+    LUI %hi(tab)
+    ORi [1] %lo(tab)
+    HALT
+";
+        let p = parse_straight_asm(src).unwrap();
+        assert_eq!(p.funcs[0].items.len(), 8);
+        assert!(matches!(p.funcs[0].items[5].reloc, Some(SReloc::AbsHi(_))));
+        assert!(matches!(p.funcs[0].items[6].reloc, Some(SReloc::AbsLo(_))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_straight_asm(".text\nfunc f:\n  FROB [1]").is_err());
+        assert!(parse_straight_asm(".text\n  NOP").is_err()); // outside function
+        assert!(parse_straight_asm(".text\nfunc f:\n  ADD [1]").is_err());
+        assert!(parse_straight_asm(".text\nfunc f:\n  RMOV [9999]").is_err());
+        let e = parse_straight_asm(".text\nfunc f:\n  BAD").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn comments_in_all_styles() {
+        let src = ".text\nfunc main:\n  NOP ; x\n  NOP # y\n  NOP // z\n";
+        assert_eq!(parse_straight_asm(src).unwrap().funcs[0].items.len(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 11: relative performance of the 4-way models on Dhrystone
+//! and CoreMark (SS vs STRAIGHT RAW vs STRAIGHT RE+).
+
+use straight_bench::{cm_iters, dhry_iters};
+use straight_core::{experiment, report};
+
+fn main() {
+    let groups = experiment::fig11(dhry_iters(), cm_iters());
+    print!("{}", report::render_perf("Figure 11: 4-way relative performance (vs SS-4way)", &groups));
+}

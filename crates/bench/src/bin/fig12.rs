@@ -1,0 +1,9 @@
+//! Figure 12: relative performance of the 2-way models.
+
+use straight_bench::{cm_iters, dhry_iters};
+use straight_core::{experiment, report};
+
+fn main() {
+    let groups = experiment::fig12(dhry_iters(), cm_iters());
+    print!("{}", report::render_perf("Figure 12: 2-way relative performance (vs SS-2way)", &groups));
+}

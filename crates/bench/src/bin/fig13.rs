@@ -1,0 +1,10 @@
+//! Figure 13: the effect of the misprediction penalty (SS, SS with an
+//! idealized penalty, STRAIGHT RE+; CoreMark; normalized to SS-2way).
+
+use straight_bench::cm_iters;
+use straight_core::{experiment, report};
+
+fn main() {
+    let groups = experiment::fig13(cm_iters());
+    print!("{}", report::render_perf("Figure 13: misprediction-penalty effect (vs SS-2way)", &groups));
+}

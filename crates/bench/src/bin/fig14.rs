@@ -1,0 +1,9 @@
+//! Figure 14: CoreMark comparison with the TAGE predictor.
+
+use straight_bench::cm_iters;
+use straight_core::{experiment, report};
+
+fn main() {
+    let groups = experiment::fig14(cm_iters());
+    print!("{}", report::render_perf("Figure 14: with TAGE branch predictor (vs SS)", &groups));
+}

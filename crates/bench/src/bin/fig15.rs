@@ -1,0 +1,9 @@
+//! Figure 15: retired-instruction mix on CoreMark.
+
+use straight_bench::cm_iters;
+use straight_core::{experiment, report};
+
+fn main() {
+    let rows = experiment::fig15(cm_iters());
+    print!("{}", report::render_mix(&rows));
+}

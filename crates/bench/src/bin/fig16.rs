@@ -1,0 +1,9 @@
+//! Figure 16: cumulative source-operand distance distribution.
+
+use straight_bench::{cm_iters, dhry_iters};
+use straight_core::{experiment, report};
+
+fn main() {
+    let profiles = experiment::fig16(dhry_iters(), cm_iters());
+    print!("{}", report::render_distances(&profiles));
+}

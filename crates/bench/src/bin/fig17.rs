@@ -1,0 +1,9 @@
+//! Figure 17: relative per-module power at several clock frequencies.
+
+use straight_bench::dhry_iters;
+use straight_core::{experiment, report};
+
+fn main() {
+    let rows = experiment::fig17(dhry_iters());
+    print!("{}", report::render_power(&rows));
+}

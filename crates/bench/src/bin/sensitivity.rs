@@ -1,0 +1,10 @@
+//! §VI-B sensitivity: CoreMark cycles vs the ISA maximum distance.
+//! The paper reports ~1 % degradation shrinking 1023 → 31.
+
+use straight_bench::cm_iters;
+use straight_core::{experiment, report};
+
+fn main() {
+    let rows = experiment::sensitivity(cm_iters(), &[1023, 127, 63, 31]);
+    print!("{}", report::render_sensitivity(&rows));
+}

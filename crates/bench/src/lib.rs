@@ -1,0 +1,25 @@
+//! # straight-bench
+//!
+//! Harness binaries regenerating every table and figure of the
+//! STRAIGHT paper (run with `cargo run -p straight-bench --release
+//! --bin figNN`) plus Criterion microbenchmarks of the simulator and
+//! toolchain.
+//!
+//! Iteration counts default to values that complete in seconds on a
+//! laptop; set `STRAIGHT_DHRY_ITERS` / `STRAIGHT_CM_ITERS` to larger
+//! values (the paper uses 9000 and 9) for longer, steadier runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Dhrystone iteration count (`STRAIGHT_DHRY_ITERS`, default 200).
+#[must_use]
+pub fn dhry_iters() -> u32 {
+    std::env::var("STRAIGHT_DHRY_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+/// CoreMark iteration count (`STRAIGHT_CM_ITERS`, default 3).
+#[must_use]
+pub fn cm_iters() -> u32 {
+    std::env::var("STRAIGHT_CM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}

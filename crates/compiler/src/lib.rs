@@ -1,0 +1,79 @@
+//! # straight-compiler
+//!
+//! The code generators of the STRAIGHT reproduction: SSA IR (from
+//! `straight-ir`, standing in for LLVM IR) down to linkable machine
+//! code for both evaluated machines.
+//!
+//! * [`compile_straight`] implements the paper's compilation algorithm
+//!   (Section IV): the fixed-order calling convention around
+//!   `JAL`/`JR`, **distance fixing** at merging control flows by
+//!   padding predecessor tails with `RMOV`/`NOP`, **distance
+//!   bounding** with relay `RMOV`s, caller-side stack saving of values
+//!   live across calls, and — when
+//!   [`StraightOptions::redundancy_elimination`] is on — the **RE+**
+//!   optimizations of Section IV-D (producer rearrangement into the
+//!   shuffle zone and stack storage of loop-live-through values).
+//! * [`compile_riscv`] is the conventional back-end for the RV32IM
+//!   superscalar baseline: phi lowering to parallel moves, linear-scan
+//!   register allocation with callee-/caller-saved classes, and the
+//!   standard RISC-V ABI.
+//!
+//! ```
+//! use straight_ir::compile_source;
+//! use straight_compiler::{compile_straight, compile_riscv, StraightOptions};
+//!
+//! let module = compile_source("int main() { return 6 * 7; }").unwrap();
+//! let sprog = compile_straight(&module, &StraightOptions::default()).unwrap();
+//! let rvprog = compile_riscv(&module).unwrap();
+//! assert_eq!(sprog.funcs.len(), 1);
+//! assert_eq!(rvprog.funcs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod riscv;
+mod straight;
+
+pub use riscv::compile_riscv;
+pub use straight::{compile_straight, StraightOptions};
+
+use std::fmt;
+
+/// Code-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Too many values live at a merge point for the configured
+    /// maximum distance (the frame cannot fit in the distance field).
+    FrameTooLarge {
+        /// Function name.
+        func: String,
+        /// Live values at the worst merge.
+        live: usize,
+        /// Configured maximum distance.
+        max_distance: u16,
+    },
+    /// More call arguments than the convention supports.
+    TooManyArgs {
+        /// Function name.
+        func: String,
+    },
+    /// Internal invariant violation (a compiler bug, reported rather
+    /// than panicking so fuzzing can catch it).
+    Internal(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::FrameTooLarge { func, live, max_distance } => write!(
+                f,
+                "`{func}`: {live} live values at a merge exceed max distance {max_distance}"
+            ),
+            CodegenError::TooManyArgs { func } => write!(f, "`{func}`: too many call arguments"),
+            CodegenError::Internal(msg) => write!(f, "internal codegen error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}

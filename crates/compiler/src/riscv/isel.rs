@@ -1,0 +1,491 @@
+//! Instruction selection: SSA IR → MIR over virtual registers.
+
+use std::collections::HashMap;
+
+use straight_isa::{AluImmOp, AluOp};
+use straight_riscv::BranchOp;
+use straight_ir::analysis::Cfg;
+use straight_ir::{BinOp, Block, Function, InstData, Module, Terminator, Value};
+
+use super::{MBlock, MFunc, MInst, VReg};
+use crate::CodegenError;
+
+type CResult<T> = Result<T, CodegenError>;
+
+pub(crate) struct Isel<'a> {
+    f: &'a Function,
+    module: &'a Module,
+    order: Vec<Block>,
+    next_vreg: VReg,
+    use_counts: HashMap<Value, u32>,
+    out: Vec<MBlock>,
+    cur: Vec<MInst>,
+}
+
+/// Lowers one function to MIR.
+pub(crate) fn lower_function(f: &Function, module: &Module) -> CResult<MFunc> {
+    let cfg = Cfg::compute(f);
+    let order: Vec<Block> = cfg.rpo().to_vec();
+    let mut use_counts: HashMap<Value, u32> = HashMap::new();
+    for b in f.block_ids() {
+        for &v in &f.block(b).insts {
+            f.inst(v).for_each_operand(|op| *use_counts.entry(op).or_insert(0) += 1);
+        }
+        f.block(b).term.for_each_operand(|op| *use_counts.entry(op).or_insert(0) += 1);
+    }
+    let mut isel = Isel {
+        f,
+        module,
+        order: order.clone(),
+        next_vreg: f.insts.len() as VReg,
+        use_counts,
+        out: Vec::new(),
+        cur: Vec::new(),
+    };
+    isel.run()?;
+    Ok(MFunc { name: f.name.clone(), blocks: isel.out, ir_frame: f.frame_size(), next_vreg: isel.next_vreg })
+}
+
+impl<'a> Isel<'a> {
+    fn vreg(&self, v: Value) -> VReg {
+        v.index() as VReg
+    }
+
+    fn temp(&mut self) -> VReg {
+        let t = self.next_vreg;
+        self.next_vreg += 1;
+        t
+    }
+
+    fn emit(&mut self, i: MInst) {
+        self.cur.push(i);
+    }
+
+    fn label(b: Block) -> String {
+        format!("{b}")
+    }
+
+    fn run(&mut self) -> CResult<()> {
+        if self.f.num_params > 8 {
+            return Err(CodegenError::TooManyArgs { func: self.f.name.clone() });
+        }
+        for (i, b) in self.order.clone().into_iter().enumerate() {
+            self.cur = Vec::new();
+            if i == 0 {
+                // Bind incoming argument registers to their vregs.
+                for v in self.f.block(b).insts.clone() {
+                    if let InstData::Param(idx) = self.f.inst(v) {
+                        self.emit(MInst::GetArg { rd: self.vreg(v), index: *idx });
+                    }
+                }
+            }
+            let next = self.order.get(i + 1).copied();
+            for v in self.f.block(b).insts.clone() {
+                let inst = self.f.inst(v).clone();
+                if inst.is_phi() {
+                    continue;
+                }
+                self.lower_inst(v, &inst, b)?;
+            }
+            self.lower_terminator(b, next)?;
+            let label = if i == 0 { self.f.name.clone() } else { Self::label(b) };
+            let insts = std::mem::take(&mut self.cur);
+            self.out.push(MBlock { label, insts });
+        }
+        Ok(())
+    }
+
+    fn const_of(&self, v: Value) -> Option<i32> {
+        match self.f.inst(v) {
+            InstData::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn lower_inst(&mut self, v: Value, inst: &InstData, _b: Block) -> CResult<()> {
+        let rd = self.vreg(v);
+        match inst {
+            InstData::Param(_) => Ok(()), // bound by the prologue
+            InstData::Const(c) => {
+                self.emit(MInst::Li { rd, imm: *c });
+                Ok(())
+            }
+            InstData::Bin { op, a, b } => {
+                // Fused into the branch? Then skip here.
+                if self.branch_fusable(v) {
+                    return Ok(());
+                }
+                self.lower_bin(rd, *op, *a, *b)
+            }
+            InstData::Load { width, addr } => {
+                self.emit(MInst::Load { width: *width, rd, rs1: self.vreg(*addr), offset: 0 });
+                Ok(())
+            }
+            InstData::Store { width, val, addr } => {
+                self.emit(MInst::Store { width: *width, rs2: self.vreg(*val), rs1: self.vreg(*addr), offset: 0 });
+                // The store's result is its value operand; forward it.
+                if self.use_counts.get(&v).copied().unwrap_or(0) > 0 {
+                    self.emit(MInst::Mv { rd, rs: self.vreg(*val) });
+                }
+                Ok(())
+            }
+            InstData::Call { callee, args } => {
+                if args.len() > 8 {
+                    return Err(CodegenError::TooManyArgs { func: self.f.name.clone() });
+                }
+                let args: Vec<VReg> = args.iter().map(|a| self.vreg(*a)).collect();
+                let dst = if self.f_returns_value(callee) || self.use_counts.get(&v).copied().unwrap_or(0) > 0 {
+                    Some(rd)
+                } else {
+                    None
+                };
+                self.emit(MInst::Call { symbol: callee.clone(), args, dst });
+                Ok(())
+            }
+            InstData::Sys { op, args } => {
+                self.emit(MInst::Sys { code: op.code(), arg: self.vreg(args[0]), dst: rd });
+                Ok(())
+            }
+            InstData::GlobalAddr(g) => {
+                self.emit(MInst::La { rd, symbol: self.module.global(*g).name.clone() });
+                Ok(())
+            }
+            InstData::SlotAddr(s) => {
+                self.emit(MInst::FrameAddr { rd, ir_off: self.f.slot_offset(*s) });
+                Ok(())
+            }
+            InstData::Phi(_) => Ok(()),
+            InstData::Copy(_) => Err(CodegenError::Internal("unresolved copy in riscv isel".into())),
+        }
+    }
+
+    fn f_returns_value(&self, callee: &str) -> bool {
+        self.module.func(callee).map(|f| f.returns_value).unwrap_or(false)
+    }
+
+    fn lower_bin(&mut self, rd: VReg, op: BinOp, a: Value, b: Value) -> CResult<()> {
+        use BinOp::*;
+        let va = self.vreg(a);
+        let vb = self.vreg(b);
+        // Immediate forms (12-bit signed).
+        if let Some(cb) = self.const_of(b) {
+            let fits = (-2048..=2047).contains(&cb);
+            let sh = (0..32).contains(&cb);
+            let plan = match op {
+                Add if fits => Some((AluImmOp::Addi, cb)),
+                Sub if (-2047..=2048).contains(&cb) => Some((AluImmOp::Addi, -cb)),
+                And if fits => Some((AluImmOp::Andi, cb)),
+                Or if fits => Some((AluImmOp::Ori, cb)),
+                Xor if fits => Some((AluImmOp::Xori, cb)),
+                Shl if sh => Some((AluImmOp::Slli, cb)),
+                ShrA if sh => Some((AluImmOp::Srai, cb)),
+                ShrL if sh => Some((AluImmOp::Srli, cb)),
+                SLt if fits => Some((AluImmOp::Slti, cb)),
+                ULt if fits => Some((AluImmOp::Sltiu, cb)),
+                _ => None,
+            };
+            if let Some((iop, imm)) = plan {
+                self.emit(MInst::OpImm { op: iop, rd, rs1: va, imm });
+                return Ok(());
+            }
+            if cb == 0 && op == Eq {
+                self.emit(MInst::OpImm { op: AluImmOp::Sltiu, rd, rs1: va, imm: 1 });
+                return Ok(());
+            }
+            if cb == 0 && op == Ne {
+                let zero = self.zero();
+                self.emit(MInst::Op { op: AluOp::Sltu, rd, rs1: zero, rs2: va });
+                return Ok(());
+            }
+        }
+        if self.const_of(a).is_some() && self.const_of(b).is_none() && op.is_commutative() {
+            // Constant on the left: swap. (Never swap const-const —
+            // that would recurse forever; the register path below
+            // materializes both.)
+            return self.lower_bin(rd, op, b, a);
+        }
+        let reg = |isel: &mut Self, aop: AluOp, x: VReg, y: VReg| {
+            isel.emit(MInst::Op { op: aop, rd, rs1: x, rs2: y });
+        };
+        match op {
+            Add => reg(self, AluOp::Add, va, vb),
+            Sub => reg(self, AluOp::Sub, va, vb),
+            Mul => reg(self, AluOp::Mul, va, vb),
+            Div => reg(self, AluOp::Div, va, vb),
+            Rem => reg(self, AluOp::Rem, va, vb),
+            DivU => reg(self, AluOp::Divu, va, vb),
+            RemU => reg(self, AluOp::Remu, va, vb),
+            And => reg(self, AluOp::And, va, vb),
+            Or => reg(self, AluOp::Or, va, vb),
+            Xor => reg(self, AluOp::Xor, va, vb),
+            Shl => reg(self, AluOp::Sll, va, vb),
+            ShrA => reg(self, AluOp::Sra, va, vb),
+            ShrL => reg(self, AluOp::Srl, va, vb),
+            SLt => reg(self, AluOp::Slt, va, vb),
+            ULt => reg(self, AluOp::Sltu, va, vb),
+            SGt => reg(self, AluOp::Slt, vb, va),
+            UGt => reg(self, AluOp::Sltu, vb, va),
+            Eq => {
+                let t = self.temp();
+                self.emit(MInst::Op { op: AluOp::Xor, rd: t, rs1: va, rs2: vb });
+                self.emit(MInst::OpImm { op: AluImmOp::Sltiu, rd, rs1: t, imm: 1 });
+            }
+            Ne => {
+                let t = self.temp();
+                let zero = self.zero();
+                self.emit(MInst::Op { op: AluOp::Xor, rd: t, rs1: va, rs2: vb });
+                self.emit(MInst::Op { op: AluOp::Sltu, rd, rs1: zero, rs2: t });
+            }
+            SLe => {
+                let t = self.temp();
+                self.emit(MInst::Op { op: AluOp::Slt, rd: t, rs1: vb, rs2: va });
+                self.emit(MInst::OpImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+            }
+            SGe => {
+                let t = self.temp();
+                self.emit(MInst::Op { op: AluOp::Slt, rd: t, rs1: va, rs2: vb });
+                self.emit(MInst::OpImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+            }
+            ULe => {
+                let t = self.temp();
+                self.emit(MInst::Op { op: AluOp::Sltu, rd: t, rs1: vb, rs2: va });
+                self.emit(MInst::OpImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+            }
+            UGe => {
+                let t = self.temp();
+                self.emit(MInst::Op { op: AluOp::Sltu, rd: t, rs1: va, rs2: vb });
+                self.emit(MInst::OpImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+            }
+        }
+        Ok(())
+    }
+
+    /// A vreg holding constant zero (`x0` is materialized by `Li 0`;
+    /// the allocator rewrites `Li {imm: 0}` to reads of `zero`).
+    fn zero(&mut self) -> VReg {
+        let t = self.temp();
+        self.emit(MInst::Li { rd: t, imm: 0 });
+        t
+    }
+
+    /// True when `v` is a comparison used exactly once, by this
+    /// block's conditional branch — lowered directly to a fused
+    /// RISC-V branch.
+    fn branch_fusable(&self, v: Value) -> bool {
+        if self.use_counts.get(&v).copied().unwrap_or(0) != 1 {
+            return false;
+        }
+        let Some(b) = self.block_of_branch_user(v) else { return false };
+        let InstData::Bin { op, .. } = self.f.inst(v) else { return false };
+        let _ = b;
+        matches!(
+            op,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::SLt
+                | BinOp::SLe
+                | BinOp::SGt
+                | BinOp::SGe
+                | BinOp::ULt
+                | BinOp::ULe
+                | BinOp::UGt
+                | BinOp::UGe
+        )
+    }
+
+    /// If `v`'s single use is the CondBr of its own block, return that
+    /// block.
+    fn block_of_branch_user(&self, v: Value) -> Option<Block> {
+        for b in self.f.block_ids() {
+            if let Terminator::CondBr { cond, .. } = &self.f.block(b).term {
+                if *cond == v && self.f.block(b).insts.contains(&v) {
+                    return Some(b);
+                }
+            }
+        }
+        None
+    }
+
+    /// Lowers phi moves for the edge `b -> succ` as a parallel copy.
+    fn emit_phi_moves(&mut self, b: Block, succ: Block) {
+        let mut moves: Vec<(VReg, VReg)> = Vec::new();
+        for &p in &self.f.block(succ).insts {
+            if let InstData::Phi(args) = self.f.inst(p) {
+                if let Some((_, src)) = args.iter().find(|(pb, _)| *pb == b) {
+                    let (dst, src) = (self.vreg(p), self.vreg(*src));
+                    if dst != src {
+                        moves.push((dst, src));
+                    }
+                }
+            }
+        }
+        if moves.is_empty() {
+            return;
+        }
+        let seq = sequence_parallel_moves(&moves, || self.next_vreg);
+        for step in seq {
+            match step {
+                MoveStep::Copy { dst, src } => self.emit(MInst::Mv { rd: dst, rs: src }),
+                MoveStep::UsedTemp => self.next_vreg += 1,
+            }
+        }
+    }
+
+    fn lower_terminator(&mut self, b: Block, next: Option<Block>) -> CResult<()> {
+        match self.f.block(b).term.clone() {
+            Terminator::Br(t) => {
+                self.emit_phi_moves(b, t);
+                if next != Some(t) {
+                    self.emit(MInst::J { target: Self::label(t) });
+                }
+                Ok(())
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                // After critical-edge splitting, CondBr successors have
+                // one predecessor and therefore no phis.
+                let (bop, rs1, rs2) = self.branch_condition(cond, b)?;
+                if next == Some(then_bb) {
+                    // Invert so the branch exits to else.
+                    let (iop, rs1, rs2) = invert_branch(bop, rs1, rs2);
+                    self.emit(MInst::Branch { op: iop, rs1, rs2, target: Self::label(else_bb) });
+                } else {
+                    self.emit(MInst::Branch { op: bop, rs1, rs2, target: Self::label(then_bb) });
+                    if next != Some(else_bb) {
+                        self.emit(MInst::J { target: Self::label(else_bb) });
+                    }
+                }
+                Ok(())
+            }
+            Terminator::Ret(v) => {
+                self.emit(MInst::Ret { val: v.map(|v| self.vreg(v)) });
+                Ok(())
+            }
+            Terminator::Unreachable => Err(CodegenError::Internal("unreachable terminator in isel".into())),
+        }
+    }
+
+    /// Condition of a branch, fusing a single-use comparison.
+    fn branch_condition(&mut self, cond: Value, b: Block) -> CResult<(BranchOp, VReg, VReg)> {
+        if self.branch_fusable(cond) && self.f.block(b).insts.contains(&cond) {
+            if let InstData::Bin { op, a, b: rb } = self.f.inst(cond).clone() {
+                let (va, vb) = (self.vreg(a), self.vreg(rb));
+                let fused = match op {
+                    BinOp::Eq => Some((BranchOp::Beq, va, vb)),
+                    BinOp::Ne => Some((BranchOp::Bne, va, vb)),
+                    BinOp::SLt => Some((BranchOp::Blt, va, vb)),
+                    BinOp::SGe => Some((BranchOp::Bge, va, vb)),
+                    BinOp::SLe => Some((BranchOp::Bge, vb, va)),
+                    BinOp::SGt => Some((BranchOp::Blt, vb, va)),
+                    BinOp::ULt => Some((BranchOp::Bltu, va, vb)),
+                    BinOp::UGe => Some((BranchOp::Bgeu, va, vb)),
+                    BinOp::ULe => Some((BranchOp::Bgeu, vb, va)),
+                    BinOp::UGt => Some((BranchOp::Bltu, vb, va)),
+                    _ => None,
+                };
+                if let Some(f) = fused {
+                    return Ok(f);
+                }
+            }
+        }
+        let zero = self.zero();
+        Ok((BranchOp::Bne, self.vreg(cond), zero))
+    }
+}
+
+fn invert_branch(op: BranchOp, rs1: VReg, rs2: VReg) -> (BranchOp, VReg, VReg) {
+    match op {
+        BranchOp::Beq => (BranchOp::Bne, rs1, rs2),
+        BranchOp::Bne => (BranchOp::Beq, rs1, rs2),
+        BranchOp::Blt => (BranchOp::Bge, rs1, rs2),
+        BranchOp::Bge => (BranchOp::Blt, rs1, rs2),
+        BranchOp::Bltu => (BranchOp::Bgeu, rs1, rs2),
+        BranchOp::Bgeu => (BranchOp::Bltu, rs1, rs2),
+    }
+}
+
+/// One step of a sequenced parallel copy.
+pub(crate) enum MoveStep {
+    /// Emit `dst <- src`.
+    Copy { dst: VReg, src: VReg },
+    /// The sequencer consumed the fresh temporary it was given.
+    UsedTemp,
+}
+
+/// Orders a parallel copy so no source is clobbered before it is
+/// read, breaking cycles with (at most one) temporary.
+pub(crate) fn sequence_parallel_moves(moves: &[(VReg, VReg)], temp: impl Fn() -> VReg) -> Vec<MoveStep> {
+    let mut pending: Vec<(VReg, VReg)> = moves.to_vec();
+    let mut out = Vec::new();
+    while !pending.is_empty() {
+        let ready = pending
+            .iter()
+            .position(|(dst, _)| !pending.iter().any(|(_, src)| src == dst));
+        match ready {
+            Some(i) => {
+                let (dst, src) = pending.remove(i);
+                out.push(MoveStep::Copy { dst, src });
+            }
+            None => {
+                // Cycle: rotate through the temporary.
+                let t = temp();
+                out.push(MoveStep::UsedTemp);
+                let (dst, src) = pending[0];
+                out.push(MoveStep::Copy { dst: t, src });
+                // Redirect any reader of `src`... the cycle member
+                // reading `dst`'s old value keeps reading `src`'s copy.
+                for (_, s) in pending.iter_mut() {
+                    if *s == src {
+                        *s = t;
+                    }
+                }
+                pending[0] = (dst, pending[0].1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(moves: &[(VReg, VReg)], init: &mut HashMap<VReg, i32>) {
+        let mut next = 1000;
+        let seq = sequence_parallel_moves(moves, || next);
+        for step in seq {
+            match step {
+                MoveStep::UsedTemp => next += 1,
+                MoveStep::Copy { dst, src } => {
+                    let v = init[&src];
+                    init.insert(dst, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_moves_simple_chain() {
+        // 1 <- 2, 2 <- 3
+        let mut state: HashMap<VReg, i32> = [(1, 10), (2, 20), (3, 30)].into();
+        apply(&[(1, 2), (2, 3)], &mut state);
+        assert_eq!(state[&1], 20);
+        assert_eq!(state[&2], 30);
+    }
+
+    #[test]
+    fn parallel_moves_swap_cycle() {
+        let mut state: HashMap<VReg, i32> = [(1, 10), (2, 20)].into();
+        apply(&[(1, 2), (2, 1)], &mut state);
+        assert_eq!(state[&1], 20);
+        assert_eq!(state[&2], 10);
+    }
+
+    #[test]
+    fn parallel_moves_three_cycle() {
+        let mut state: HashMap<VReg, i32> = [(1, 10), (2, 20), (3, 30)].into();
+        apply(&[(1, 2), (2, 3), (3, 1)], &mut state);
+        assert_eq!(state[&1], 20);
+        assert_eq!(state[&2], 30);
+        assert_eq!(state[&3], 10);
+    }
+}

@@ -1,0 +1,1270 @@
+//! Per-function STRAIGHT code emission.
+//!
+//! The emitter walks blocks in reverse postorder, tracking for every
+//! live value the *virtual dynamic position* of its most recent
+//! producer. Reading an operand turns into a distance (`current
+//! position - producer position`), which is exactly the ISA's operand
+//! model. The pieces of the paper's algorithm map onto this machinery
+//! as follows:
+//!
+//! * **Distance fixing (IV-C2)** — every merge block gets a *frame*
+//!   (ordered live-in values + phis); each predecessor ends with a
+//!   shuffle producing the frame in order, then exactly one control
+//!   instruction (`J`, `BEZ`/`BNZ`, or a padding `NOP` on fall-through
+//!   paths), so entry distances are path-independent.
+//! * **Distance bounding (IV-C3)** — an aging sweep relays values
+//!   about to exceed the bound with `RMOV` (RAW) or retires them to
+//!   the stack frame (RE+).
+//! * **Calling convention (IV-B)** — argument producers are arranged
+//!   immediately before `JAL`; values live across a call are stored
+//!   to the stack frame (their distances after the callee returns are
+//!   statically unknowable); `retval0` is produced immediately before
+//!   `JR`.
+//! * **RE+ (IV-D)** — single-instruction producers with no local uses
+//!   are sunk into the shuffle zone instead of being `RMOV`-copied
+//!   (Figure 10b), and loop-live-through values stay in the stack
+//!   frame (Figure 10c).
+
+use std::collections::{HashMap, HashSet};
+
+use straight_asm::{SFunc, SItem, SReloc};
+use straight_isa::{AluImmOp, AluOp, Dist, Inst, MemWidth};
+use straight_ir::analysis::{Cfg, Dominators, Liveness, Loops};
+use straight_ir::{BinOp, Block, Function, InstData, Module, Terminator, Value};
+
+use super::frames::{self, FrameInfo, SlotSrc};
+use super::StraightOptions;
+use crate::CodegenError;
+
+/// A value whose producer position the emitter tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Tracked {
+    Val(Value),
+    RetAddr,
+    FrameBase,
+}
+
+/// Per-path emission state: where on the virtual dynamic timeline each
+/// live value was last produced, and which values have valid stack
+/// copies.
+#[derive(Debug, Clone, Default)]
+struct PathState {
+    /// Position of the *next* instruction to be emitted.
+    cur: i64,
+    pos: HashMap<Tracked, i64>,
+    spilled: HashSet<Tracked>,
+}
+
+pub(crate) struct FnEmitter<'a> {
+    f: &'a Function,
+    module: &'a Module,
+    opts: &'a StraightOptions,
+    #[allow(dead_code)]
+    cfg: Cfg,
+    live: Liveness,
+    info: FrameInfo,
+    order: Vec<Block>,
+    order_idx: HashMap<Block, usize>,
+    def_block: HashMap<Value, Block>,
+    items: Vec<SItem>,
+    labels: Vec<(String, usize)>,
+    spill_off: HashMap<Tracked, u32>,
+    next_spill: u32,
+    ir_frame: u32,
+    spadd_fixups: Vec<(usize, i32)>,
+    st: PathState,
+    in_states: HashMap<Block, PathState>,
+    uses_left: HashMap<Value, u32>,
+    init_uses: HashMap<Value, u32>,
+    vhigh: i64,
+    cur_block: Block,
+    sink_set: HashSet<Value>,
+    prologue_spilled_retaddr: bool,
+    has_calls: bool,
+    /// Per merge block: intersection of the spilled sets of the
+    /// already-processed predecessors. Sound for back edges too: the
+    /// spilled set only grows along a path, so the latch's set is a
+    /// superset of the header's entry set.
+    merge_spills: HashMap<Block, HashSet<Tracked>>,
+    /// Second-pass flag: the function proved frameless, so the
+    /// prologue/epilogue `SPADD`s are omitted entirely.
+    skip_frame: bool,
+}
+
+type CResult<T> = Result<T, CodegenError>;
+
+fn internal<T>(msg: impl Into<String>) -> CResult<T> {
+    Err(CodegenError::Internal(msg.into()))
+}
+
+impl<'a> FnEmitter<'a> {
+    /// Compiles one function. Runs the emitter once; if the function
+    /// turns out to need no stack frame at all (no IR slots and no
+    /// spills), re-runs it with the frame `SPADD`s omitted — leaf
+    /// functions then carry zero frame overhead.
+    pub(crate) fn compile(f: &'a Function, module: &'a Module, opts: &'a StraightOptions) -> CResult<SFunc> {
+        let first = Self::compile_pass(f, module, opts, false)?;
+        match first {
+            (sfunc, 0, 0) if f.frame_size() == 0 => {
+                let (sfunc2, spills2, _) = Self::compile_pass(f, module, opts, true)?;
+                debug_assert_eq!(spills2, 0, "frameless rerun must not spill");
+                let _ = sfunc;
+                Ok(sfunc2)
+            }
+            (sfunc, ..) => Ok(sfunc),
+        }
+    }
+
+    fn compile_pass(
+        f: &'a Function,
+        module: &'a Module,
+        opts: &'a StraightOptions,
+        skip_frame: bool,
+    ) -> CResult<(SFunc, u32, u32)> {
+        let cfg = Cfg::compute(f);
+        let live = Liveness::compute(f, &cfg);
+        let dom = Dominators::compute(f, &cfg);
+        let loops = Loops::compute(f, &cfg, &dom);
+        let info = frames::compute(f, &cfg, &live, &loops, &dom, opts.redundancy_elimination);
+        let order: Vec<Block> = cfg.rpo().to_vec();
+        let order_idx: HashMap<Block, usize> = order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let mut def_block = HashMap::new();
+        for b in f.block_ids() {
+            for &v in &f.block(b).insts {
+                def_block.insert(v, b);
+            }
+        }
+        let has_calls = f.insts.iter().any(|i| matches!(i, InstData::Call { .. }));
+        let mut e = FnEmitter {
+            f,
+            module,
+            opts,
+            cfg,
+            live,
+            info,
+            order,
+            order_idx,
+            def_block,
+            items: Vec::new(),
+            labels: Vec::new(),
+            spill_off: HashMap::new(),
+            next_spill: 0,
+            ir_frame: f.frame_size(),
+            spadd_fixups: Vec::new(),
+            st: PathState::default(),
+            in_states: HashMap::new(),
+            uses_left: HashMap::new(),
+            init_uses: HashMap::new(),
+            vhigh: 0,
+            cur_block: f.entry(),
+            sink_set: HashSet::new(),
+            prologue_spilled_retaddr: false,
+            has_calls,
+            merge_spills: HashMap::new(),
+            skip_frame,
+        };
+        e.run()?;
+        // Patch frame-size SPADDs now the spill count is known.
+        let total = (e.ir_frame + 4 * e.next_spill) as i32;
+        for (idx, sign) in e.spadd_fixups.clone() {
+            let imm = i16::try_from(sign * total)
+                .map_err(|_| CodegenError::Internal("frame larger than 32 KiB".into()))?;
+            e.items[idx].inst = Inst::SpAdd { imm };
+        }
+        Ok((SFunc { name: f.name.clone(), items: e.items, labels: e.labels }, e.next_spill, e.ir_frame))
+    }
+
+    // ---------------------------------------------------------------
+    // Low-level emission.
+
+    fn push(&mut self, inst: Inst) -> i64 {
+        self.push_reloc(inst, None)
+    }
+
+    fn push_reloc(&mut self, inst: Inst, reloc: Option<SReloc>) -> i64 {
+        let p = self.st.cur;
+        self.items.push(SItem { inst, reloc });
+        self.st.cur += 1;
+        self.vhigh = self.vhigh.max(self.st.cur);
+        p
+    }
+
+    fn place_label(&mut self, b: Block) {
+        self.labels.push((format!("{b}"), self.items.len()));
+    }
+
+    fn label_name(b: Block) -> String {
+        format!("{b}")
+    }
+
+    fn maxd(&self) -> i64 {
+        i64::from(self.opts.max_distance)
+    }
+
+    fn dist_to(&self, t: Tracked) -> CResult<Dist> {
+        let p = match self.st.pos.get(&t) {
+            Some(p) => *p,
+            None => return internal(format!("{t:?} not tracked in {}", self.f.name)),
+        };
+        let d = self.st.cur - p;
+        if d < 1 || d > self.maxd() {
+            return internal(format!("distance {d} to {t:?} out of range in {}", self.f.name));
+        }
+        Ok(Dist::of(d as u32))
+    }
+
+    fn is_zero_const(&self, v: Value) -> bool {
+        matches!(self.f.inst(v), InstData::Const(0))
+    }
+
+    fn spill_slot(&mut self, t: Tracked) -> u32 {
+        if let Some(&off) = self.spill_off.get(&t) {
+            return off;
+        }
+        let off = self.ir_frame + 4 * self.next_spill;
+        self.next_spill += 1;
+        self.spill_off.insert(t, off);
+        off
+    }
+
+    /// Makes the frame base readable (`SPADD 0` re-materializes SP).
+    fn ensure_fb(&mut self, margin: i64) -> CResult<()> {
+        if self.skip_frame {
+            return internal("frame base requested in a frameless function");
+        }
+        match self.st.pos.get(&Tracked::FrameBase) {
+            Some(&p) if self.st.cur - p <= self.maxd() - margin => Ok(()),
+            _ => {
+                let p = self.push(Inst::SpAdd { imm: 0 });
+                self.st.pos.insert(Tracked::FrameBase, p);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stores `t` to its stack slot (idempotent: SSA values never
+    /// change, so an existing copy stays valid).
+    fn spill(&mut self, t: Tracked) -> CResult<()> {
+        if self.st.spilled.contains(&t) {
+            return Ok(());
+        }
+        let off = self.spill_slot(t);
+        self.ensure_fb(6)?;
+        // Address: frame base + offset (ADDi when nonzero).
+        if off == 0 {
+            let dv = self.dist_to(t)?;
+            let da = self.dist_to(Tracked::FrameBase)?;
+            self.push(Inst::St { width: MemWidth::W, val: dv, addr: da });
+        } else {
+            let dfb = self.dist_to(Tracked::FrameBase)?;
+            self.push(Inst::AluImm { op: AluImmOp::Addi, s1: dfb, imm: off as i16 });
+            let dv = self.dist_to(t)?;
+            self.push(Inst::St { width: MemWidth::W, val: dv, addr: Dist::of(1) });
+        }
+        self.st.spilled.insert(t);
+        Ok(())
+    }
+
+    /// Reloads `t` from its stack slot.
+    fn reload(&mut self, t: Tracked) -> CResult<()> {
+        let off = *self
+            .spill_off
+            .get(&t)
+            .ok_or_else(|| CodegenError::Internal(format!("reload of unspilled {t:?}")))?;
+        self.ensure_fb(4)?;
+        let dfb = self.dist_to(Tracked::FrameBase)?;
+        let p = self.push(Inst::Ld { width: MemWidth::W, addr: dfb, offset: off as i16 });
+        self.st.pos.insert(t, p);
+        Ok(())
+    }
+
+    /// Emits a relay `RMOV` refreshing `t`'s position (the distance
+    /// bounding of Section IV-C3).
+    fn relay(&mut self, t: Tracked) -> CResult<()> {
+        let d = self.dist_to(t)?;
+        let p = self.push(Inst::Rmov { s: d });
+        self.st.pos.insert(t, p);
+        Ok(())
+    }
+
+    /// Guarantees `v` is readable at a distance ≤ `max_distance -
+    /// margin`, re-materializing constants/addresses, reloading stack
+    /// copies, or relaying as needed.
+    fn ensure_val(&mut self, v: Value, margin: i64) -> CResult<()> {
+        if self.is_zero_const(v) {
+            return Ok(());
+        }
+        let t = Tracked::Val(v);
+        if let Some(&p) = self.st.pos.get(&t) {
+            if self.st.cur - p <= self.maxd() - margin {
+                return Ok(());
+            }
+            // Too old to guarantee the margin; refresh.
+            if self.st.cur - p <= self.maxd() {
+                return self.relay(t);
+            }
+            self.st.pos.remove(&t);
+        }
+        if self.st.spilled.contains(&t) {
+            return self.reload(t);
+        }
+        // Re-materializable?
+        match self.f.inst(v).clone() {
+            InstData::Const(c) => {
+                self.materialize_const(v, c)?;
+                Ok(())
+            }
+            InstData::GlobalAddr(g) => {
+                self.materialize_global(v, g)?;
+                Ok(())
+            }
+            InstData::SlotAddr(s) => {
+                self.materialize_slot_addr(v, s)?;
+                Ok(())
+            }
+            other => internal(format!("lost value {v} ({other:?}) in {}", self.f.name)),
+        }
+    }
+
+    /// Reads an IR operand, returning its distance; consumes one use.
+    fn read1(&mut self, v: Value) -> CResult<Dist> {
+        self.consume_use(v);
+        if self.is_zero_const(v) {
+            return Ok(Dist::ZERO);
+        }
+        self.ensure_val(v, 2)?;
+        self.dist_to(Tracked::Val(v))
+    }
+
+    /// Reads two operands with a safe margin between the ensures.
+    fn read2(&mut self, a: Value, b: Value) -> CResult<(Dist, Dist)> {
+        self.consume_use(a);
+        self.consume_use(b);
+        if !self.is_zero_const(a) {
+            self.ensure_val(a, 6)?;
+        }
+        if !self.is_zero_const(b) {
+            self.ensure_val(b, 2)?;
+        }
+        let da = if self.is_zero_const(a) { Dist::ZERO } else { self.dist_to(Tracked::Val(a))? };
+        let db = if self.is_zero_const(b) { Dist::ZERO } else { self.dist_to(Tracked::Val(b))? };
+        Ok((da, db))
+    }
+
+    fn consume_use(&mut self, v: Value) {
+        if let Some(n) = self.uses_left.get_mut(&v) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// True while `v` must be kept reachable on this path.
+    fn needed(&self, v: Value) -> bool {
+        self.uses_left.get(&v).copied().unwrap_or(0) > 0
+            || self.live.live_out(self.cur_block).contains(&v)
+    }
+
+    /// The distance-bounding sweep: values nearing the bound are
+    /// relayed (RAW), retired to the stack (RE+), or dropped when no
+    /// longer needed.
+    fn age_sweep(&mut self) -> CResult<()> {
+        let threshold = self.maxd() - 10;
+        // Relaying diverges when more values are live than the
+        // distance window can hold (each relay ages every other value
+        // by one). Cap the rounds and report the overflow cleanly.
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 64 {
+                return Err(CodegenError::FrameTooLarge {
+                    func: self.f.name.clone(),
+                    live: self.st.pos.len(),
+                    max_distance: self.opts.max_distance,
+                });
+            }
+            let mut aged: Vec<Tracked> = self
+                .st
+                .pos
+                .iter()
+                .filter(|(_, &p)| self.st.cur - p > threshold)
+                .map(|(t, _)| *t)
+                .collect();
+            if aged.is_empty() {
+                return Ok(());
+            }
+            aged.sort_unstable();
+            for t in aged {
+                let Some(&p) = self.st.pos.get(&t) else { continue };
+                if self.st.cur - p <= threshold {
+                    continue; // refreshed by an earlier action this round
+                }
+                match t {
+                    Tracked::FrameBase => {
+                        self.st.pos.remove(&t);
+                    }
+                    Tracked::RetAddr => {
+                        if self.st.spilled.contains(&t) {
+                            self.st.pos.remove(&t);
+                        } else {
+                            self.relay(t)?;
+                        }
+                    }
+                    Tracked::Val(v) => {
+                        if !self.needed(v) || self.st.spilled.contains(&t) || self.is_rematerializable(v) {
+                            self.st.pos.remove(&t);
+                        } else {
+                            // Distance bounding relays with RMOV in
+                            // both modes (Section IV-C3); RE+ reserves
+                            // the stack for call sites and
+                            // loop-live-through values.
+                            self.relay(t)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_rematerializable(&self, v: Value) -> bool {
+        matches!(self.f.inst(v), InstData::Const(_) | InstData::GlobalAddr(_) | InstData::SlotAddr(_))
+    }
+
+    // ---------------------------------------------------------------
+    // Value materialization.
+
+    fn materialize_const(&mut self, v: Value, c: i32) -> CResult<i64> {
+        let p = if (-32768..=32767).contains(&c) {
+            self.push(Inst::AluImm { op: AluImmOp::Addi, s1: Dist::ZERO, imm: c as i16 })
+        } else {
+            self.push(Inst::Lui { imm: ((c as u32) >> 16) as u16 });
+            self.push(Inst::AluImm {
+                op: AluImmOp::Ori,
+                s1: Dist::of(1),
+                imm: ((c as u32) & 0xffff) as u16 as i16,
+            })
+        };
+        self.st.pos.insert(Tracked::Val(v), p);
+        Ok(p)
+    }
+
+    fn materialize_global(&mut self, v: Value, g: straight_ir::GlobalId) -> CResult<i64> {
+        let name = self.module.global(g).name.clone();
+        self.push_reloc(Inst::Lui { imm: 0 }, Some(SReloc::AbsHi(name.clone())));
+        let p = self.push_reloc(
+            Inst::AluImm { op: AluImmOp::Ori, s1: Dist::of(1), imm: 0 },
+            Some(SReloc::AbsLo(name)),
+        );
+        self.st.pos.insert(Tracked::Val(v), p);
+        Ok(p)
+    }
+
+    fn materialize_slot_addr(&mut self, v: Value, s: straight_ir::SlotId) -> CResult<i64> {
+        self.ensure_fb(2)?;
+        let dfb = self.dist_to(Tracked::FrameBase)?;
+        let off = self.f.slot_offset(s);
+        let p = self.push(Inst::AluImm { op: AluImmOp::Addi, s1: dfb, imm: off as i16 });
+        self.st.pos.insert(Tracked::Val(v), p);
+        Ok(p)
+    }
+
+    // ---------------------------------------------------------------
+    // Instruction selection for `Bin`.
+
+    /// Returns the single-instruction plan for `v` if one exists:
+    /// `(inst-template needing (da, db))`. Used both for normal
+    /// lowering and for deciding RE+ sinkability.
+    fn bin_single_plan(&self, op: BinOp, a: Value, b: Value) -> Option<BinPlan> {
+        use BinOp::*;
+        let const_of = |v: Value| match self.f.inst(v) {
+            InstData::Const(c) => Some(*c),
+            _ => None,
+        };
+        // Immediate forms.
+        if let Some(cb) = const_of(b) {
+            let imm_ok = (-32768..=32767).contains(&cb);
+            let uimm_ok = (0..=0xffff).contains(&cb);
+            let sh_ok = (0..32).contains(&cb);
+            let imm = cb as i16;
+            let uimm = cb as u16 as i16;
+            let plan = match op {
+                Add if imm_ok => Some((AluImmOp::Addi, imm)),
+                Sub if (-32767..=32768).contains(&cb) => Some((AluImmOp::Addi, (-cb) as i16)),
+                And if uimm_ok => Some((AluImmOp::Andi, uimm)),
+                Or if uimm_ok => Some((AluImmOp::Ori, uimm)),
+                Xor if uimm_ok => Some((AluImmOp::Xori, uimm)),
+                Shl if sh_ok => Some((AluImmOp::Slli, imm)),
+                ShrA if sh_ok => Some((AluImmOp::Srai, imm)),
+                ShrL if sh_ok => Some((AluImmOp::Srli, imm)),
+                SLt if imm_ok => Some((AluImmOp::Slti, imm)),
+                ULt if imm_ok => Some((AluImmOp::Sltiu, imm)),
+                _ => None,
+            };
+            if let Some((iop, imm)) = plan {
+                return Some(BinPlan::Imm { op: iop, a, imm });
+            }
+            if cb == 0 && op == Eq {
+                return Some(BinPlan::Imm { op: AluImmOp::Sltiu, a, imm: 1 });
+            }
+            if cb == 0 && op == Ne {
+                return Some(BinPlan::Reg { op: AluOp::Sltu, a: b, b: a }); // 0 <u a
+            }
+        }
+        if let Some(ca) = const_of(a) {
+            // Commutative ops with the constant on the left; guard
+            // against const-const operands (no recursion fixpoint).
+            if op.is_commutative() && const_of(b).is_none() {
+                if let Some(p) = self.bin_single_plan(op, b, a) {
+                    return Some(p);
+                }
+            }
+            if ca == 0 && op == Ne {
+                return Some(BinPlan::Reg { op: AluOp::Sltu, a, b }); // 0 <u b
+            }
+            if ca == 0 && op == Eq {
+                return Some(BinPlan::Imm { op: AluImmOp::Sltiu, a: b, imm: 1 });
+            }
+        }
+        let reg = |aop: AluOp, x: Value, y: Value| Some(BinPlan::Reg { op: aop, a: x, b: y });
+        match op {
+            Add => reg(AluOp::Add, a, b),
+            Sub => reg(AluOp::Sub, a, b),
+            Mul => reg(AluOp::Mul, a, b),
+            Div => reg(AluOp::Div, a, b),
+            Rem => reg(AluOp::Rem, a, b),
+            DivU => reg(AluOp::Divu, a, b),
+            RemU => reg(AluOp::Remu, a, b),
+            And => reg(AluOp::And, a, b),
+            Or => reg(AluOp::Or, a, b),
+            Xor => reg(AluOp::Xor, a, b),
+            Shl => reg(AluOp::Sll, a, b),
+            ShrA => reg(AluOp::Sra, a, b),
+            ShrL => reg(AluOp::Srl, a, b),
+            SLt => reg(AluOp::Slt, a, b),
+            ULt => reg(AluOp::Sltu, a, b),
+            SGt => reg(AluOp::Slt, b, a),
+            UGt => reg(AluOp::Sltu, b, a),
+            Eq | Ne | SLe | SGe | ULe | UGe => None,
+        }
+    }
+
+    fn lower_bin(&mut self, v: Value, op: BinOp, a: Value, b: Value) -> CResult<()> {
+        if let Some(plan) = self.bin_single_plan(op, a, b) {
+            let p = match plan {
+                BinPlan::Imm { op: iop, a: pa, imm } => {
+                    let da = self.read1(pa)?;
+                    // The folded constant operand's IR use must still
+                    // be consumed for liveness bookkeeping.
+                    for orig in [a, b] {
+                        if orig != pa {
+                            self.consume_use(orig);
+                        }
+                    }
+                    self.push(Inst::AluImm { op: iop, s1: da, imm })
+                }
+                BinPlan::Reg { op: rop, a: pa, b: pb } => {
+                    let (da, db) = self.read2(pa, pb)?;
+                    self.push(Inst::Alu { op: rop, s1: da, s2: db })
+                }
+            };
+            self.st.pos.insert(Tracked::Val(v), p);
+            return Ok(());
+        }
+        // Two-instruction comparisons.
+        use BinOp::*;
+        let p = match op {
+            Eq => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Xor, s1: da, s2: db });
+                self.push(Inst::AluImm { op: AluImmOp::Sltiu, s1: Dist::of(1), imm: 1 })
+            }
+            Ne => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Xor, s1: da, s2: db });
+                self.push(Inst::Alu { op: AluOp::Sltu, s1: Dist::ZERO, s2: Dist::of(1) })
+            }
+            SLe => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Slt, s1: db, s2: da });
+                self.push(Inst::AluImm { op: AluImmOp::Xori, s1: Dist::of(1), imm: 1 })
+            }
+            SGe => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Slt, s1: da, s2: db });
+                self.push(Inst::AluImm { op: AluImmOp::Xori, s1: Dist::of(1), imm: 1 })
+            }
+            ULe => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Sltu, s1: db, s2: da });
+                self.push(Inst::AluImm { op: AluImmOp::Xori, s1: Dist::of(1), imm: 1 })
+            }
+            UGe => {
+                let (da, db) = self.read2(a, b)?;
+                self.push(Inst::Alu { op: AluOp::Sltu, s1: da, s2: db });
+                self.push(Inst::AluImm { op: AluImmOp::Xori, s1: Dist::of(1), imm: 1 })
+            }
+            _ => return internal(format!("unexpected two-inst op {op}")),
+        };
+        self.st.pos.insert(Tracked::Val(v), p);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // The main walk.
+
+    fn run(&mut self) -> CResult<()> {
+        self.emit_prologue()?;
+        for (i, b) in self.order.clone().into_iter().enumerate() {
+            self.cur_block = b;
+            if i > 0 {
+                self.st = match self.in_states.remove(&b) {
+                    Some(s) => s,
+                    None => self.merge_entry_state(b)?,
+                };
+                self.place_label(b);
+            }
+            self.count_uses(b);
+            self.compute_sink_set(b)?;
+            for v in self.f.block(b).insts.clone() {
+                let inst = self.f.inst(v).clone();
+                if inst.is_phi() || self.sink_set.contains(&v) {
+                    continue;
+                }
+                self.lower_value(v, &inst)?;
+                self.age_sweep()?;
+            }
+            self.emit_terminator(b, i)?;
+        }
+        Ok(())
+    }
+
+    fn emit_prologue(&mut self) -> CResult<()> {
+        let n = self.f.num_params as i64;
+        // Virtual positions of incoming values: [1] = JAL, [2] =
+        // arg_{n-1}, ..., [n+1] = arg_0.
+        self.st.cur = 0;
+        self.st.pos.insert(Tracked::RetAddr, -1);
+        let entry = self.f.entry();
+        let params: Vec<Value> = self
+            .f
+            .block(entry)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&v| matches!(self.f.inst(v), InstData::Param(_)))
+            .collect();
+        for &v in &params {
+            if let InstData::Param(i) = self.f.inst(v) {
+                self.st.pos.insert(Tracked::Val(v), -2 - (n - 1 - i64::from(*i)));
+            }
+        }
+        // Frame allocation (size patched once spills are known).
+        if !self.skip_frame {
+            let idx = self.items.len();
+            let p = self.push(Inst::SpAdd { imm: 0 });
+            self.spadd_fixups.push((idx, -1));
+            self.st.pos.insert(Tracked::FrameBase, p);
+        }
+        // RE+ keeps the return address in the stack from the start
+        // (Figure 10c stores _RETADDR in the prologue).
+        if self.opts.redundancy_elimination && (self.has_calls || !self.info.frames.is_empty()) {
+            self.spill(Tracked::RetAddr)?;
+            self.prologue_spilled_retaddr = true;
+        }
+        Ok(())
+    }
+
+    fn count_uses(&mut self, b: Block) {
+        self.uses_left.clear();
+        for &v in &self.f.block(b).insts {
+            let inst = self.f.inst(v);
+            if inst.is_phi() {
+                continue;
+            }
+            inst.for_each_operand(|op| {
+                *self.uses_left.entry(op).or_insert(0) += 1;
+            });
+        }
+        self.f.block(b).term.for_each_operand(|op| {
+            *self.uses_left.entry(op).or_insert(0) += 1;
+        });
+        self.init_uses = self.uses_left.clone();
+    }
+
+    /// RE+ producer rearrangement (Figure 10b): single-instruction
+    /// values defined in this block, unused locally, whose only role
+    /// is to fill a frame slot of the unique merge successor.
+    fn compute_sink_set(&mut self, b: Block) -> CResult<()> {
+        self.sink_set.clear();
+        if !self.opts.redundancy_elimination {
+            return Ok(());
+        }
+        let succs = self.f.block(b).term.successors();
+        if succs.len() != 1 {
+            return Ok(());
+        }
+        let succ = succs[0];
+        let Some(frame) = self.info.frames.get(&succ) else { return Ok(()) };
+        let sources = self.resolve_slots(b, succ, frame)?;
+        let mut occurrence: HashMap<Value, u32> = HashMap::new();
+        for (_, src) in &sources {
+            if let ResolvedSrc::Val(u) = src {
+                *occurrence.entry(*u).or_insert(0) += 1;
+            }
+        }
+        for (_, src) in &sources {
+            let ResolvedSrc::Val(u) = src else { continue };
+            let u = *u;
+            if occurrence[&u] != 1 {
+                continue;
+            }
+            if self.def_block.get(&u) != Some(&b) {
+                continue;
+            }
+            if self.init_uses.get(&u).copied().unwrap_or(0) != 0 {
+                continue; // used locally; cannot delay production
+            }
+            let ok = match self.f.inst(u) {
+                InstData::Bin { op, a, b: bb } => self.bin_single_plan(*op, *a, *bb).is_some(),
+                InstData::SlotAddr(_) => true,
+                _ => false,
+            };
+            if ok {
+                self.sink_set.insert(u);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_value(&mut self, v: Value, inst: &InstData) -> CResult<()> {
+        match inst {
+            InstData::Param(_) => Ok(()), // positions preset in the prologue
+            InstData::Const(0) => Ok(()), // the zero register
+            InstData::Const(c) => {
+                self.materialize_const(v, *c)?;
+                Ok(())
+            }
+            InstData::Bin { op, a, b } => self.lower_bin(v, *op, *a, *b),
+            InstData::Load { width, addr } => {
+                let da = self.read1(*addr)?;
+                let p = self.push(Inst::Ld { width: *width, addr: da, offset: 0 });
+                self.st.pos.insert(Tracked::Val(v), p);
+                Ok(())
+            }
+            InstData::Store { width, val, addr } => {
+                let (dv, da) = self.read2(*val, *addr)?;
+                let p = self.push(Inst::St { width: *width, val: dv, addr: da });
+                self.st.pos.insert(Tracked::Val(v), p);
+                Ok(())
+            }
+            InstData::Call { callee, args } => self.lower_call(v, callee, args),
+            InstData::Sys { op, args } => {
+                let da = self.read1(args[0])?;
+                let p = self.push(Inst::Sys { code: op.code(), s: da });
+                self.st.pos.insert(Tracked::Val(v), p);
+                Ok(())
+            }
+            InstData::GlobalAddr(g) => {
+                self.materialize_global(v, *g)?;
+                Ok(())
+            }
+            InstData::SlotAddr(s) => {
+                self.materialize_slot_addr(v, *s)?;
+                Ok(())
+            }
+            InstData::Phi(_) => internal("phi reached lower_value"),
+            InstData::Copy(_) => internal("unresolved copy in codegen"),
+        }
+    }
+
+    /// Calls: spill live values (their post-call distances are
+    /// unknowable), arrange argument producers immediately before
+    /// `JAL`, then resume with only the return value tracked.
+    fn lower_call(&mut self, v: Value, callee: &str, args: &[Value]) -> CResult<()> {
+        // 1. Values needed after the call on this path must be in the
+        //    stack frame.
+        let mut to_spill: Vec<Tracked> = Vec::new();
+        for (&t, _) in self.st.pos.clone().iter() {
+            match t {
+                Tracked::Val(u) => {
+                    let needed_after = self.needed(u) || args.contains(&u);
+                    // Arguments are consumed by the shuffle below, so
+                    // only spill them if used again later.
+                    let needed_later = self.needed(u);
+                    if needed_after && needed_later && !self.st.spilled.contains(&t) && !self.is_rematerializable(u)
+                    {
+                        to_spill.push(t);
+                    }
+                }
+                Tracked::RetAddr => {
+                    if !self.st.spilled.contains(&t) {
+                        to_spill.push(t);
+                    }
+                }
+                Tracked::FrameBase => {}
+            }
+        }
+        to_spill.sort_unstable();
+        for t in to_spill {
+            // Ensure readable, then store.
+            if let Tracked::Val(u) = t {
+                self.ensure_val(u, 6)?;
+            }
+            self.spill(t)?;
+            self.age_sweep()?;
+        }
+        // 2. Argument producers in convention order: arg0 first, the
+        //    last argument immediately before JAL.
+        let slots: Vec<(SlotKey, ResolvedSrc)> =
+            args.iter().map(|&a| (SlotKey::ArgCopy, ResolvedSrc::Val(a))).collect();
+        self.emit_slot_sequence(&slots)?;
+        for &a in args {
+            self.consume_use(a);
+        }
+        // 3. The call.
+        self.push_reloc(Inst::Jal { offset: 0 }, Some(SReloc::BranchTo(callee.to_string())));
+        // 4. Post-call state: every tracked position is stale. Model
+        //    the resume point as [1] = callee's JR, [2] = retval0.
+        let resume = self.st.cur + 2;
+        self.st.cur = resume;
+        self.vhigh = self.vhigh.max(resume);
+        self.st.pos.clear();
+        self.st.pos.insert(Tracked::Val(v), resume - 2);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Frames / shuffles.
+
+    fn resolve_slots(
+        &self,
+        pred: Block,
+        succ: Block,
+        frame: &[SlotSrc],
+    ) -> CResult<Vec<(SlotKey, ResolvedSrc)>> {
+        let mut out = Vec::with_capacity(frame.len());
+        for slot in frame {
+            match *slot {
+                SlotSrc::RetAddr => out.push((SlotKey::Tracked(Tracked::RetAddr), ResolvedSrc::RetAddr)),
+                SlotSrc::Val(v) => {
+                    if let InstData::Phi(phi_args) = self.f.inst(v) {
+                        if self.def_block.get(&v) == Some(&succ) {
+                            let (_, u) = phi_args
+                                .iter()
+                                .find(|(p, _)| *p == pred)
+                                .ok_or_else(|| CodegenError::Internal(format!("phi {v} missing edge {pred}")))?;
+                            out.push((SlotKey::Tracked(Tracked::Val(v)), ResolvedSrc::Val(*u)));
+                            continue;
+                        }
+                    }
+                    out.push((SlotKey::Tracked(Tracked::Val(v)), ResolvedSrc::Val(v)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Emits a contiguous sequence of single producer instructions,
+    /// one per slot (a merge-frame shuffle or a call-argument
+    /// arrangement). Performs the pre-pass that guarantees every
+    /// source is producible by exactly one instruction within the
+    /// distance bound, then emits with snapshot positions (slot
+    /// producers read pre-shuffle values, which makes phi permutations
+    /// correct).
+    fn emit_slot_sequence(&mut self, slots: &[(SlotKey, ResolvedSrc)]) -> CResult<()> {
+        let k = slots.len() as i64;
+        if k >= self.maxd() - 12 {
+            return Err(CodegenError::FrameTooLarge {
+                func: self.f.name.clone(),
+                live: slots.len(),
+                max_distance: self.opts.max_distance,
+            });
+        }
+        // Pre-pass: make every source producible in one instruction.
+        for round in 0..16 {
+            let len_before = self.items.len();
+            let mut emitted = false;
+            for (_, src) in slots {
+                match *src {
+                    ResolvedSrc::RetAddr => {
+                        let t = Tracked::RetAddr;
+                        if let Some(&p) = self.st.pos.get(&t) {
+                            if self.st.cur + k - p > self.maxd() - 2 {
+                                self.relay(t)?;
+                                emitted = true;
+                            }
+                        } else if self.st.spilled.contains(&t) {
+                            // LD in slot needs the frame base close.
+                            if self.fb_needs_refresh(k) {
+                                self.ensure_fb(k + 4)?;
+                                emitted = true;
+                            }
+                        } else {
+                            return internal("return address neither tracked nor spilled");
+                        }
+                    }
+                    ResolvedSrc::Val(u) => {
+                        if self.is_zero_const(u) {
+                            continue;
+                        }
+                        if self.sink_set.contains(&u) {
+                            // Operands of the sunk producer must be close.
+                            let ops = self.operands_of(u);
+                            for op in ops {
+                                if self.is_zero_const(op) {
+                                    continue;
+                                }
+                                self.ensure_val(op, 4)?;
+                                if let Some(&p) = self.st.pos.get(&Tracked::Val(op)) {
+                                    if self.st.cur + k - p > self.maxd() - 2 {
+                                        self.relay(Tracked::Val(op))?;
+                                        emitted = true;
+                                    }
+                                }
+                            }
+                            if matches!(self.f.inst(u), InstData::SlotAddr(_)) && self.fb_needs_refresh(k) {
+                                self.ensure_fb(k + 4)?;
+                                emitted = true;
+                            }
+                            continue;
+                        }
+                        let t = Tracked::Val(u);
+                        if let Some(&p) = self.st.pos.get(&t) {
+                            if self.st.cur + k - p > self.maxd() - 2 {
+                                self.relay(t)?;
+                                emitted = true;
+                            }
+                        } else if self.st.spilled.contains(&t) {
+                            if self.fb_needs_refresh(k) {
+                                self.ensure_fb(k + 4)?;
+                                emitted = true;
+                            }
+                        } else if let InstData::Const(c) = self.f.inst(u) {
+                            if !(-32768..=32767).contains(c) {
+                                self.materialize_const(u, *c)?;
+                                emitted = true;
+                            }
+                        } else if self.is_rematerializable(u) {
+                            self.ensure_val(u, k + 4)?;
+                            emitted = true;
+                        } else {
+                            return internal(format!("slot source {u} unavailable in {}", self.f.name));
+                        }
+                    }
+                }
+            }
+            emitted = emitted || self.items.len() != len_before;
+            if !emitted {
+                break;
+            }
+            if round == 15 {
+                return internal("slot pre-pass did not converge");
+            }
+        }
+        // Snapshot and emit exactly one instruction per slot.
+        let maxd = self.maxd();
+        let snap_cur = self.st.cur;
+        let snap_pos = self.st.pos.clone();
+        let dist_from = move |pos_map: &HashMap<Tracked, i64>, t: Tracked, at: i64| -> CResult<Dist> {
+            let p = pos_map
+                .get(&t)
+                .copied()
+                .ok_or_else(|| CodegenError::Internal(format!("snapshot missing {t:?}")))?;
+            let d = at - p;
+            if d < 1 || d > maxd {
+                return internal(format!("slot distance {d} out of range"));
+            }
+            Ok(Dist::of(d as u32))
+        };
+        let mut updates: Vec<(SlotKey, i64)> = Vec::new();
+        for (i, (key, src)) in slots.iter().enumerate() {
+            let at = snap_cur + i as i64;
+            debug_assert_eq!(at, self.st.cur);
+            match *src {
+                ResolvedSrc::RetAddr => {
+                    let t = Tracked::RetAddr;
+                    if snap_pos.contains_key(&t) {
+                        let d = dist_from(&snap_pos, t, at)?;
+                        self.push(Inst::Rmov { s: d });
+                    } else {
+                        let off = self.spill_off[&t];
+                        let dfb = dist_from(&snap_pos, Tracked::FrameBase, at)?;
+                        self.push(Inst::Ld { width: MemWidth::W, addr: dfb, offset: off as i16 });
+                    }
+                }
+                ResolvedSrc::Val(u) => {
+                    if self.is_zero_const(u) {
+                        self.push(Inst::Rmov { s: Dist::ZERO });
+                    } else if self.sink_set.contains(&u) {
+                        self.emit_sunk_single(u, &snap_pos, at)?;
+                        updates.push((SlotKey::Tracked(Tracked::Val(u)), at));
+                    } else if snap_pos.contains_key(&Tracked::Val(u)) {
+                        let d = dist_from(&snap_pos, Tracked::Val(u), at)?;
+                        self.push(Inst::Rmov { s: d });
+                    } else if self.st.spilled.contains(&Tracked::Val(u)) {
+                        let off = self.spill_off[&Tracked::Val(u)];
+                        let dfb = dist_from(&snap_pos, Tracked::FrameBase, at)?;
+                        self.push(Inst::Ld { width: MemWidth::W, addr: dfb, offset: off as i16 });
+                    } else if let InstData::Const(c) = self.f.inst(u) {
+                        self.push(Inst::AluImm { op: AluImmOp::Addi, s1: Dist::ZERO, imm: *c as i16 });
+                    } else {
+                        return internal(format!("slot {u} not producible"));
+                    }
+                }
+            }
+            updates.push((*key, at));
+        }
+        for (key, p) in updates {
+            match key {
+                SlotKey::Tracked(t) => {
+                    self.st.pos.insert(t, p);
+                }
+                SlotKey::ArgCopy => {}
+            }
+        }
+        for (_, src) in slots {
+            if let ResolvedSrc::Val(u) = src {
+                self.sink_set.remove(u);
+            }
+        }
+        Ok(())
+    }
+
+    fn fb_needs_refresh(&self, k: i64) -> bool {
+        match self.st.pos.get(&Tracked::FrameBase) {
+            Some(&p) => self.st.cur + k - p > self.maxd() - 2,
+            None => true,
+        }
+    }
+
+    fn operands_of(&self, v: Value) -> Vec<Value> {
+        let mut ops = Vec::new();
+        self.f.inst(v).for_each_operand(|o| ops.push(o));
+        ops
+    }
+
+    /// Emits the (single) real producer instruction for a sunk value,
+    /// reading operands via snapshot positions.
+    fn emit_sunk_single(&mut self, u: Value, snap: &HashMap<Tracked, i64>, at: i64) -> CResult<()> {
+        let maxd = self.maxd();
+        let sdist = |t: Tracked| -> CResult<Dist> {
+            let p = snap
+                .get(&t)
+                .copied()
+                .ok_or_else(|| CodegenError::Internal(format!("sunk operand {t:?} missing")))?;
+            let d = at - p;
+            if d < 1 || d > maxd {
+                return internal(format!("sunk operand distance {d} out of range"));
+            }
+            Ok(Dist::of(d as u32))
+        };
+        let inst = match self.f.inst(u).clone() {
+            InstData::Bin { op, a, b } => {
+                let plan = self
+                    .bin_single_plan(op, a, b)
+                    .ok_or_else(|| CodegenError::Internal("sunk value lost its single plan".into()))?;
+                let vdist = |v: Value| -> CResult<Dist> {
+                    if matches!(self.f.inst(v), InstData::Const(0)) {
+                        Ok(Dist::ZERO)
+                    } else {
+                        sdist(Tracked::Val(v))
+                    }
+                };
+                match plan {
+                    BinPlan::Imm { op, a, imm } => Inst::AluImm { op, s1: vdist(a)?, imm },
+                    BinPlan::Reg { op, a, b } => Inst::Alu { op, s1: vdist(a)?, s2: vdist(b)? },
+                }
+            }
+            InstData::SlotAddr(s) => {
+                let dfb = sdist(Tracked::FrameBase)?;
+                let off = self.f.slot_offset(s);
+                Inst::AluImm { op: AluImmOp::Addi, s1: dfb, imm: off as i16 }
+            }
+            other => return internal(format!("cannot sink {other:?}")),
+        };
+        self.push(inst);
+        Ok(())
+    }
+
+    /// Entry state of a merge block, defined purely by its frame: the
+    /// last `k + 1` dynamic instructions before the block were the `k`
+    /// slot producers plus one control instruction.
+    fn merge_entry_state(&mut self, b: Block) -> CResult<PathState> {
+        let frame = self
+            .info
+            .frames
+            .get(&b)
+            .cloned()
+            .ok_or_else(|| CodegenError::Internal(format!("no in-state and no frame for {b}")))?;
+        let k = frame.len() as i64;
+        let cur = self.vhigh + 16;
+        self.vhigh = cur;
+        let mut pos = HashMap::new();
+        for (i, slot) in frame.iter().enumerate() {
+            let p = cur - (k - i as i64 + 1);
+            match slot {
+                SlotSrc::RetAddr => pos.insert(Tracked::RetAddr, p),
+                SlotSrc::Val(v) => pos.insert(Tracked::Val(*v), p),
+            };
+        }
+        let mut spilled: HashSet<Tracked> = self.merge_spills.get(&b).cloned().unwrap_or_default();
+        if self.prologue_spilled_retaddr {
+            spilled.insert(Tracked::RetAddr);
+        }
+        if let Some(res) = self.info.stack_resident.get(&b) {
+            for &v in res {
+                spilled.insert(Tracked::Val(v));
+            }
+        }
+        Ok(PathState { cur, pos, spilled })
+    }
+
+    // ---------------------------------------------------------------
+    // Terminators.
+
+    fn next_in_layout(&self, b: Block, t: Block) -> bool {
+        self.order_idx.get(&b).and_then(|i| self.order.get(i + 1)) == Some(&t)
+    }
+
+    fn emit_terminator(&mut self, b: Block, _idx: usize) -> CResult<()> {
+        match self.f.block(b).term.clone() {
+            Terminator::Br(t) => {
+                if let Some(frame) = self.info.frames.get(&t).cloned() {
+                    // Spill values that become stack-resident in the
+                    // target region (loop entry edges).
+                    if let Some(res) = self.info.stack_resident.get(&t).cloned() {
+                        let mut vs: Vec<Value> = res
+                            .into_iter()
+                            .filter(|v| self.live.live_out(b).contains(v))
+                            .collect();
+                        vs.sort_unstable();
+                        for v in vs {
+                            if self.is_zero_const(v) || self.is_rematerializable(v) {
+                                continue;
+                            }
+                            if !self.st.spilled.contains(&Tracked::Val(v)) {
+                                self.ensure_val(v, 8)?;
+                                self.spill(Tracked::Val(v))?;
+                                self.age_sweep()?;
+                            }
+                        }
+                    }
+                    let slots = self.resolve_slots(b, t, &frame)?;
+                    self.emit_slot_sequence(&slots)?;
+                    // Record the spill facts this edge provides; the
+                    // merge keeps the intersection over its edges.
+                    match self.merge_spills.entry(t) {
+                        std::collections::hash_map::Entry::Occupied(mut o) => {
+                            let inter: HashSet<Tracked> =
+                                o.get().intersection(&self.st.spilled).copied().collect();
+                            *o.get_mut() = inter;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(self.st.spilled.clone());
+                        }
+                    }
+                    // Exactly one trailing control instruction.
+                    if self.next_in_layout(b, t) {
+                        self.push(Inst::Nop);
+                    } else {
+                        self.push_reloc(Inst::J { offset: 0 }, Some(SReloc::BranchTo(Self::label_name(t))));
+                    }
+                } else {
+                    // Single-predecessor target: pass the state along.
+                    if !self.next_in_layout(b, t) {
+                        self.push_reloc(Inst::J { offset: 0 }, Some(SReloc::BranchTo(Self::label_name(t))));
+                    }
+                    self.in_states.insert(t, self.st.clone());
+                }
+                Ok(())
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let d = self.read1(cond)?;
+                // After critical-edge splitting both successors have a
+                // single predecessor: no shuffles on these edges.
+                if self.next_in_layout(b, else_bb) {
+                    self.push_reloc(
+                        Inst::Bnz { s: d, offset: 0 },
+                        Some(SReloc::BranchTo(Self::label_name(then_bb))),
+                    );
+                    self.in_states.insert(then_bb, self.st.clone());
+                    self.in_states.insert(else_bb, self.st.clone());
+                } else if self.next_in_layout(b, then_bb) {
+                    self.push_reloc(
+                        Inst::Bez { s: d, offset: 0 },
+                        Some(SReloc::BranchTo(Self::label_name(else_bb))),
+                    );
+                    self.in_states.insert(then_bb, self.st.clone());
+                    self.in_states.insert(else_bb, self.st.clone());
+                } else {
+                    self.push_reloc(
+                        Inst::Bez { s: d, offset: 0 },
+                        Some(SReloc::BranchTo(Self::label_name(else_bb))),
+                    );
+                    // Taken path sees only the BEZ.
+                    self.in_states.insert(else_bb, self.st.clone());
+                    self.push_reloc(Inst::J { offset: 0 }, Some(SReloc::BranchTo(Self::label_name(then_bb))));
+                    self.in_states.insert(then_bb, self.st.clone());
+                }
+                Ok(())
+            }
+            Terminator::Ret(v) => {
+                // Return address first (may need the frame).
+                if self.st.pos.get(&Tracked::RetAddr).is_none() {
+                    if self.st.spilled.contains(&Tracked::RetAddr) {
+                        self.reload(Tracked::RetAddr)?;
+                    } else {
+                        return internal("return address lost at epilogue");
+                    }
+                }
+                if let Some(v) = v {
+                    if !self.is_zero_const(v) {
+                        self.ensure_val(v, 6)?;
+                    }
+                    self.consume_use(v);
+                }
+                // Restore SP.
+                if !self.skip_frame {
+                    let idx = self.items.len();
+                    self.push(Inst::SpAdd { imm: 0 });
+                    self.spadd_fixups.push((idx, 1));
+                }
+                // retval0 immediately before JR.
+                if self.f.returns_value {
+                    let d = match v {
+                        Some(v) if !self.is_zero_const(v) => self.dist_to(Tracked::Val(v))?,
+                        _ => Dist::ZERO,
+                    };
+                    self.push(Inst::Rmov { s: d });
+                }
+                let dra = self.dist_to(Tracked::RetAddr)?;
+                self.push(Inst::Jr { s: dra });
+                Ok(())
+            }
+            Terminator::Unreachable => internal("unreachable terminator survived to codegen"),
+        }
+    }
+}
+
+/// How a slot's new producer position is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKey {
+    /// A frame member: refresh this tracked position.
+    Tracked(Tracked),
+    /// A call argument: the copy is consumed by the callee, nothing to
+    /// track.
+    ArgCopy,
+}
+
+/// Where a slot's value comes from on the current edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolvedSrc {
+    Val(Value),
+    RetAddr,
+}
+
+/// A single-instruction plan for a binary operation.
+#[derive(Debug, Clone, Copy)]
+enum BinPlan {
+    Imm { op: AluImmOp, a: Value, imm: i16 },
+    Reg { op: AluOp, a: Value, b: Value },
+}
+

@@ -1,0 +1,67 @@
+//! The STRAIGHT back-end (Section IV of the paper).
+
+mod emit;
+mod frames;
+
+use straight_asm::{DataItem, SProgram};
+use straight_ir::{passes, Module};
+
+use crate::CodegenError;
+
+/// Options controlling STRAIGHT code generation.
+#[derive(Debug, Clone)]
+pub struct StraightOptions {
+    /// Maximum source-operand distance the generated code may use.
+    /// The paper's ISA allows 1023; the evaluated models use 31
+    /// (Section V-A) and Section VI-B studies the sensitivity.
+    pub max_distance: u16,
+    /// Enables the RE+ redundancy elimination of Section IV-D
+    /// (producer rearrangement + stack storage of loop-live-through
+    /// values). Off = the `RAW` basic algorithm.
+    pub redundancy_elimination: bool,
+}
+
+impl Default for StraightOptions {
+    fn default() -> StraightOptions {
+        StraightOptions { max_distance: 1023, redundancy_elimination: true }
+    }
+}
+
+impl StraightOptions {
+    /// The basic algorithm of Sections IV-A..IV-C (`STRAIGHT RAW` in
+    /// the evaluation).
+    #[must_use]
+    pub fn raw() -> StraightOptions {
+        StraightOptions { redundancy_elimination: false, ..StraightOptions::default() }
+    }
+
+    /// RAW/RE+ with a specific distance bound.
+    #[must_use]
+    pub fn with_max_distance(mut self, d: u16) -> StraightOptions {
+        self.max_distance = d;
+        self
+    }
+}
+
+/// Compiles an IR module to a linkable STRAIGHT program.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] when a merge point carries more live
+/// values than the distance bound can express, or on internal
+/// invariant violations.
+pub fn compile_straight(module: &Module, opts: &StraightOptions) -> Result<SProgram, CodegenError> {
+    let mut module = module.clone();
+    for f in &mut module.funcs {
+        passes::split_critical_edges(f);
+    }
+    let mut prog = SProgram::default();
+    for g in &module.globals {
+        prog.data.push(DataItem { name: g.name.clone(), size: g.size, align: g.align, init: g.init.clone() });
+    }
+    for f in &module.funcs {
+        let sfunc = emit::FnEmitter::compile(f, &module, opts)?;
+        prog.funcs.push(sfunc);
+    }
+    Ok(prog)
+}

@@ -1,0 +1,261 @@
+//! Drivers for the paper's experiments: one function per table/figure.
+//!
+//! Each returns plain data; the `straight-bench` binaries print them
+//! in the paper's format and EXPERIMENTS.md records the outcomes.
+
+use std::collections::BTreeMap;
+
+use straight_power::{figure17, Figure17Row};
+use straight_sim::emu::StraightEmu;
+use straight_sim::pipeline::{MachineConfig, SimStats};
+use straight_workloads::{coremark, dhrystone};
+
+use crate::{build, machines, run_on, Target};
+
+/// Cycle budget for experiment runs.
+pub const MAX_CYCLES: u64 = 20_000_000_000;
+
+/// The Table-I distance limit used by the evaluated models.
+pub const EVAL_MAX_DISTANCE: u16 = 31;
+
+/// One bar of a performance figure.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Bar label ("SS", "STRAIGHT(RAW)", "STRAIGHT(RE+)").
+    pub label: String,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Performance relative to the figure's baseline (1/cycles,
+    /// normalized).
+    pub relative: f64,
+}
+
+/// One workload's bar group.
+#[derive(Debug, Clone)]
+pub struct PerfGroup {
+    /// Workload name.
+    pub workload: String,
+    /// Bars, baseline first.
+    pub rows: Vec<PerfRow>,
+}
+
+fn straight_cfg(base: MachineConfig) -> MachineConfig {
+    base
+}
+
+/// Runs one workload on SS / STRAIGHT-RAW / STRAIGHT-RE+ with the
+/// given machine pair, producing a Figure 11/12-style bar group.
+fn perf_group(
+    workload: &str,
+    src: &str,
+    ss_cfg: MachineConfig,
+    st_cfg: MachineConfig,
+) -> PerfGroup {
+    let ss = run_on(&build(src, Target::Riscv).expect("riscv build"), ss_cfg, MAX_CYCLES);
+    let raw = run_on(
+        &build(src, Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE }).expect("raw build"),
+        straight_cfg(st_cfg.clone()),
+        MAX_CYCLES,
+    );
+    let re = run_on(
+        &build(src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("re+ build"),
+        straight_cfg(st_cfg),
+        MAX_CYCLES,
+    );
+    assert_eq!(ss.stdout, raw.stdout, "{workload}: RAW functional mismatch");
+    assert_eq!(ss.stdout, re.stdout, "{workload}: RE+ functional mismatch");
+    let base = ss.stats.cycles as f64;
+    let mk = |label: &str, r: &straight_sim::pipeline::SimResult| PerfRow {
+        label: label.to_string(),
+        cycles: r.stats.cycles,
+        retired: r.stats.retired,
+        relative: base / r.stats.cycles as f64,
+    };
+    PerfGroup {
+        workload: workload.to_string(),
+        rows: vec![mk("SS", &ss), mk("STRAIGHT(RAW)", &raw), mk("STRAIGHT(RE+)", &re)],
+    }
+}
+
+/// Figure 11: 4-way relative performance on Dhrystone and CoreMark.
+#[must_use]
+pub fn fig11(dhry_iters: u32, cm_iters: u32) -> Vec<PerfGroup> {
+    vec![
+        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_4way(), machines::straight_4way()),
+        perf_group("Coremark", &coremark(cm_iters), machines::ss_4way(), machines::straight_4way()),
+    ]
+}
+
+/// Figure 12: the same comparison on the 2-way models.
+#[must_use]
+pub fn fig12(dhry_iters: u32, cm_iters: u32) -> Vec<PerfGroup> {
+    vec![
+        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_2way(), machines::straight_2way()),
+        perf_group("Coremark", &coremark(cm_iters), machines::ss_2way(), machines::straight_2way()),
+    ]
+}
+
+/// Figure 13: the effect of the misprediction penalty — SS, SS with
+/// an idealized (zero) penalty, and STRAIGHT RE+, for both scales on
+/// CoreMark, normalized to SS-2way.
+#[must_use]
+pub fn fig13(cm_iters: u32) -> Vec<PerfGroup> {
+    let src = coremark(cm_iters);
+    let rv = build(&src, Target::Riscv).expect("riscv build");
+    let st = build(&src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("re+ build");
+    let base = run_on(&rv, machines::ss_2way(), MAX_CYCLES).stats.cycles as f64;
+    let mut out = Vec::new();
+    for (scale, ss_cfg, st_cfg) in [
+        ("2-way", machines::ss_2way(), machines::straight_2way()),
+        ("4-way", machines::ss_4way(), machines::straight_4way()),
+    ] {
+        let ss = run_on(&rv, ss_cfg.clone(), MAX_CYCLES);
+        let nop = run_on(&rv, ss_cfg.with_ideal_recovery(), MAX_CYCLES);
+        let re = run_on(&st, st_cfg, MAX_CYCLES);
+        let mk = |label: &str, r: &straight_sim::pipeline::SimResult| PerfRow {
+            label: label.to_string(),
+            cycles: r.stats.cycles,
+            retired: r.stats.retired,
+            relative: base / r.stats.cycles as f64,
+        };
+        out.push(PerfGroup {
+            workload: scale.to_string(),
+            rows: vec![mk("SS", &ss), mk("SS no penalty", &nop), mk("STRAIGHT(RE+)", &re)],
+        });
+    }
+    out
+}
+
+/// Figure 14: Figure 11/12's CoreMark comparison with the TAGE
+/// predictor instead of gshare.
+#[must_use]
+pub fn fig14(cm_iters: u32) -> Vec<PerfGroup> {
+    let src = coremark(cm_iters);
+    vec![
+        perf_group(
+            "Coremark 2-way",
+            &src,
+            machines::ss_2way().with_tage(),
+            machines::straight_2way().with_tage(),
+        ),
+        perf_group(
+            "Coremark 4-way",
+            &src,
+            machines::ss_4way().with_tage(),
+            machines::straight_4way().with_tage(),
+        ),
+    ]
+}
+
+/// One bar of the retired-instruction-mix figure.
+#[derive(Debug, Clone)]
+pub struct MixRow {
+    /// Bar label.
+    pub label: String,
+    /// Retired count per category.
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Total retired.
+    pub total: u64,
+}
+
+/// Figure 15: retired-instruction mix on CoreMark for SS, STRAIGHT
+/// RAW, and STRAIGHT RE+, in emulator (architectural) terms.
+#[must_use]
+pub fn fig15(cm_iters: u32) -> Vec<MixRow> {
+    let src = coremark(cm_iters);
+    let mut rows = Vec::new();
+    for (label, target) in [
+        ("SS", Target::Riscv),
+        ("STRAIGHT(RAW)", Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE }),
+        ("STRAIGHT(RE+)", Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }),
+    ] {
+        let image = build(&src, target).expect("build");
+        let result = match target {
+            Target::Riscv => straight_sim::emu::RiscvEmu::new(image).run(u64::MAX),
+            _ => StraightEmu::new(image).run(u64::MAX),
+        };
+        assert!(result.exit_code().is_some(), "{label} did not finish");
+        rows.push(MixRow { label: label.to_string(), total: result.stats.retired, kinds: result.stats.kinds });
+    }
+    rows
+}
+
+/// Figure 16 data: cumulative source-distance fraction per workload,
+/// measured on code compiled with the uppermost limit (1023).
+#[derive(Debug, Clone)]
+pub struct DistanceProfile {
+    /// Workload name.
+    pub workload: String,
+    /// Cumulative fraction at distances 1, 2, 4, ..., 1024.
+    pub cumulative: Vec<(u32, f64)>,
+    /// Largest distance observed in the generated code.
+    pub max_used: usize,
+}
+
+/// Figure 16: source-operand distance distribution.
+#[must_use]
+pub fn fig16(dhry_iters: u32, cm_iters: u32) -> Vec<DistanceProfile> {
+    let mut out = Vec::new();
+    for (name, src) in [("Dhrystone", dhrystone(dhry_iters)), ("Coremark", coremark(cm_iters))] {
+        let image = build(&src, Target::StraightRePlus { max_distance: 1023 }).expect("build");
+        let mut emu = StraightEmu::new(image);
+        emu.profile_distances = true;
+        let r = emu.run(u64::MAX);
+        assert!(r.exit_code().is_some());
+        let cumulative = (0..=10)
+            .map(|k| {
+                let d = 1u32 << k;
+                (d, r.stats.cumulative_fraction(d as usize))
+            })
+            .collect();
+        out.push(DistanceProfile {
+            workload: name.to_string(),
+            cumulative,
+            max_used: r.stats.max_distance_used(),
+        });
+    }
+    out
+}
+
+/// Figure 17: relative per-module power of the 2-way models at
+/// several clock frequencies (see `straight-power` for the model).
+#[must_use]
+pub fn fig17(dhry_iters: u32) -> Vec<Figure17Row> {
+    let src = dhrystone(dhry_iters);
+    let ss = run_on(&build(&src, Target::Riscv).expect("build"), machines::ss_2way(), MAX_CYCLES);
+    let st = run_on(
+        &build(&src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("build"),
+        machines::straight_2way(),
+        MAX_CYCLES,
+    );
+    figure17(&ss.stats, &st.stats, &[1.0, 2.5, 4.0])
+}
+
+/// §VI-B sensitivity: CoreMark cycles at several ISA distance limits
+/// (the paper reports ≈1 % degradation going from 1023 to 31).
+#[must_use]
+pub fn sensitivity(cm_iters: u32, dists: &[u16]) -> Vec<(u16, u64)> {
+    let src = coremark(cm_iters);
+    dists
+        .iter()
+        .map(|&d| {
+            // The machine must provision MAX_RP = distance + ROB.
+            let mut cfg = machines::straight_4way();
+            cfg.max_distance = u32::from(d);
+            cfg.phys_regs = cfg.phys_regs.max(u32::from(d) + cfg.rob_capacity);
+            let image = build(&src, Target::StraightRePlus { max_distance: d }).expect("build");
+            let r = run_on(&image, cfg, MAX_CYCLES);
+            assert!(r.exit_code.is_some());
+            (d, r.stats.cycles)
+        })
+        .collect()
+}
+
+/// Raw access to a run's statistics for custom analyses.
+#[must_use]
+pub fn stats_for(src: &str, target: Target, cfg: MachineConfig) -> SimStats {
+    let image = build(src, target).expect("build");
+    run_on(&image, cfg, MAX_CYCLES).stats
+}

@@ -1,0 +1,128 @@
+//! Plain-text rendering of experiment results, in the shape of the
+//! paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{DistanceProfile, MixRow, PerfGroup};
+use straight_power::Figure17Row;
+
+/// Renders a performance-bar figure (Figures 11–14).
+#[must_use]
+pub fn render_perf(title: &str, groups: &[PerfGroup]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    for g in groups {
+        let _ = writeln!(out, "[{}]", g.workload);
+        for r in &g.rows {
+            let bar_len = (r.relative * 40.0).round().clamp(0.0, 78.0) as usize;
+            let _ = writeln!(
+                out,
+                "  {:<16} rel={:+.3}  cycles={:>12}  retired={:>12}  {}",
+                r.label,
+                r.relative,
+                r.cycles,
+                r.retired,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+    out
+}
+
+/// Renders the retired-mix figure (Figure 15), normalized to the
+/// first row's total.
+#[must_use]
+pub fn render_mix(rows: &[MixRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 15: retired instruction mix (normalized to SS) ==");
+    let base = rows.first().map(|r| r.total).unwrap_or(1) as f64;
+    let cats = ["jump+branch", "alu", "ld", "st", "rmov", "nop", "other"];
+    let _ = write!(out, "  {:<16}", "");
+    for c in cats {
+        let _ = write!(out, "{c:>13}");
+    }
+    let _ = writeln!(out, "{:>13}", "TOTAL");
+    for r in rows {
+        let _ = write!(out, "  {:<16}", r.label);
+        for c in cats {
+            let v = r.kinds.get(c).copied().unwrap_or(0) as f64 / base;
+            let _ = write!(out, "{v:>13.3}");
+        }
+        let _ = writeln!(out, "{:>13.3}", r.total as f64 / base);
+    }
+    out
+}
+
+/// Renders the distance-distribution figure (Figure 16).
+#[must_use]
+pub fn render_distances(profiles: &[DistanceProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 16: cumulative fraction of source distances ==");
+    for p in profiles {
+        let _ = writeln!(out, "[{}] (max distance used: {})", p.workload, p.max_used);
+        for (d, f) in &p.cumulative {
+            let _ = writeln!(out, "  <= {d:>5}: {:>6.1} %  {}", f * 100.0, "#".repeat((f * 50.0) as usize));
+        }
+    }
+    out
+}
+
+/// Renders the power figure (Figure 17).
+#[must_use]
+pub fn render_power(rows: &[Figure17Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 17: relative power (normalized to SS at 1.0x, per module) ==");
+    let _ = writeln!(
+        out,
+        "  {:<8}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}",
+        "freq", "SS rename", "ST rename", "SS regfile", "ST regfile", "SS other", "ST other"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<8.1}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>14.3}",
+            r.freq, r.ss.rename, r.straight.rename, r.ss.regfile, r.straight.regfile, r.ss.other, r.straight.other
+        );
+    }
+    out
+}
+
+/// Renders the sensitivity table (§VI-B).
+#[must_use]
+pub fn render_sensitivity(rows: &[(u16, u64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Sensitivity: max source distance vs CoreMark cycles ==");
+    let base = rows.iter().map(|&(_, c)| c).min().unwrap_or(1) as f64;
+    for &(d, cycles) in rows {
+        let _ = writeln!(out, "  max_distance={d:>5}: {cycles:>12} cycles ({:+.2} %)", (cycles as f64 / base - 1.0) * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PerfRow;
+
+    #[test]
+    fn perf_rendering_contains_rows() {
+        let g = vec![PerfGroup {
+            workload: "Toy".into(),
+            rows: vec![
+                PerfRow { label: "SS".into(), cycles: 100, retired: 80, relative: 1.0 },
+                PerfRow { label: "STRAIGHT(RE+)".into(), cycles: 84, retired: 90, relative: 1.19 },
+            ],
+        }];
+        let s = render_perf("Figure X", &g);
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("STRAIGHT(RE+)"));
+        assert!(s.contains("rel=+1.190"));
+    }
+
+    #[test]
+    fn sensitivity_rendering() {
+        let s = render_sensitivity(&[(1023, 1000), (31, 1010)]);
+        assert!(s.contains("max_distance= 1023"));
+        assert!(s.contains("+1.00 %"));
+    }
+}

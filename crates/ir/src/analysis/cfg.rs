@@ -1,0 +1,123 @@
+use crate::{Block, Function};
+
+/// Control-flow graph: predecessor/successor lists and orderings.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<Block>>,
+    succs: Vec<Vec<Block>>,
+    rpo: Vec<Block>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    #[must_use]
+    pub fn compute(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Reverse postorder from the entry (unreachable blocks are
+        // excluded; passes remove them before codegen).
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        // Iterative DFS carrying an explicit successor cursor.
+        let entry = func.entry();
+        let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+            if *cursor < succs[b.index()].len() {
+                let s = succs[b.index()][*cursor];
+                *cursor += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        Cfg { preds, succs, rpo: postorder }
+    }
+
+    /// Predecessors of `b` (in terminator order, duplicates possible
+    /// for two-armed branches to the same target).
+    #[must_use]
+    pub fn preds(&self, b: Block) -> &[Block] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    #[must_use]
+    pub fn succs(&self, b: Block) -> &[Block] {
+        &self.succs[b.index()]
+    }
+
+    /// Reachable blocks in reverse postorder (entry first).
+    #[must_use]
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// True if `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: Block) -> bool {
+        self.rpo.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Function, Terminator, Value};
+
+    fn diamond() -> Function {
+        let mut f = Function::new("d", 0, false);
+        let b1 = f.create_block();
+        let b2 = f.create_block();
+        let b3 = f.create_block();
+        let c = f.push_inst(f.entry(), crate::InstData::Const(1));
+        f.block_mut(f.entry()).term = Terminator::CondBr { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).term = Terminator::Br(b3);
+        f.block_mut(b2).term = Terminator::Br(b3);
+        f.block_mut(b3).term = Terminator::Ret(None);
+        f
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(Block::new(0)), &[Block::new(1), Block::new(2)]);
+        assert_eq!(cfg.preds(Block::new(3)), &[Block::new(1), Block::new(2)]);
+        assert_eq!(cfg.rpo().first(), Some(&Block::new(0)));
+        assert_eq!(cfg.rpo().last(), Some(&Block::new(3)));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_excluded_from_rpo() {
+        let mut f = diamond();
+        let dead = f.create_block();
+        f.block_mut(dead).term = Terminator::Ret(None);
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn rpo_places_preds_before_succs_in_dags() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let pos = |b: Block| cfg.rpo().iter().position(|x| *x == b).unwrap();
+        assert!(pos(Block::new(0)) < pos(Block::new(1)));
+        assert!(pos(Block::new(1)) < pos(Block::new(3)));
+        let _ = Value::new(0);
+    }
+}

@@ -1,0 +1,137 @@
+use std::collections::HashSet;
+
+use crate::{
+    analysis::{Cfg, Dominators},
+    Block, Function,
+};
+
+/// A natural loop: a header plus the set of blocks that can reach a
+/// back edge without leaving the header's dominance region.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: Block,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<Block>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<Block>,
+}
+
+impl Loop {
+    /// True if `b` belongs to the loop.
+    #[must_use]
+    pub fn contains(&self, b: Block) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function. Back edges sharing a header are
+/// merged into one loop, as usual.
+#[derive(Debug, Clone)]
+pub struct Loops {
+    /// Detected loops, ordered by header block id.
+    pub loops: Vec<Loop>,
+}
+
+impl Loops {
+    /// Detects natural loops from back edges (`latch -> header` where
+    /// the header dominates the latch).
+    #[must_use]
+    pub fn compute(_func: &Function, cfg: &Cfg, dom: &Dominators) -> Loops {
+        let mut loops: Vec<Loop> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    // Back edge b -> s.
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                        l.latches.push(b);
+                        extend_loop_body(cfg, s, b, &mut l.blocks);
+                    } else {
+                        let mut blocks = HashSet::new();
+                        blocks.insert(s);
+                        extend_loop_body(cfg, s, b, &mut blocks);
+                        loops.push(Loop { header: s, blocks, latches: vec![b] });
+                    }
+                }
+            }
+        }
+        loops.sort_by_key(|l| l.header);
+        Loops { loops }
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body).
+    #[must_use]
+    pub fn innermost_containing(&self, b: Block) -> Option<&Loop> {
+        self.loops.iter().filter(|l| l.contains(b)).min_by_key(|l| l.blocks.len())
+    }
+
+    /// True when `b` is inside any loop.
+    #[must_use]
+    pub fn in_any_loop(&self, b: Block) -> bool {
+        self.loops.iter().any(|l| l.contains(b))
+    }
+}
+
+/// Walks predecessors from `latch` until the `header`, inserting every
+/// visited block into `body`.
+fn extend_loop_body(cfg: &Cfg, header: Block, latch: Block, body: &mut HashSet<Block>) {
+    body.insert(header);
+    if body.contains(&latch) {
+        return;
+    }
+    let mut stack = vec![latch];
+    body.insert(latch);
+    while let Some(b) = stack.pop() {
+        for &p in cfg.preds(b) {
+            if body.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstData, Terminator};
+
+    /// entry -> h; h -> b -> h; h -> exit; and a nested inner loop
+    /// b -> b2 -> b.
+    #[test]
+    fn nested_loops_detected() {
+        let mut f = Function::new("n", 0, false);
+        let h = f.create_block();
+        let b = f.create_block();
+        let b2 = f.create_block();
+        let exit = f.create_block();
+        let c = f.push_inst(h, InstData::Const(1));
+        let c2 = f.push_inst(b, InstData::Const(1));
+        f.block_mut(f.entry()).term = Terminator::Br(h);
+        f.block_mut(h).term = Terminator::CondBr { cond: c, then_bb: b, else_bb: exit };
+        f.block_mut(b).term = Terminator::CondBr { cond: c2, then_bb: b2, else_bb: h };
+        f.block_mut(b2).term = Terminator::Br(b);
+        f.block_mut(exit).term = Terminator::Ret(None);
+
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let loops = Loops::compute(&f, &cfg, &dom);
+        assert_eq!(loops.loops.len(), 2);
+        let outer = loops.loops.iter().find(|l| l.header == h).unwrap();
+        let inner = loops.loops.iter().find(|l| l.header == b).unwrap();
+        assert!(outer.contains(b) && outer.contains(b2));
+        assert!(inner.contains(b2) && !inner.contains(h));
+        assert_eq!(loops.innermost_containing(b2).unwrap().header, b);
+        assert!(loops.in_any_loop(h));
+        assert!(!loops.in_any_loop(exit));
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let mut f = Function::new("a", 0, false);
+        f.block_mut(f.entry()).term = Terminator::Ret(None);
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let loops = Loops::compute(&f, &cfg, &dom);
+        assert!(loops.loops.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Analyses over IR functions: CFG utilities, dominators, liveness,
+//! and natural-loop detection.
+//!
+//! These are exactly the analyses the paper's compilation algorithm
+//! needs: liveness drives distance fixing at merging flows (Section
+//! IV-C2) and loop information drives the RE+ stack-spilling
+//! optimization (Section IV-D).
+
+mod cfg;
+mod dom;
+mod liveness;
+mod loops;
+
+pub use cfg::Cfg;
+pub use dom::Dominators;
+pub use liveness::Liveness;
+pub use loops::{Loop, Loops};

@@ -1,0 +1,346 @@
+//! SSA construction using the on-the-fly algorithm of Braun et al.
+//! ("Simple and Efficient Construction of Static Single Assignment
+//! Form", CC 2013) — the same SSA discipline LLVM IR gives the paper's
+//! compiler.
+//!
+//! The front-end declares variables, assigns them with
+//! [`FunctionBuilder::def_var`], and reads them with
+//! [`FunctionBuilder::use_var`]; phis are created lazily at join
+//! points and trivial phis are degraded to [`InstData::Copy`] aliases
+//! that `passes::resolve_aliases` later folds away.
+
+use std::collections::HashMap;
+
+use crate::{Block, Function, InstData, Terminator, Value};
+
+/// A front-end variable handle (pre-SSA "variable" that may be
+/// assigned many times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(u32);
+
+/// Incremental SSA function builder.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    /// The function under construction.
+    pub func: Function,
+    current: Block,
+    next_var: u32,
+    sealed: Vec<bool>,
+    terminated: Vec<bool>,
+    preds: Vec<Vec<Block>>,
+    current_def: HashMap<(VarId, Block), Value>,
+    incomplete_phis: HashMap<Block, Vec<(VarId, Value)>>,
+}
+
+impl FunctionBuilder {
+    /// Starts building `name`; parameters become `Param` instructions
+    /// in the entry block (retrieve them with [`FunctionBuilder::param`]).
+    #[must_use]
+    pub fn new(name: &str, num_params: u32, returns_value: bool) -> FunctionBuilder {
+        let mut func = Function::new(name, num_params, returns_value);
+        let entry = func.entry();
+        for i in 0..num_params {
+            func.push_inst(entry, InstData::Param(i));
+        }
+        FunctionBuilder {
+            func,
+            current: entry,
+            next_var: 0,
+            sealed: vec![true],
+            terminated: vec![false],
+            preds: vec![vec![]],
+            current_def: HashMap::new(),
+            incomplete_phis: HashMap::new(),
+        }
+    }
+
+    /// The value of parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a parameter index.
+    #[must_use]
+    pub fn param(&self, i: u32) -> Value {
+        assert!(i < self.func.num_params, "parameter {i} out of range");
+        self.func.block(self.func.entry()).insts[i as usize]
+    }
+
+    /// Declares a new front-end variable.
+    pub fn declare_var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Records an assignment `var = value` in the current block.
+    pub fn def_var(&mut self, var: VarId, value: Value) {
+        self.current_def.insert((var, self.current), value);
+    }
+
+    /// Reads `var` at the current point, inserting phis as needed.
+    pub fn use_var(&mut self, var: VarId) -> Value {
+        self.read_var(var, self.current)
+    }
+
+    fn read_var(&mut self, var: VarId, block: Block) -> Value {
+        if let Some(&v) = self.current_def.get(&(var, block)) {
+            return self.resolve(v);
+        }
+        self.read_var_recursive(var, block)
+    }
+
+    fn read_var_recursive(&mut self, var: VarId, block: Block) -> Value {
+        let value = if !self.sealed[block.index()] {
+            let phi = self.insert_phi(block);
+            self.incomplete_phis.entry(block).or_default().push((var, phi));
+            phi
+        } else if self.preds[block.index()].len() == 1 {
+            let pred = self.preds[block.index()][0];
+            self.read_var(var, pred)
+        } else if self.preds[block.index()].is_empty() {
+            // Use of a variable never assigned on this path: MinC
+            // defines uninitialized locals to read as zero.
+            self.func.push_inst(block, InstData::Const(0))
+        } else {
+            let phi = self.insert_phi(block);
+            self.current_def.insert((var, block), phi);
+            self.add_phi_operands(var, phi, block)
+        };
+        self.current_def.insert((var, block), value);
+        value
+    }
+
+    fn insert_phi(&mut self, block: Block) -> Value {
+        let phi = self.func.create_inst(InstData::Phi(Vec::new()));
+        self.func.block_mut(block).insts.insert(0, phi);
+        phi
+    }
+
+    fn add_phi_operands(&mut self, var: VarId, phi: Value, block: Block) -> Value {
+        let preds = self.preds[block.index()].clone();
+        let mut args = Vec::with_capacity(preds.len());
+        for pred in preds {
+            let v = self.read_var(var, pred);
+            args.push((pred, v));
+        }
+        if let InstData::Phi(a) = self.func.inst_mut(phi) {
+            *a = args;
+        }
+        self.try_remove_trivial_phi(phi)
+    }
+
+    /// If all operands of `phi` (other than self-references) resolve
+    /// to the same value, degrade it to a `Copy` alias.
+    fn try_remove_trivial_phi(&mut self, phi: Value) -> Value {
+        let args = match self.func.inst(phi) {
+            InstData::Phi(a) => a.clone(),
+            _ => return self.resolve(phi),
+        };
+        let mut same: Option<Value> = None;
+        for (_, raw) in args {
+            let v = self.resolve(raw);
+            if v == phi {
+                continue;
+            }
+            match same {
+                None => same = Some(v),
+                Some(s) if s == v => {}
+                Some(_) => return phi, // non-trivial
+            }
+        }
+        // A phi with no non-self operand only happens in dead cycles;
+        // keep it as zero for determinism.
+        let target = same.unwrap_or_else(|| self.func.create_inst(InstData::Const(0)));
+        *self.func.inst_mut(phi) = InstData::Copy(target);
+        target
+    }
+
+    fn resolve(&self, mut v: Value) -> Value {
+        loop {
+            match self.func.inst(v) {
+                InstData::Copy(t) => v = *t,
+                _ => return v,
+            }
+        }
+    }
+
+    /// Creates a new (unsealed) block.
+    pub fn create_block(&mut self) -> Block {
+        let b = self.func.create_block();
+        self.sealed.push(false);
+        self.terminated.push(false);
+        self.preds.push(Vec::new());
+        b
+    }
+
+    /// Switches the insertion point.
+    pub fn switch_to_block(&mut self, b: Block) {
+        self.current = b;
+    }
+
+    /// The current insertion block.
+    #[must_use]
+    pub fn current_block(&self) -> Block {
+        self.current
+    }
+
+    /// True once `b` has a terminator.
+    #[must_use]
+    pub fn is_terminated(&self, b: Block) -> bool {
+        self.terminated[b.index()]
+    }
+
+    /// Declares that no further predecessors will be added to `b`,
+    /// completing any pending phis.
+    pub fn seal_block(&mut self, b: Block) {
+        if self.sealed[b.index()] {
+            return;
+        }
+        self.sealed[b.index()] = true;
+        if let Some(pending) = self.incomplete_phis.remove(&b) {
+            for (var, phi) in pending {
+                self.add_phi_operands(var, phi, b);
+            }
+        }
+    }
+
+    /// Appends an instruction to the current block.
+    pub fn ins(&mut self, data: InstData) -> Value {
+        debug_assert!(!self.terminated[self.current.index()], "instruction after terminator");
+        self.func.push_inst(self.current, data)
+    }
+
+    /// Terminates the current block, recording predecessor edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn terminate(&mut self, term: Terminator) {
+        let b = self.current;
+        assert!(!self.terminated[b.index()], "{b} terminated twice");
+        for succ in term.successors() {
+            debug_assert!(!self.sealed[succ.index()], "adding predecessor to sealed block {succ}");
+            self.preds[succ.index()].push(b);
+        }
+        self.func.block_mut(b).term = term;
+        self.terminated[b.index()] = true;
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is unsealed (the front-end must seal every
+    /// block it creates).
+    #[must_use]
+    pub fn finish(self) -> Function {
+        for (i, s) in self.sealed.iter().enumerate() {
+            assert!(s, "block bb{i} never sealed");
+        }
+        assert!(self.incomplete_phis.is_empty(), "unresolved incomplete phis");
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinOp;
+
+    /// Builds: x = 1; if (p0) x = 2; return x — expecting a phi.
+    #[test]
+    fn join_creates_phi() {
+        let mut b = FunctionBuilder::new("f", 1, true);
+        let x = b.declare_var();
+        let one = b.ins(InstData::Const(1));
+        b.def_var(x, one);
+        let then_bb = b.create_block();
+        let join = b.create_block();
+        let p = b.param(0);
+        b.terminate(Terminator::CondBr { cond: p, then_bb, else_bb: join });
+        b.seal_block(then_bb);
+        b.switch_to_block(then_bb);
+        let two = b.ins(InstData::Const(2));
+        b.def_var(x, two);
+        b.terminate(Terminator::Br(join));
+        b.seal_block(join);
+        b.switch_to_block(join);
+        let xv = b.use_var(x);
+        b.terminate(Terminator::Ret(Some(xv)));
+        let f = b.finish();
+        assert!(matches!(f.inst(xv), InstData::Phi(args) if args.len() == 2));
+    }
+
+    /// x assigned identically on both paths folds to a trivial copy.
+    #[test]
+    fn trivial_phi_removed() {
+        let mut b = FunctionBuilder::new("f", 1, true);
+        let x = b.declare_var();
+        let one = b.ins(InstData::Const(1));
+        b.def_var(x, one);
+        let then_bb = b.create_block();
+        let join = b.create_block();
+        let p = b.param(0);
+        b.terminate(Terminator::CondBr { cond: p, then_bb, else_bb: join });
+        b.seal_block(then_bb);
+        b.switch_to_block(then_bb);
+        b.terminate(Terminator::Br(join));
+        b.seal_block(join);
+        b.switch_to_block(join);
+        let xv = b.use_var(x);
+        b.terminate(Terminator::Ret(Some(xv)));
+        assert_eq!(xv, one);
+    }
+
+    /// Loop-carried variable gets a phi in an initially unsealed header.
+    #[test]
+    fn loop_carried_phi() {
+        let mut b = FunctionBuilder::new("f", 0, true);
+        let i = b.declare_var();
+        let zero = b.ins(InstData::Const(0));
+        b.def_var(i, zero);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.terminate(Terminator::Br(header));
+        b.switch_to_block(header);
+        let iv = b.use_var(i);
+        let hundred = b.ins(InstData::Const(100));
+        let cond = b.ins(InstData::Bin { op: BinOp::SLt, a: iv, b: hundred });
+        b.terminate(Terminator::CondBr { cond, then_bb: body, else_bb: exit });
+        b.seal_block(body);
+        b.switch_to_block(body);
+        let one = b.ins(InstData::Const(1));
+        let iv2 = b.use_var(i);
+        let inc = b.ins(InstData::Bin { op: BinOp::Add, a: iv2, b: one });
+        b.def_var(i, inc);
+        b.terminate(Terminator::Br(header));
+        b.seal_block(header);
+        b.seal_block(exit);
+        b.switch_to_block(exit);
+        let ret = b.use_var(i);
+        b.terminate(Terminator::Ret(Some(ret)));
+        let f = b.finish();
+        assert!(matches!(f.inst(iv), InstData::Phi(args) if args.len() == 2), "{:?}", f.inst(iv));
+    }
+
+    #[test]
+    fn uninitialized_var_reads_zero() {
+        let mut b = FunctionBuilder::new("f", 0, true);
+        let x = b.declare_var();
+        let v = b.use_var(x);
+        b.terminate(Terminator::Ret(Some(v)));
+        let f = b.finish();
+        assert!(matches!(f.inst(v), InstData::Const(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never sealed")]
+    fn unsealed_block_rejected() {
+        let mut b = FunctionBuilder::new("f", 0, false);
+        let dangling = b.create_block();
+        let _ = dangling;
+        b.terminate(Terminator::Ret(None));
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,77 @@
+//! Index newtypes for IR entities.
+
+use std::fmt;
+
+macro_rules! entity {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[must_use]
+            pub fn new(i: usize) -> Self {
+                Self(u32::try_from(i).expect("entity index fits in u32"))
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity! {
+    /// An SSA value. Every value is produced by exactly one
+    /// instruction, and the id doubles as the instruction id.
+    Value, "v"
+}
+
+entity! {
+    /// A basic block within a function.
+    Block, "bb"
+}
+
+entity! {
+    /// A module-level global variable.
+    GlobalId, "g"
+}
+
+entity! {
+    /// A function-local stack slot (address-taken local, local array,
+    /// or spill created by the back-end).
+    SlotId, "slot"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(Value::new(3).to_string(), "v3");
+        assert_eq!(Block::new(0).to_string(), "bb0");
+        assert_eq!(GlobalId::new(1).to_string(), "g1");
+        assert_eq!(SlotId::new(2).to_string(), "slot2");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(Value::new(42).index(), 42);
+    }
+}

@@ -1,0 +1,318 @@
+//! MinC abstract syntax.
+
+/// A MinC type. Arrays exist only at declaration sites and decay to
+/// pointers in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned integer (promoted to `int` in arithmetic).
+    Byte,
+    /// Pointer to `int`.
+    PtrInt,
+    /// Pointer to `byte`.
+    PtrByte,
+    /// Function with no return value (return type position only).
+    Void,
+}
+
+impl Type {
+    /// Element size in bytes for pointer arithmetic and indexing.
+    #[must_use]
+    pub fn elem_size(self) -> u32 {
+        match self {
+            Type::PtrInt => 4,
+            Type::PtrByte => 1,
+            _ => panic!("elem_size on non-pointer {self:?}"),
+        }
+    }
+
+    /// The pointed-to scalar type.
+    #[must_use]
+    pub fn pointee(self) -> Type {
+        match self {
+            Type::PtrInt => Type::Int,
+            Type::PtrByte => Type::Byte,
+            _ => panic!("pointee on non-pointer {self:?}"),
+        }
+    }
+
+    /// The pointer type to `self` (must be a scalar).
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        match self {
+            Type::Int => Type::PtrInt,
+            Type::Byte => Type::PtrByte,
+            _ => panic!("ptr_to on non-scalar {self:?}"),
+        }
+    }
+
+    /// Whether the type is a pointer.
+    #[must_use]
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::PtrInt | Type::PtrByte)
+    }
+
+    /// Scalar byte width (for loads/stores).
+    #[must_use]
+    pub fn scalar_size(self) -> u32 {
+        match self {
+            Type::Byte => 1,
+            Type::Int | Type::PtrInt | Type::PtrByte => 4,
+            Type::Void => panic!("void has no size"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnAst {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Binary operators (short-circuit `&&`/`||` included; lowered via
+/// control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinAst {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    LogAnd,
+    LogOr,
+}
+
+/// Expressions. Every node carries the source line for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int {
+        /// Value (wrapped to 32 bits during lowering).
+        value: i64,
+        /// Source line.
+        line: u32,
+    },
+    /// String literal (becomes an anonymous `byte` global).
+    Str {
+        /// Bytes, without terminator (lowering appends NUL).
+        bytes: Vec<u8>,
+        /// Source line.
+        line: u32,
+    },
+    /// Variable reference.
+    Ident {
+        /// Name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnAst,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinAst,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Array/pointer indexing `base[index]`.
+    Index {
+        /// Base (array or pointer).
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Pointer dereference `*p`.
+    Deref {
+        /// Pointer expression.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Address-of `&lvalue`.
+    AddrOf {
+        /// Lvalue expression.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of the expression.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int { line, .. }
+            | Expr::Str { line, .. }
+            | Expr::Ident { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Deref { line, .. }
+            | Expr::AddrOf { line, .. } => *line,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `{ ... }` — introduces a scope.
+    Block(Vec<Stmt>),
+    /// `if (cond) then else?`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_stmt: Box<Stmt>,
+        /// Else branch.
+        else_stmt: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body` — each clause optional.
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `return e?;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`.
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// Local declaration, optionally an array, optionally initialized.
+    Decl {
+        /// Scalar/element type.
+        ty: Type,
+        /// Name.
+        name: String,
+        /// Array length if declared as an array.
+        array: Option<u32>,
+        /// Initializer (scalars only).
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `lvalue = expr;`.
+    Assign {
+        /// Target lvalue.
+        lvalue: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// Bare expression statement (typically a call).
+    ExprStmt(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type (`Void` for none).
+    pub ret: Type,
+    /// Parameters as `(type, name)`.
+    pub params: Vec<(Type, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Scalar/element type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Array length if an array.
+    pub array: Option<u32>,
+    /// Constant scalar initializer.
+    pub init: Option<i64>,
+    /// String initializer for byte arrays.
+    pub str_init: Option<Vec<u8>>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Function definition.
+    Func(FuncDef),
+    /// Global declaration.
+    Global(GlobalDecl),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,356 @@
+//! MinC lexer.
+
+use super::CompileError;
+
+/// Token kinds. Punctuation is named after its spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Char(u8),
+    Str(Vec<u8>),
+    // Keywords.
+    KwInt,
+    KwByte,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    PlusPlus,
+    MinusMinus,
+    PlusEq,
+    MinusEq,
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes MinC source into tokens (terminated by an `Eof` token).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] on malformed literals or stray
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    let err = |line: u32, msg: &str| CompileError::Lex { line, msg: msg.to_string() };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut value: i64;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                    i += 2;
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        return Err(err(line, "empty hex literal"));
+                    }
+                    value = i64::from_str_radix(&src[hstart..i], 16)
+                        .map_err(|_| err(line, "hex literal out of range"))?;
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = src[start..i].parse().map_err(|_| err(line, "integer literal out of range"))?;
+                }
+                if value > u32::MAX as i64 {
+                    value &= 0xffff_ffff;
+                }
+                out.push(Token { kind: TokenKind::Int(value), line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "int" => TokenKind::KwInt,
+                    "byte" | "char" => TokenKind::KwByte,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "for" => TokenKind::KwFor,
+                    "do" => TokenKind::KwDo,
+                    "return" => TokenKind::KwReturn,
+                    "break" => TokenKind::KwBreak,
+                    "continue" => TokenKind::KwContinue,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            b'\'' => {
+                i += 1;
+                let ch = match bytes.get(i) {
+                    Some(b'\\') => {
+                        i += 1;
+                        let e = escape(*bytes.get(i).ok_or_else(|| err(line, "unterminated char"))?)
+                            .ok_or_else(|| err(line, "bad escape"))?;
+                        i += 1;
+                        e
+                    }
+                    Some(&c2) => {
+                        i += 1;
+                        c2
+                    }
+                    None => return Err(err(line, "unterminated char literal")),
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal"));
+                }
+                i += 1;
+                out.push(Token { kind: TokenKind::Char(ch), line });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            let e = escape(*bytes.get(i).ok_or_else(|| err(line, "unterminated string"))?)
+                                .ok_or_else(|| err(line, "bad escape"))?;
+                            s.push(e);
+                            i += 1;
+                        }
+                        Some(b'\n') | None => return Err(err(line, "unterminated string literal")),
+                        Some(&c2) => {
+                            s.push(c2);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (kind, len) = if two(b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (TokenKind::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (TokenKind::Ne, 2)
+                } else if two(b'<', b'<') {
+                    (TokenKind::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (TokenKind::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else if two(b'+', b'+') {
+                    (TokenKind::PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (TokenKind::MinusMinus, 2)
+                } else if two(b'+', b'=') {
+                    (TokenKind::PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (TokenKind::MinusEq, 2)
+                } else {
+                    let k = match c {
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'[' => TokenKind::LBracket,
+                        b']' => TokenKind::RBracket,
+                        b',' => TokenKind::Comma,
+                        b';' => TokenKind::Semi,
+                        b'=' => TokenKind::Assign,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'%' => TokenKind::Percent,
+                        b'&' => TokenKind::Amp,
+                        b'|' => TokenKind::Pipe,
+                        b'^' => TokenKind::Caret,
+                        b'~' => TokenKind::Tilde,
+                        b'!' => TokenKind::Bang,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        _ => return Err(err(line, &format!("unexpected character {:?}", c as char))),
+                    };
+                    (k, 1)
+                };
+                out.push(Token { kind, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+fn escape(c: u8) -> Option<u8> {
+    Some(match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let toks = lex("// c\n/* multi\nline */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(kinds("0x1F")[0], TokenKind::Int(31));
+        assert_eq!(kinds("'a'")[0], TokenKind::Char(b'a'));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Char(b'\n'));
+        assert_eq!(kinds("\"hi\\0\"")[0], TokenKind::Str(vec![b'h', b'i', 0]));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && || ++ -- += -="),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::PlusPlus,
+                TokenKind::MinusMinus,
+                TokenKind::PlusEq,
+                TokenKind::MinusEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        match lex("\n\n@") {
+            Err(CompileError::Lex { line, .. }) => assert_eq!(line, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn char_keyword_is_byte() {
+        assert_eq!(kinds("char")[0], TokenKind::KwByte);
+    }
+}

@@ -1,0 +1,769 @@
+//! Lowering from the MinC AST to SSA IR via the Braun builder.
+
+use std::collections::{HashMap, HashSet};
+
+use super::ast::*;
+use super::CompileError;
+use crate::builder::VarId;
+use crate::{
+    BinOp, Block, FunctionBuilder, Global, GlobalId, InstData, MemWidth, Module, SlotId, SysOp, Terminator,
+    Value,
+};
+
+type LResult<T> = Result<T, CompileError>;
+
+fn sema<T>(line: u32, msg: impl Into<String>) -> LResult<T> {
+    Err(CompileError::Sema { line, msg: msg.into() })
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    params: Vec<Type>,
+    ret: Type,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// SSA variable (scalar local whose address is never taken).
+    Var { var: VarId, ty: Type },
+    /// Stack slot (array or address-taken scalar).
+    Slot { slot: SlotId, ty: Type, is_array: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GlobalBinding {
+    Scalar { id: GlobalId, ty: Type },
+    Array { id: GlobalId, elem: Type },
+}
+
+/// Lowers a parsed program into an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::Sema`] on semantic errors.
+pub fn lower_program(prog: &Program) -> LResult<Module> {
+    let mut module = Module::default();
+    let mut globals: HashMap<String, GlobalBinding> = HashMap::new();
+    let mut sigs: HashMap<String, FuncSig> = HashMap::new();
+
+    for item in &prog.items {
+        match item {
+            Item::Global(g) => {
+                if globals.contains_key(&g.name) {
+                    return sema(g.line, format!("duplicate global `{}`", g.name));
+                }
+                let elem_size = g.ty.scalar_size();
+                let (size, align) = match g.array {
+                    Some(n) => (elem_size * n, elem_size),
+                    None => (elem_size, elem_size),
+                };
+                let mut init = Vec::new();
+                if let Some(v) = g.init {
+                    if g.array.is_some() {
+                        return sema(g.line, "scalar initializer on array global");
+                    }
+                    let v = v as i32;
+                    match g.ty {
+                        Type::Byte => init.push(v as u8),
+                        _ => init.extend_from_slice(&v.to_le_bytes()),
+                    }
+                }
+                if let Some(s) = &g.str_init {
+                    let cap = g.array.unwrap_or(0) as usize;
+                    if s.len() + 1 > cap {
+                        return sema(g.line, "string initializer longer than array");
+                    }
+                    init = s.clone();
+                    init.push(0);
+                }
+                let id = module.add_global(Global { name: g.name.clone(), size, align, init });
+                let binding = match g.array {
+                    Some(_) => GlobalBinding::Array { id, elem: g.ty },
+                    None => GlobalBinding::Scalar { id, ty: g.ty },
+                };
+                globals.insert(g.name.clone(), binding);
+            }
+            Item::Func(f) => {
+                if sigs.contains_key(&f.name) || is_builtin(&f.name) {
+                    return sema(f.line, format!("duplicate function `{}`", f.name));
+                }
+                sigs.insert(
+                    f.name.clone(),
+                    FuncSig { params: f.params.iter().map(|(t, _)| *t).collect(), ret: f.ret },
+                );
+            }
+        }
+    }
+
+    for item in &prog.items {
+        if let Item::Func(f) = item {
+            let func = Lowerer::lower(f, &globals, &sigs, &mut module)?;
+            module.funcs.push(func);
+        }
+    }
+    Ok(module)
+}
+
+fn is_builtin(name: &str) -> bool {
+    matches!(name, "print_int" | "print_char" | "exit")
+}
+
+fn builtin_op(name: &str) -> Option<SysOp> {
+    match name {
+        "print_int" => Some(SysOp::PrintInt),
+        "print_char" => Some(SysOp::PrintChar),
+        "exit" => Some(SysOp::Exit),
+        _ => None,
+    }
+}
+
+struct Lowerer<'a> {
+    b: FunctionBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    globals: &'a HashMap<String, GlobalBinding>,
+    sigs: &'a HashMap<String, FuncSig>,
+    module: &'a mut Module,
+    /// (continue target, break target)
+    loop_stack: Vec<(Block, Block)>,
+    addr_taken: HashSet<String>,
+    ret: Type,
+    str_count: u32,
+}
+
+impl<'a> Lowerer<'a> {
+    fn lower(
+        f: &FuncDef,
+        globals: &'a HashMap<String, GlobalBinding>,
+        sigs: &'a HashMap<String, FuncSig>,
+        module: &'a mut Module,
+    ) -> LResult<crate::Function> {
+        let returns_value = f.ret != Type::Void;
+        let b = FunctionBuilder::new(&f.name, f.params.len() as u32, returns_value);
+        let mut addr_taken = HashSet::new();
+        for s in &f.body {
+            collect_addr_taken(s, &mut addr_taken);
+        }
+        let mut lo = Lowerer {
+            b,
+            scopes: vec![HashMap::new()],
+            globals,
+            sigs,
+            module,
+            loop_stack: Vec::new(),
+            addr_taken,
+            ret: f.ret,
+            str_count: 0,
+        };
+        // Bind parameters.
+        for (i, (ty, name)) in f.params.iter().enumerate() {
+            let pv = lo.b.param(i as u32);
+            if lo.addr_taken.contains(name) {
+                let slot = lo.b.func.create_slot(name, ty.scalar_size(), ty.scalar_size());
+                let addr = lo.b.ins(InstData::SlotAddr(slot));
+                lo.b.ins(InstData::Store { width: width_of(*ty), val: pv, addr });
+                lo.bind(name, Binding::Slot { slot, ty: *ty, is_array: false });
+            } else {
+                let var = lo.b.declare_var();
+                lo.b.def_var(var, pv);
+                lo.bind(name, Binding::Var { var, ty: *ty });
+            }
+        }
+        for s in &f.body {
+            lo.stmt(s)?;
+        }
+        if !lo.b.is_terminated(lo.b.current_block()) {
+            if returns_value {
+                let zero = lo.b.ins(InstData::Const(0));
+                lo.b.terminate(Terminator::Ret(Some(zero)));
+            } else {
+                lo.b.terminate(Terminator::Ret(None));
+            }
+        }
+        Ok(lo.b.finish())
+    }
+
+    fn bind(&mut self, name: &str, binding: Binding) {
+        self.scopes.last_mut().expect("scope").insert(name.to_string(), binding);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    /// Starts a fresh unreachable block after a `return`/`break`/
+    /// `continue` so lowering can continue; passes delete it later.
+    fn start_dead_block(&mut self) {
+        let dead = self.b.create_block();
+        self.b.seal_block(dead);
+        self.b.switch_to_block(dead);
+    }
+
+    fn terminate_once(&mut self, t: Terminator) {
+        if !self.b.is_terminated(self.b.current_block()) {
+            self.b.terminate(t);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> LResult<()> {
+        match s {
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                for st in body {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl { ty, name, array, init, line } => self.decl(*ty, name, *array, init.as_ref(), *line),
+            Stmt::Assign { lvalue, value } => self.assign(lvalue, value),
+            Stmt::ExprStmt(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                match (e, self.ret) {
+                    (Some(e), Type::Void) => return sema(e.line(), "returning a value from a void function"),
+                    (Some(e), _) => {
+                        let (v, _) = self.expr(e)?;
+                        self.terminate_once(Terminator::Ret(Some(v)));
+                    }
+                    (None, Type::Void) => self.terminate_once(Terminator::Ret(None)),
+                    (None, _) => {
+                        let zero = self.b.ins(InstData::Const(0));
+                        self.terminate_once(Terminator::Ret(Some(zero)));
+                    }
+                }
+                self.start_dead_block();
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let Some(&(_, brk)) = self.loop_stack.last() else {
+                    return sema(*line, "break outside loop");
+                };
+                self.terminate_once(Terminator::Br(brk));
+                self.start_dead_block();
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let Some(&(cont, _)) = self.loop_stack.last() else {
+                    return sema(*line, "continue outside loop");
+                };
+                self.terminate_once(Terminator::Br(cont));
+                self.start_dead_block();
+                Ok(())
+            }
+            Stmt::If { cond, then_stmt, else_stmt } => {
+                let (c, _) = self.expr(cond)?;
+                let then_bb = self.b.create_block();
+                let merge = self.b.create_block();
+                let else_bb = if else_stmt.is_some() { self.b.create_block() } else { merge };
+                self.terminate_once(Terminator::CondBr { cond: c, then_bb, else_bb });
+                self.b.seal_block(then_bb);
+                self.b.switch_to_block(then_bb);
+                self.stmt(then_stmt)?;
+                self.terminate_once(Terminator::Br(merge));
+                if let Some(es) = else_stmt {
+                    self.b.seal_block(else_bb);
+                    self.b.switch_to_block(else_bb);
+                    self.stmt(es)?;
+                    self.terminate_once(Terminator::Br(merge));
+                }
+                self.b.seal_block(merge);
+                self.b.switch_to_block(merge);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.b.create_block();
+                let body_bb = self.b.create_block();
+                let exit = self.b.create_block();
+                self.terminate_once(Terminator::Br(header));
+                self.b.switch_to_block(header);
+                let (c, _) = self.expr(cond)?;
+                self.terminate_once(Terminator::CondBr { cond: c, then_bb: body_bb, else_bb: exit });
+                self.b.seal_block(body_bb);
+                self.b.switch_to_block(body_bb);
+                self.loop_stack.push((header, exit));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.terminate_once(Terminator::Br(header));
+                self.b.seal_block(header);
+                self.b.seal_block(exit);
+                self.b.switch_to_block(exit);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_bb = self.b.create_block();
+                let latch = self.b.create_block();
+                let exit = self.b.create_block();
+                self.terminate_once(Terminator::Br(body_bb));
+                self.b.switch_to_block(body_bb);
+                self.loop_stack.push((latch, exit));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.terminate_once(Terminator::Br(latch));
+                self.b.seal_block(latch);
+                self.b.switch_to_block(latch);
+                let (c, _) = self.expr(cond)?;
+                self.terminate_once(Terminator::CondBr { cond: c, then_bb: body_bb, else_bb: exit });
+                self.b.seal_block(body_bb);
+                self.b.seal_block(exit);
+                self.b.switch_to_block(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.b.create_block();
+                let body_bb = self.b.create_block();
+                let step_bb = self.b.create_block();
+                let exit = self.b.create_block();
+                self.terminate_once(Terminator::Br(header));
+                self.b.switch_to_block(header);
+                let c = match cond {
+                    Some(e) => self.expr(e)?.0,
+                    None => self.b.ins(InstData::Const(1)),
+                };
+                self.terminate_once(Terminator::CondBr { cond: c, then_bb: body_bb, else_bb: exit });
+                self.b.seal_block(body_bb);
+                self.b.switch_to_block(body_bb);
+                self.loop_stack.push((step_bb, exit));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.terminate_once(Terminator::Br(step_bb));
+                self.b.seal_block(step_bb);
+                self.b.switch_to_block(step_bb);
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.terminate_once(Terminator::Br(header));
+                self.b.seal_block(header);
+                self.b.seal_block(exit);
+                self.b.switch_to_block(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn decl(&mut self, ty: Type, name: &str, array: Option<u32>, init: Option<&Expr>, line: u32) -> LResult<()> {
+        if let Some(n) = array {
+            let elem = ty.scalar_size();
+            let slot = self.b.func.create_slot(name, elem * n, elem.max(4).min(4));
+            self.bind(name, Binding::Slot { slot, ty, is_array: true });
+            if init.is_some() {
+                return sema(line, "array initializers are not supported");
+            }
+            return Ok(());
+        }
+        let init_v = match init {
+            Some(e) => {
+                let (v, vty) = self.expr(e)?;
+                self.coerce(v, vty, ty, line)?
+            }
+            None => self.b.ins(InstData::Const(0)),
+        };
+        if self.addr_taken.contains(name) {
+            let slot = self.b.func.create_slot(name, ty.scalar_size(), ty.scalar_size());
+            let addr = self.b.ins(InstData::SlotAddr(slot));
+            self.b.ins(InstData::Store { width: width_of(ty), val: init_v, addr });
+            self.bind(name, Binding::Slot { slot, ty, is_array: false });
+        } else {
+            let var = self.b.declare_var();
+            self.b.def_var(var, init_v);
+            self.bind(name, Binding::Var { var, ty });
+        }
+        Ok(())
+    }
+
+    fn assign(&mut self, lvalue: &Expr, value: &Expr) -> LResult<()> {
+        // Fast path: assignment to an SSA-bound identifier.
+        if let Expr::Ident { name, line } = lvalue {
+            if let Some(Binding::Var { var, ty }) = self.lookup(name) {
+                let (v, vty) = self.expr(value)?;
+                let v = self.coerce(v, vty, ty, *line)?;
+                self.b.def_var(var, v);
+                return Ok(());
+            }
+        }
+        let (addr, pointee) = self.addr_of(lvalue)?;
+        let (v, vty) = self.expr(value)?;
+        let v = self.coerce(v, vty, pointee, lvalue.line())?;
+        self.b.ins(InstData::Store { width: width_of(pointee), val: v, addr });
+        Ok(())
+    }
+
+    /// Inserts conversions: byte targets are masked to 8 bits;
+    /// pointer/int mixing is allowed silently (MinC is permissive, like
+    /// pre-ANSI C) except that `Void` values cannot be used.
+    fn coerce(&mut self, v: Value, from: Type, to: Type, line: u32) -> LResult<Value> {
+        if from == Type::Void {
+            return sema(line, "using the value of a void call");
+        }
+        if to == Type::Byte && from != Type::Byte {
+            let mask = self.b.ins(InstData::Const(0xff));
+            return Ok(self.b.ins(InstData::Bin { op: BinOp::And, a: v, b: mask }));
+        }
+        Ok(v)
+    }
+
+    fn expr(&mut self, e: &Expr) -> LResult<(Value, Type)> {
+        match e {
+            Expr::Int { value, .. } => Ok((self.b.ins(InstData::Const(*value as i32)), Type::Int)),
+            Expr::Str { bytes, .. } => {
+                let id = self.intern_string(bytes);
+                Ok((self.b.ins(InstData::GlobalAddr(id)), Type::PtrByte))
+            }
+            Expr::Ident { name, line } => {
+                if let Some(binding) = self.lookup(name) {
+                    return match binding {
+                        Binding::Var { var, ty } => Ok((self.b.use_var(var), ty)),
+                        Binding::Slot { slot, ty, is_array } => {
+                            let addr = self.b.ins(InstData::SlotAddr(slot));
+                            if is_array {
+                                Ok((addr, ty.ptr_to()))
+                            } else {
+                                let v = self.b.ins(InstData::Load { width: width_of(ty), addr });
+                                Ok((v, ty))
+                            }
+                        }
+                    };
+                }
+                match self.globals.get(name) {
+                    Some(&GlobalBinding::Scalar { id, ty }) => {
+                        let addr = self.b.ins(InstData::GlobalAddr(id));
+                        let v = self.b.ins(InstData::Load { width: width_of(ty), addr });
+                        Ok((v, ty))
+                    }
+                    Some(&GlobalBinding::Array { id, elem }) => {
+                        Ok((self.b.ins(InstData::GlobalAddr(id)), elem.ptr_to()))
+                    }
+                    None => sema(*line, format!("unknown variable `{name}`")),
+                }
+            }
+            Expr::Call { name, args, line } => {
+                if let Some(op) = builtin_op(name) {
+                    if args.len() != op.arity() {
+                        return sema(*line, format!("`{name}` takes {} argument(s)", op.arity()));
+                    }
+                    let mut vals = Vec::new();
+                    for a in args {
+                        let (v, ty) = self.expr(a)?;
+                        if ty == Type::Void {
+                            return sema(a.line(), "void argument");
+                        }
+                        vals.push(v);
+                    }
+                    return Ok((self.b.ins(InstData::Sys { op, args: vals }), Type::Int));
+                }
+                let Some(sig) = self.sigs.get(name).cloned() else {
+                    return sema(*line, format!("unknown function `{name}`"));
+                };
+                if sig.params.len() != args.len() {
+                    return sema(
+                        *line,
+                        format!("`{name}` takes {} argument(s), got {}", sig.params.len(), args.len()),
+                    );
+                }
+                let mut vals = Vec::new();
+                for (a, pty) in args.iter().zip(&sig.params) {
+                    let (v, ty) = self.expr(a)?;
+                    let v = self.coerce(v, ty, *pty, a.line())?;
+                    vals.push(v);
+                }
+                let v = self.b.ins(InstData::Call { callee: name.clone(), args: vals });
+                Ok((v, sig.ret))
+            }
+            Expr::Unary { op, expr, line } => {
+                let (v, ty) = self.expr(expr)?;
+                if ty == Type::Void {
+                    return sema(*line, "void operand");
+                }
+                let r = match op {
+                    UnAst::Neg => {
+                        let zero = self.b.ins(InstData::Const(0));
+                        self.b.ins(InstData::Bin { op: BinOp::Sub, a: zero, b: v })
+                    }
+                    UnAst::Not => {
+                        let zero = self.b.ins(InstData::Const(0));
+                        self.b.ins(InstData::Bin { op: BinOp::Eq, a: v, b: zero })
+                    }
+                    UnAst::BitNot => {
+                        let ones = self.b.ins(InstData::Const(-1));
+                        self.b.ins(InstData::Bin { op: BinOp::Xor, a: v, b: ones })
+                    }
+                };
+                Ok((r, Type::Int))
+            }
+            Expr::Deref { expr, line } => {
+                let (p, ty) = self.expr(expr)?;
+                if !ty.is_ptr() {
+                    return sema(*line, "dereferencing a non-pointer");
+                }
+                let pointee = ty.pointee();
+                let v = self.b.ins(InstData::Load { width: width_of(pointee), addr: p });
+                Ok((v, pointee))
+            }
+            Expr::AddrOf { expr, .. } => {
+                let (addr, pointee) = self.addr_of(expr)?;
+                Ok((addr, pointee.ptr_to()))
+            }
+            Expr::Index { .. } => {
+                let (addr, pointee) = self.addr_of(e)?;
+                let v = self.b.ins(InstData::Load { width: width_of(pointee), addr });
+                Ok((v, pointee))
+            }
+            Expr::Binary { op: BinAst::LogAnd, lhs, rhs, .. } => self.short_circuit(lhs, rhs, true),
+            Expr::Binary { op: BinAst::LogOr, lhs, rhs, .. } => self.short_circuit(lhs, rhs, false),
+            Expr::Binary { op, lhs, rhs, line } => {
+                let (a, ta) = self.expr(lhs)?;
+                let (b, tb) = self.expr(rhs)?;
+                if ta == Type::Void || tb == Type::Void {
+                    return sema(*line, "void operand");
+                }
+                self.binary(*op, a, ta, b, tb, *line)
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinAst, a: Value, ta: Type, b: Value, tb: Type, line: u32) -> LResult<(Value, Type)> {
+        use BinAst::*;
+        // Pointer arithmetic.
+        if matches!(op, Add | Sub) && (ta.is_ptr() || tb.is_ptr()) {
+            match (op, ta.is_ptr(), tb.is_ptr()) {
+                (Add, true, false) => return Ok((self.ptr_offset(a, ta, b, false), ta)),
+                (Add, false, true) => return Ok((self.ptr_offset(b, tb, a, false), tb)),
+                (Sub, true, false) => return Ok((self.ptr_offset(a, ta, b, true), ta)),
+                (Sub, true, true) => {
+                    if ta != tb {
+                        return sema(line, "subtracting incompatible pointers");
+                    }
+                    let diff = self.b.ins(InstData::Bin { op: BinOp::Sub, a, b });
+                    let r = if ta.elem_size() == 4 {
+                        let two = self.b.ins(InstData::Const(2));
+                        self.b.ins(InstData::Bin { op: BinOp::ShrA, a: diff, b: two })
+                    } else {
+                        diff
+                    };
+                    return Ok((r, Type::Int));
+                }
+                _ => return sema(line, "invalid pointer arithmetic"),
+            }
+        }
+        let unsigned = ta.is_ptr() || tb.is_ptr();
+        let ir = match op {
+            Add => BinOp::Add,
+            Sub => BinOp::Sub,
+            Mul => BinOp::Mul,
+            Div => BinOp::Div,
+            Rem => BinOp::Rem,
+            Shl => BinOp::Shl,
+            Shr => BinOp::ShrA,
+            BitAnd => BinOp::And,
+            BitOr => BinOp::Or,
+            BitXor => BinOp::Xor,
+            Eq => BinOp::Eq,
+            Ne => BinOp::Ne,
+            Lt => {
+                if unsigned {
+                    BinOp::ULt
+                } else {
+                    BinOp::SLt
+                }
+            }
+            Le => {
+                if unsigned {
+                    BinOp::ULe
+                } else {
+                    BinOp::SLe
+                }
+            }
+            Gt => {
+                if unsigned {
+                    BinOp::UGt
+                } else {
+                    BinOp::SGt
+                }
+            }
+            Ge => {
+                if unsigned {
+                    BinOp::UGe
+                } else {
+                    BinOp::SGe
+                }
+            }
+            LogAnd | LogOr => unreachable!("handled by short_circuit"),
+        };
+        Ok((self.b.ins(InstData::Bin { op: ir, a, b }), Type::Int))
+    }
+
+    /// `p + i` / `p - i` with element scaling.
+    fn ptr_offset(&mut self, p: Value, pty: Type, i: Value, negate: bool) -> Value {
+        let scaled = if pty.elem_size() == 4 {
+            let two = self.b.ins(InstData::Const(2));
+            self.b.ins(InstData::Bin { op: BinOp::Shl, a: i, b: two })
+        } else {
+            i
+        };
+        let op = if negate { BinOp::Sub } else { BinOp::Add };
+        self.b.ins(InstData::Bin { op, a: p, b: scaled })
+    }
+
+    /// Short-circuit `&&` (and = true) / `||`.
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> LResult<(Value, Type)> {
+        let (l, lt) = self.expr(lhs)?;
+        if lt == Type::Void {
+            return sema(lhs.line(), "void operand");
+        }
+        let result = self.b.declare_var();
+        let zero = self.b.ins(InstData::Const(0));
+        let lbool = self.b.ins(InstData::Bin { op: BinOp::Ne, a: l, b: zero });
+        self.b.def_var(result, lbool);
+        let rhs_bb = self.b.create_block();
+        let merge = self.b.create_block();
+        if is_and {
+            self.terminate_once(Terminator::CondBr { cond: lbool, then_bb: rhs_bb, else_bb: merge });
+        } else {
+            self.terminate_once(Terminator::CondBr { cond: lbool, then_bb: merge, else_bb: rhs_bb });
+        }
+        self.b.seal_block(rhs_bb);
+        self.b.switch_to_block(rhs_bb);
+        let (r, rt) = self.expr(rhs)?;
+        if rt == Type::Void {
+            return sema(rhs.line(), "void operand");
+        }
+        let zero2 = self.b.ins(InstData::Const(0));
+        let rbool = self.b.ins(InstData::Bin { op: BinOp::Ne, a: r, b: zero2 });
+        self.b.def_var(result, rbool);
+        self.terminate_once(Terminator::Br(merge));
+        self.b.seal_block(merge);
+        self.b.switch_to_block(merge);
+        Ok((self.b.use_var(result), Type::Int))
+    }
+
+    /// Lowers an lvalue to `(address, pointee type)`.
+    fn addr_of(&mut self, e: &Expr) -> LResult<(Value, Type)> {
+        match e {
+            Expr::Ident { name, line } => {
+                if let Some(binding) = self.lookup(name) {
+                    return match binding {
+                        Binding::Var { .. } => {
+                            sema(*line, format!("cannot take the address of SSA variable `{name}` (internal)"))
+                        }
+                        Binding::Slot { slot, ty, .. } => {
+                            Ok((self.b.ins(InstData::SlotAddr(slot)), ty))
+                        }
+                    };
+                }
+                match self.globals.get(name) {
+                    Some(&GlobalBinding::Scalar { id, ty }) => {
+                        Ok((self.b.ins(InstData::GlobalAddr(id)), ty))
+                    }
+                    Some(&GlobalBinding::Array { id, elem }) => {
+                        Ok((self.b.ins(InstData::GlobalAddr(id)), elem))
+                    }
+                    None => sema(*line, format!("unknown variable `{name}`")),
+                }
+            }
+            Expr::Deref { expr, line } => {
+                let (p, ty) = self.expr(expr)?;
+                if !ty.is_ptr() {
+                    return sema(*line, "dereferencing a non-pointer");
+                }
+                Ok((p, ty.pointee()))
+            }
+            Expr::Index { base, index, line } => {
+                let (bv, bt) = self.expr(base)?;
+                if !bt.is_ptr() {
+                    return sema(*line, "indexing a non-pointer");
+                }
+                let (iv, it) = self.expr(index)?;
+                if it.is_ptr() {
+                    return sema(*line, "pointer used as index");
+                }
+                let addr = self.ptr_offset(bv, bt, iv, false);
+                Ok((addr, bt.pointee()))
+            }
+            Expr::Str { bytes, .. } => {
+                let id = self.intern_string(bytes);
+                Ok((self.b.ins(InstData::GlobalAddr(id)), Type::Byte))
+            }
+            other => sema(other.line(), "expression is not an lvalue"),
+        }
+    }
+
+    fn intern_string(&mut self, bytes: &[u8]) -> GlobalId {
+        let mut init = bytes.to_vec();
+        init.push(0);
+        let name = format!(".str.{}.{}", self.b.func.name, self.str_count);
+        self.str_count += 1;
+        self.module.add_global(Global { name, size: init.len() as u32, align: 1, init })
+    }
+}
+
+fn width_of(ty: Type) -> MemWidth {
+    match ty {
+        Type::Byte => MemWidth::Bu,
+        _ => MemWidth::W,
+    }
+}
+
+/// Collects names whose address is taken with `&name` so they get
+/// stack slots instead of SSA variables.
+fn collect_addr_taken(s: &Stmt, out: &mut HashSet<String>) {
+    fn walk_expr(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::AddrOf { expr, .. } => {
+                if let Expr::Ident { name, .. } = &**expr {
+                    out.insert(name.clone());
+                }
+                walk_expr(expr, out);
+            }
+            Expr::Unary { expr, .. } | Expr::Deref { expr, .. } => walk_expr(expr, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                walk_expr(lhs, out);
+                walk_expr(rhs, out);
+            }
+            Expr::Index { base, index, .. } => {
+                walk_expr(base, out);
+                walk_expr(index, out);
+            }
+            Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, out)),
+            Expr::Int { .. } | Expr::Str { .. } | Expr::Ident { .. } => {}
+        }
+    }
+    match s {
+        Stmt::Block(body) => body.iter().for_each(|st| collect_addr_taken(st, out)),
+        Stmt::If { cond, then_stmt, else_stmt } => {
+            walk_expr(cond, out);
+            collect_addr_taken(then_stmt, out);
+            if let Some(e) = else_stmt {
+                collect_addr_taken(e, out);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            walk_expr(cond, out);
+            collect_addr_taken(body, out);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                collect_addr_taken(i, out);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, out);
+            }
+            if let Some(st) = step {
+                collect_addr_taken(st, out);
+            }
+            collect_addr_taken(body, out);
+        }
+        Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => walk_expr(e, out),
+        Stmt::Assign { lvalue, value } => {
+            walk_expr(lvalue, out);
+            walk_expr(value, out);
+        }
+        Stmt::Decl { init: Some(e), .. } => walk_expr(e, out),
+        _ => {}
+    }
+}

@@ -1,0 +1,70 @@
+//! The MinC front-end: a small C-like language standing in for the
+//! paper's clang front-end (see DESIGN.md for the substitution
+//! rationale). MinC has `int`/`byte` scalars, pointers, arrays,
+//! strings, functions, and full structured control flow — enough to
+//! express Dhrystone-like and CoreMark-like workloads.
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinAst, Expr, FuncDef, GlobalDecl, Item, Program, Stmt, Type, UnAst};
+pub use lexer::{lex, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::parse;
+
+use crate::{verify::VerifyError, Module};
+
+/// A front-end or verification error, with source position where
+/// available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexical error.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// Semantic (type/symbol) error.
+    Sema {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// Post-lowering IR verification failure (an internal error).
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            CompileError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            CompileError::Sema { line, msg } => write!(f, "semantic error at line {line}: {msg}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lexes, parses, and lowers MinC source to an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any front-end failure.
+pub fn lower_source(src: &str) -> Result<Module, CompileError> {
+    let tokens = lex(src)?;
+    let program = parse(&tokens)?;
+    lower_program(&program)
+}

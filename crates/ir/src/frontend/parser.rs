@@ -1,0 +1,503 @@
+//! Recursive-descent parser for MinC.
+
+use super::ast::*;
+use super::lexer::{Token, TokenKind};
+use super::CompileError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::Parse`] with the offending line.
+pub fn parse(toks: &[Token]) -> PResult<Program> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while p.peek() != &TokenKind::Eof {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(CompileError::Parse { line: self.line(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, k: &TokenKind, what: &str) -> PResult<()> {
+        if self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    /// Parses a type: `int`/`byte`/`void` with optional `*`s.
+    fn type_spec(&mut self) -> PResult<Type> {
+        let base = match self.bump() {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwByte => Type::Byte,
+            TokenKind::KwVoid => Type::Void,
+            other => {
+                self.pos -= 1;
+                return self.err(format!("expected type, found {other:?}"));
+            }
+        };
+        let mut ty = base;
+        while self.eat(&TokenKind::Star) {
+            ty = match ty {
+                Type::Int => Type::PtrInt,
+                Type::Byte => Type::PtrByte,
+                _ => return self.err("only single-level pointers to int/byte are supported"),
+            };
+        }
+        Ok(ty)
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(self.peek(), TokenKind::KwInt | TokenKind::KwByte | TokenKind::KwVoid)
+    }
+
+    fn item(&mut self) -> PResult<Item> {
+        let line = self.line();
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        if self.peek() == &TokenKind::LParen {
+            // Function definition.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    let pty = self.type_spec()?;
+                    if pty == Type::Void {
+                        return self.err("void parameter");
+                    }
+                    let pname = self.ident()?;
+                    params.push((pty, pname));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, ")")?;
+            }
+            self.expect(&TokenKind::LBrace, "{")?;
+            let mut body = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                body.push(self.stmt()?);
+            }
+            Ok(Item::Func(FuncDef { name, ret: ty, params, body, line }))
+        } else {
+            // Global declaration.
+            if ty == Type::Void {
+                return self.err("void global");
+            }
+            let mut array = None;
+            if self.eat(&TokenKind::LBracket) {
+                match self.bump() {
+                    TokenKind::Int(n) if n > 0 => array = Some(n as u32),
+                    _ => return self.err("array length must be a positive integer literal"),
+                }
+                self.expect(&TokenKind::RBracket, "]")?;
+            }
+            let mut init = None;
+            let mut str_init = None;
+            if self.eat(&TokenKind::Assign) {
+                match self.bump() {
+                    TokenKind::Int(v) => init = Some(v),
+                    TokenKind::Minus => match self.bump() {
+                        TokenKind::Int(v) => init = Some(-v),
+                        _ => return self.err("expected integer after '-'"),
+                    },
+                    TokenKind::Str(s) if ty == Type::Byte && array.is_some() => str_init = Some(s),
+                    _ => return self.err("global initializer must be an integer literal (or string for byte arrays)"),
+                }
+            }
+            self.expect(&TokenKind::Semi, ";")?;
+            Ok(Item::Global(GlobalDecl { ty, name, array, init, str_init, line }))
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(body))
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                let then_stmt = Box::new(self.stmt()?);
+                let else_stmt =
+                    if self.eat(&TokenKind::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                Ok(Stmt::If { cond, then_stmt, else_stmt })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                self.expect(&TokenKind::KwWhile, "while")?;
+                self.expect(&TokenKind::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                self.expect(&TokenKind::Semi, ";")?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "(")?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    self.bump();
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi, ";")?;
+                let step = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semi()?))
+                };
+                self.expect(&TokenKind::RParen, ")")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi, ";")?;
+                Ok(Stmt::Return(e))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi, ";")?;
+                Ok(Stmt::Break { line })
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, ";")?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => self.simple_stmt(),
+        }
+    }
+
+    /// A declaration / assignment / expression statement with its
+    /// trailing semicolon.
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let s = self.simple_stmt_no_semi()?;
+        self.expect(&TokenKind::Semi, ";")?;
+        Ok(s)
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        if self.starts_type() {
+            let ty = self.type_spec()?;
+            if ty == Type::Void {
+                return self.err("void local");
+            }
+            let name = self.ident()?;
+            let mut array = None;
+            if self.eat(&TokenKind::LBracket) {
+                match self.bump() {
+                    TokenKind::Int(n) if n > 0 => array = Some(n as u32),
+                    _ => return self.err("array length must be a positive integer literal"),
+                }
+                self.expect(&TokenKind::RBracket, "]")?;
+            }
+            let init = if self.eat(&TokenKind::Assign) {
+                if array.is_some() {
+                    return self.err("array initializers are not supported");
+                }
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl { ty, name, array, init, line });
+        }
+        // `x++` / `x--` sugar on a plain identifier or lvalue.
+        let e = self.expr()?;
+        let mk_one = |line| Expr::Int { value: 1, line };
+        match self.peek().clone() {
+            TokenKind::Assign => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::Assign { lvalue: e, value })
+            }
+            TokenKind::PlusPlus | TokenKind::MinusMinus | TokenKind::PlusEq | TokenKind::MinusEq => {
+                let tok = self.bump();
+                let (op, rhs) = match tok {
+                    TokenKind::PlusPlus => (BinAst::Add, mk_one(line)),
+                    TokenKind::MinusMinus => (BinAst::Sub, mk_one(line)),
+                    TokenKind::PlusEq => (BinAst::Add, self.expr()?),
+                    _ => (BinAst::Sub, self.expr()?),
+                };
+                Ok(Stmt::Assign {
+                    lvalue: e.clone(),
+                    value: Expr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs), line },
+                })
+            }
+            _ => Ok(Stmt::ExprStmt(e)),
+        }
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing binary parser. Level 0 is `||`.
+    fn binary(&mut self, level: usize) -> PResult<Expr> {
+        const LEVELS: &[&[(TokenKind, BinAst)]] = &[
+            &[(TokenKind::OrOr, BinAst::LogOr)],
+            &[(TokenKind::AndAnd, BinAst::LogAnd)],
+            &[(TokenKind::Pipe, BinAst::BitOr)],
+            &[(TokenKind::Caret, BinAst::BitXor)],
+            &[(TokenKind::Amp, BinAst::BitAnd)],
+            &[(TokenKind::EqEq, BinAst::Eq), (TokenKind::Ne, BinAst::Ne)],
+            &[
+                (TokenKind::Lt, BinAst::Lt),
+                (TokenKind::Le, BinAst::Le),
+                (TokenKind::Gt, BinAst::Gt),
+                (TokenKind::Ge, BinAst::Ge),
+            ],
+            &[(TokenKind::Shl, BinAst::Shl), (TokenKind::Shr, BinAst::Shr)],
+            &[(TokenKind::Plus, BinAst::Add), (TokenKind::Minus, BinAst::Sub)],
+            &[(TokenKind::Star, BinAst::Mul), (TokenKind::Slash, BinAst::Div), (TokenKind::Percent, BinAst::Rem)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        loop {
+            let line = self.line();
+            let mut matched = None;
+            for (tok, op) in LEVELS[level] {
+                if self.peek() == tok {
+                    matched = Some(*op);
+                    break;
+                }
+            }
+            match matched {
+                Some(op) => {
+                    self.bump();
+                    let rhs = self.binary(level + 1)?;
+                    lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary { op: UnAst::Neg, expr: Box::new(self.unary()?), line })
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary { op: UnAst::Not, expr: Box::new(self.unary()?), line })
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::Unary { op: UnAst::BitNot, expr: Box::new(self.unary()?), line })
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::Deref { expr: Box::new(self.unary()?), line })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf { expr: Box::new(self.unary()?), line })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&TokenKind::LBracket) {
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket, "]")?;
+                e = Expr::Index { base: Box::new(e), index: Box::new(index), line };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Int(value) => Ok(Expr::Int { value, line }),
+            TokenKind::Char(c) => Ok(Expr::Int { value: i64::from(c), line }),
+            TokenKind::Str(bytes) => Ok(Expr::Str { bytes, line }),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, ")")?;
+                    }
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Ident { name, line })
+                }
+            }
+            other => {
+                self.pos -= 1;
+                let _ = self.peek2();
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_and_global() {
+        let p = parse_src("int g = 5; byte buf[10]; int f(int a, int* p) { return a; }");
+        assert_eq!(p.items.len(), 3);
+        match &p.items[2] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "f");
+                assert_eq!(f.params, vec![(Type::Int, "a".into()), (Type::PtrInt, "p".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let p = parse_src("int f() { return 1 + 2 * 3; }");
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { op: BinAst::Add, rhs, .. })) = &f.body[0] else {
+            panic!("{:?}", f.body[0])
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinAst::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "void f(int n) {
+            int i;
+            for (i = 0; i < n; i++) { if (i % 2 == 0) continue; else break; }
+            while (n > 0) { n -= 1; }
+            do { n++; } while (n < 3);
+        }";
+        let p = parse_src(src);
+        assert_eq!(p.items.len(), 1);
+    }
+
+    #[test]
+    fn parses_pointers_and_strings() {
+        let src = "int f(byte* s) { return s[0] + *s + \"x\"[0]; }";
+        let _ = parse_src(src);
+    }
+
+    #[test]
+    fn plusplus_desugars_to_assign() {
+        let p = parse_src("void f() { int i = 0; i++; }");
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(&f.body[1], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let toks = lex("int f() {\n  return $;\n}").unwrap_or_default();
+        if toks.is_empty() {
+            return; // lexer already rejects '$'
+        }
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_items() {
+        assert!(parse(&lex("void g;").unwrap()).is_err());
+        assert!(parse(&lex("int a[0];").unwrap()).is_err());
+        assert!(parse(&lex("int f(void v) {}").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Function bodies: instruction arena, basic blocks, stack slots.
+
+use std::fmt;
+
+use crate::{Block, InstData, SlotId, Terminator, Value};
+
+/// A function-local stack allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSlot {
+    /// Size in bytes.
+    pub size: u32,
+    /// Required alignment in bytes (1, 2, or 4).
+    pub align: u32,
+    /// Debug name.
+    pub name: String,
+}
+
+/// A basic block: an ordered list of instruction ids (phis first) and
+/// a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    /// Instruction ids in program order. Phis, if any, come first.
+    pub insts: Vec<Value>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Default for BlockData {
+    fn default() -> Self {
+        BlockData { insts: Vec::new(), term: Terminator::Unreachable }
+    }
+}
+
+/// An IR function in SSA form.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: u32,
+    /// Whether the function produces a value.
+    pub returns_value: bool,
+    /// Instruction arena; `Value(i)` is produced by `insts[i]`.
+    pub insts: Vec<InstData>,
+    /// Basic blocks; `blocks[0]` is the entry.
+    pub blocks: Vec<BlockData>,
+    /// Stack slots.
+    pub slots: Vec<StackSlot>,
+}
+
+impl Function {
+    /// Creates an empty function with just an entry block.
+    #[must_use]
+    pub fn new(name: &str, num_params: u32, returns_value: bool) -> Function {
+        Function {
+            name: name.to_string(),
+            num_params,
+            returns_value,
+            insts: Vec::new(),
+            blocks: vec![BlockData::default()],
+            slots: Vec::new(),
+        }
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> Block {
+        Block::new(0)
+    }
+
+    /// Appends an instruction to the arena *without* placing it in a
+    /// block (the builder/backends control placement).
+    pub fn create_inst(&mut self, data: InstData) -> Value {
+        let v = Value::new(self.insts.len());
+        self.insts.push(data);
+        v
+    }
+
+    /// Appends an instruction to the arena and to the end of `block`.
+    pub fn push_inst(&mut self, block: Block, data: InstData) -> Value {
+        let v = self.create_inst(data);
+        self.blocks[block.index()].insts.push(v);
+        v
+    }
+
+    /// Creates a new empty block.
+    pub fn create_block(&mut self) -> Block {
+        let b = Block::new(self.blocks.len());
+        self.blocks.push(BlockData::default());
+        b
+    }
+
+    /// Creates a stack slot.
+    pub fn create_slot(&mut self, name: &str, size: u32, align: u32) -> SlotId {
+        let s = SlotId::new(self.slots.len());
+        self.slots.push(StackSlot { size, align, name: name.to_string() });
+        s
+    }
+
+    /// The instruction producing `v`.
+    #[must_use]
+    pub fn inst(&self, v: Value) -> &InstData {
+        &self.insts[v.index()]
+    }
+
+    /// Mutable access to the instruction producing `v`.
+    pub fn inst_mut(&mut self, v: Value) -> &mut InstData {
+        &mut self.insts[v.index()]
+    }
+
+    /// Block data accessor.
+    #[must_use]
+    pub fn block(&self, b: Block) -> &BlockData {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable block data accessor.
+    pub fn block_mut(&mut self, b: Block) -> &mut BlockData {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Iterator over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = Block> {
+        (0..self.blocks.len()).map(Block::new)
+    }
+
+    /// Total byte size of all stack slots, each aligned, rounded up to
+    /// 4-byte alignment overall.
+    #[must_use]
+    pub fn frame_size(&self) -> u32 {
+        let mut off = 0u32;
+        for s in &self.slots {
+            off = off.next_multiple_of(s.align.max(1));
+            off += s.size;
+        }
+        off.next_multiple_of(4)
+    }
+
+    /// Byte offset of `slot` within the frame (frame base = lowest
+    /// address).
+    #[must_use]
+    pub fn slot_offset(&self, slot: SlotId) -> u32 {
+        let mut off = 0u32;
+        for (i, s) in self.slots.iter().enumerate() {
+            off = off.next_multiple_of(s.align.max(1));
+            if i == slot.index() {
+                return off;
+            }
+            off += s.size;
+        }
+        panic!("slot {slot} out of range");
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({} params){} {{",
+            self.name,
+            self.num_params,
+            if self.returns_value { " -> value" } else { "" }
+        )?;
+        for (si, slot) in self.slots.iter().enumerate() {
+            writeln!(f, "  slot{si}: {} bytes ({})", slot.size, slot.name)?;
+        }
+        for b in self.block_ids() {
+            writeln!(f, "{b}:")?;
+            for &v in &self.block(b).insts {
+                writeln!(f, "  {v} = {:?}", self.inst(v))?;
+            }
+            writeln!(f, "  {:?}", self.block(b).term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinOp;
+
+    #[test]
+    fn arena_and_blocks() {
+        let mut fun = Function::new("f", 0, false);
+        let c = fun.push_inst(fun.entry(), InstData::Const(7));
+        let b = fun.create_block();
+        let add = fun.push_inst(b, InstData::Bin { op: BinOp::Add, a: c, b: c });
+        assert_eq!(fun.inst(c), &InstData::Const(7));
+        assert_eq!(fun.block(b).insts, vec![add]);
+        assert_eq!(fun.entry(), Block::new(0));
+    }
+
+    #[test]
+    fn frame_layout_respects_alignment() {
+        let mut fun = Function::new("f", 0, false);
+        let a = fun.create_slot("a", 1, 1);
+        let b = fun.create_slot("b", 4, 4);
+        let c = fun.create_slot("c", 2, 2);
+        assert_eq!(fun.slot_offset(a), 0);
+        assert_eq!(fun.slot_offset(b), 4);
+        assert_eq!(fun.slot_offset(c), 8);
+        assert_eq!(fun.frame_size(), 12);
+    }
+
+    #[test]
+    fn display_contains_blocks() {
+        let fun = Function::new("g", 2, true);
+        let s = fun.to_string();
+        assert!(s.contains("fn g"));
+        assert!(s.contains("bb0:"));
+    }
+}

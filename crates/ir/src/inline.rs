@@ -1,0 +1,264 @@
+//! Function inlining: small leaf functions are cloned into their
+//! callers. Both back-ends consume the same inlined IR, mirroring the
+//! paper's use of clang/LLVM `-O2` (which inlines such callees) for
+//! both machines.
+
+use std::collections::HashMap;
+
+use crate::{Block, Function, InstData, Module, SlotId, Terminator, Value};
+
+/// Maximum callee size (IR instructions) considered for inlining.
+const MAX_CALLEE_INSTS: usize = 64;
+/// Maximum number of call sites expanded per caller per round.
+const MAX_SITES_PER_ROUND: usize = 12;
+/// Inline rounds (two levels of call depth).
+const ROUNDS: usize = 2;
+
+/// Inlines eligible callees into all callers. A callee is eligible
+/// when it is small and makes no calls itself (leaf), which also
+/// rules out recursion.
+pub fn inline_module(module: &mut Module) {
+    for _ in 0..ROUNDS {
+        // Snapshot eligible callees.
+        let eligible: HashMap<String, Function> = module
+            .funcs
+            .iter()
+            .filter(|f| {
+                f.insts.len() <= MAX_CALLEE_INSTS
+                    && !f.insts.iter().any(|i| matches!(i, InstData::Call { .. }))
+            })
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        if eligible.is_empty() {
+            return;
+        }
+        let mut changed = false;
+        for f in &mut module.funcs {
+            let mut sites = 0;
+            // Re-scan until no inlinable call remains (or budget).
+            'outer: while sites < MAX_SITES_PER_ROUND {
+                for b in f.block_ids().collect::<Vec<_>>() {
+                    for (pos, &v) in f.block(b).insts.iter().enumerate() {
+                        if let InstData::Call { callee, .. } = f.inst(v) {
+                            if callee != &f.name {
+                                if let Some(target) = eligible.get(callee) {
+                                    inline_one(f, b, pos, v, target);
+                                    sites += 1;
+                                    changed = true;
+                                    continue 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Expands the call at `(block, pos)` (value `call_v`) with a clone of
+/// `callee`.
+fn inline_one(f: &mut Function, block: Block, pos: usize, call_v: Value, callee: &Function) {
+    let InstData::Call { args, .. } = f.inst(call_v).clone() else {
+        unreachable!("inline_one on non-call")
+    };
+
+    // 1. Split the caller block: the tail (everything after the call)
+    //    moves to a continuation block, which inherits the terminator.
+    let cont = f.create_block();
+    let tail: Vec<Value> = f.block_mut(block).insts.split_off(pos + 1);
+    f.block_mut(cont).insts = tail;
+    let old_term = std::mem::replace(&mut f.block_mut(block).term, Terminator::Unreachable);
+    f.block_mut(cont).term = old_term;
+    // Phi edges pointing at `block` now come from `cont` (the block's
+    // exit moved there).
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        for &p in &f.block(bb).insts.clone() {
+            if let InstData::Phi(phi_args) = f.inst_mut(p) {
+                for (pb, _) in phi_args.iter_mut() {
+                    if *pb == block {
+                        *pb = cont;
+                    }
+                }
+            }
+        }
+    }
+    // Remove the call from the original block; it becomes an alias of
+    // the return value (patched below).
+    f.block_mut(block).insts.truncate(pos);
+
+    // 2. Clone callee slots.
+    let slot_off = f.slots.len();
+    for s in &callee.slots {
+        f.slots.push(s.clone());
+    }
+
+    // 3. Clone callee instructions (value remap) and blocks (block
+    //    remap). Params become copies of the arguments.
+    let value_map: Vec<Value> = callee
+        .insts
+        .iter()
+        .map(|data| {
+            let placeholder = match data {
+                InstData::Param(i) => {
+                    InstData::Copy(args.get(*i as usize).copied().unwrap_or(args[0]))
+                }
+                other => other.clone(),
+            };
+            f.create_inst(placeholder)
+        })
+        .collect();
+    let block_map: Vec<Block> = callee.blocks.iter().map(|_| f.create_block()).collect();
+
+    // Rewrite cloned instruction operands / slot ids / phi blocks.
+    let mut returns: Vec<(Block, Option<Value>)> = Vec::new();
+    for (ci, data) in callee.insts.iter().enumerate() {
+        if matches!(data, InstData::Param(_)) {
+            continue; // already a Copy of the argument
+        }
+        let mut cloned = data.clone();
+        cloned.map_operands(|op| value_map[op.index()]);
+        if let InstData::SlotAddr(s) = &mut cloned {
+            *s = SlotId::new(slot_off + s.index());
+        }
+        if let InstData::Phi(phi_args) = &mut cloned {
+            for (pb, _) in phi_args.iter_mut() {
+                *pb = block_map[pb.index()];
+            }
+        }
+        *f.inst_mut(value_map[ci]) = cloned;
+    }
+    for (cb, data) in callee.blocks.iter().enumerate() {
+        let nb = block_map[cb];
+        f.block_mut(nb).insts = data.insts.iter().map(|v| value_map[v.index()]).collect();
+        f.block_mut(nb).term = match &data.term {
+            Terminator::Br(t) => Terminator::Br(block_map[t.index()]),
+            Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+                cond: value_map[cond.index()],
+                then_bb: block_map[then_bb.index()],
+                else_bb: block_map[else_bb.index()],
+            },
+            Terminator::Ret(v) => {
+                let rv = v.map(|v| value_map[v.index()]);
+                returns.push((nb, rv));
+                Terminator::Br(cont)
+            }
+            Terminator::Unreachable => Terminator::Unreachable,
+        };
+    }
+
+    // 4. Enter the clone and materialize the return value.
+    f.block_mut(block).term = Terminator::Br(block_map[callee.entry().index()]);
+    let result = match returns.len() {
+        0 => {
+            // No return (infinite loop in callee): the continuation is
+            // unreachable; give the call value a dummy.
+            f.push_inst(block, InstData::Const(0))
+        }
+        1 => match returns[0].1 {
+            Some(v) => v,
+            None => f.push_inst(block, InstData::Const(0)),
+        },
+        _ => {
+            let phi_args: Vec<(Block, Value)> = returns
+                .iter()
+                .map(|(b, v)| match v {
+                    Some(v) => (*b, *v),
+                    None => (*b, call_v), // void returns: value unused
+                })
+                .collect();
+            // Void multi-return: if all values reference the call
+            // itself, just use zero.
+            if phi_args.iter().all(|(_, v)| *v == call_v) {
+                f.push_inst(block, InstData::Const(0))
+            } else {
+                let phi = f.create_inst(InstData::Phi(phi_args));
+                f.block_mut(cont).insts.insert(0, phi);
+                phi
+            }
+        }
+    };
+    *f.inst_mut(call_v) = InstData::Copy(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_source, interp};
+
+    fn behaviour(src: &str) -> (String, i32, usize) {
+        let m = compile_source(src).unwrap();
+        let calls = m
+            .funcs
+            .iter()
+            .flat_map(|f| f.insts.iter())
+            .filter(|i| matches!(i, crate::InstData::Call { .. }))
+            .count();
+        let out = interp::run_main(&m).unwrap();
+        (out.stdout, out.exit_code, calls)
+    }
+
+    #[test]
+    fn leaf_calls_disappear_and_behaviour_is_preserved() {
+        let (stdout, code, calls) = behaviour(
+            "int sq(int x) { return x * x; }
+             int main() { print_int(sq(3) + sq(4)); return sq(5); }",
+        );
+        assert_eq!(stdout, "25\n");
+        assert_eq!(code, 25);
+        assert_eq!(calls, 0, "leaf calls should be inlined");
+    }
+
+    #[test]
+    fn control_flow_in_callee_inlines() {
+        let (stdout, _, calls) = behaviour(
+            "int absv(int x) { if (x < 0) return -x; return x; }
+             int main() {
+                 int s = 0;
+                 int i;
+                 for (i = -5; i <= 5; i++) s += absv(i);
+                 print_int(s);
+                 return 0;
+             }",
+        );
+        assert_eq!(stdout, "30\n");
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let (stdout, _, calls) = behaviour(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+             int main() { print_int(fib(10)); return 0; }",
+        );
+        assert_eq!(stdout, "55\n");
+        assert!(calls > 0, "recursive calls must survive");
+    }
+
+    #[test]
+    fn void_callee_with_stores() {
+        let (stdout, _, calls) = behaviour(
+            "int g;
+             void bump(int d) { g = g + d; }
+             int main() { bump(4); bump(38); print_int(g); return 0; }",
+        );
+        assert_eq!(stdout, "42\n");
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn callee_locals_get_fresh_slots() {
+        let (stdout, _, _) = behaviour(
+            "int sum3(int a, int b, int c) {
+                 int tmp[3];
+                 tmp[0] = a; tmp[1] = b; tmp[2] = c;
+                 return tmp[0] + tmp[1] + tmp[2];
+             }
+             int main() { print_int(sum3(1, 2, 3) * sum3(4, 5, 6)); return 0; }",
+        );
+        assert_eq!(stdout, "90\n");
+    }
+}

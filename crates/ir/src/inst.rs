@@ -1,0 +1,396 @@
+//! IR instruction and terminator definitions.
+
+use std::fmt;
+
+use straight_isa::MemWidth;
+
+use crate::{Block, GlobalId, SlotId, Value};
+
+/// Binary operations on 32-bit values. Comparisons produce 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    DivU,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrA,
+    ShrL,
+    Eq,
+    Ne,
+    SLt,
+    SLe,
+    SGt,
+    SGe,
+    ULt,
+    ULe,
+    UGt,
+    UGe,
+}
+
+impl BinOp {
+    /// Evaluates the operation with the same corner-case semantics as
+    /// RV32IM (wrapping arithmetic, masked shifts, defined division by
+    /// zero).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        use straight_isa::AluOp;
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            BinOp::Add => AluOp::Add.eval(a, b),
+            BinOp::Sub => AluOp::Sub.eval(a, b),
+            BinOp::Mul => AluOp::Mul.eval(a, b),
+            BinOp::Div => AluOp::Div.eval(a, b),
+            BinOp::Rem => AluOp::Rem.eval(a, b),
+            BinOp::DivU => AluOp::Divu.eval(a, b),
+            BinOp::RemU => AluOp::Remu.eval(a, b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => AluOp::Sll.eval(a, b),
+            BinOp::ShrA => AluOp::Sra.eval(a, b),
+            BinOp::ShrL => AluOp::Srl.eval(a, b),
+            BinOp::Eq => u32::from(a == b),
+            BinOp::Ne => u32::from(a != b),
+            BinOp::SLt => u32::from(sa < sb),
+            BinOp::SLe => u32::from(sa <= sb),
+            BinOp::SGt => u32::from(sa > sb),
+            BinOp::SGe => u32::from(sa >= sb),
+            BinOp::ULt => u32::from(a < b),
+            BinOp::ULe => u32::from(a <= b),
+            BinOp::UGt => u32::from(a > b),
+            BinOp::UGe => u32::from(a >= b),
+        }
+    }
+
+    /// True when `op(a, b) == op(b, a)` for all inputs.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Lower-case mnemonic for printing.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::DivU => "divu",
+            BinOp::RemU => "remu",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::ShrA => "shra",
+            BinOp::ShrL => "shrl",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::SLt => "slt",
+            BinOp::SLe => "sle",
+            BinOp::SGt => "sgt",
+            BinOp::SGe => "sge",
+            BinOp::ULt => "ult",
+            BinOp::ULe => "ule",
+            BinOp::UGt => "ugt",
+            BinOp::UGe => "uge",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Built-in environment services available to MinC programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysOp {
+    /// Print the first argument as a signed decimal, then a newline.
+    PrintInt,
+    /// Print the low byte of the first argument as a character.
+    PrintChar,
+    /// Terminate the program with the first argument as exit code.
+    Exit,
+}
+
+impl SysOp {
+    /// The service code shared with both ISAs' `SYS`/`ecall`
+    /// conventions.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            SysOp::PrintInt => 1,
+            SysOp::PrintChar => 2,
+            SysOp::Exit => 3,
+        }
+    }
+
+    /// Inverse of [`SysOp::code`].
+    #[must_use]
+    pub fn from_code(code: u16) -> Option<SysOp> {
+        match code {
+            1 => Some(SysOp::PrintInt),
+            2 => Some(SysOp::PrintChar),
+            3 => Some(SysOp::Exit),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments the service consumes.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        1
+    }
+
+    /// MinC-level builtin name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SysOp::PrintInt => "print_int",
+            SysOp::PrintChar => "print_char",
+            SysOp::Exit => "exit",
+        }
+    }
+}
+
+/// One value-producing IR instruction. The producing [`Value`] id is
+/// implicit (it is the instruction's index in the function arena),
+/// mirroring STRAIGHT's implicit destinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstData {
+    /// The `i`-th function parameter; only valid in the entry block.
+    Param(u32),
+    /// 32-bit constant.
+    Const(i32),
+    /// Binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// Memory load.
+    Load {
+        /// Access width and extension.
+        width: MemWidth,
+        /// Byte address.
+        addr: Value,
+    },
+    /// Memory store; produces `val` (so every instruction has a
+    /// result, as in STRAIGHT).
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Stored value.
+        val: Value,
+        /// Byte address.
+        addr: Value,
+    },
+    /// Direct call by symbol name; produces the (single) return value,
+    /// or an unspecified value for `void` callees.
+    Call {
+        /// Callee symbol.
+        callee: String,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+    /// Environment service.
+    Sys {
+        /// Service.
+        op: SysOp,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+    /// Address of a global.
+    GlobalAddr(GlobalId),
+    /// Address of a stack slot.
+    SlotAddr(SlotId),
+    /// SSA phi: one incoming value per predecessor block.
+    Phi(Vec<(Block, Value)>),
+    /// Value alias introduced by SSA construction when a phi turns out
+    /// to be trivial; removed by `passes::resolve_aliases`.
+    Copy(Value),
+}
+
+impl InstData {
+    /// Visits every value operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match self {
+            InstData::Param(_) | InstData::Const(_) | InstData::GlobalAddr(_) | InstData::SlotAddr(_) => {}
+            InstData::Bin { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            InstData::Load { addr, .. } => f(*addr),
+            InstData::Store { val, addr, .. } => {
+                f(*val);
+                f(*addr);
+            }
+            InstData::Call { args, .. } | InstData::Sys { args, .. } => args.iter().copied().for_each(f),
+            InstData::Phi(args) => args.iter().for_each(|(_, v)| f(*v)),
+            InstData::Copy(v) => f(*v),
+        }
+    }
+
+    /// Rewrites every value operand in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
+        match self {
+            InstData::Param(_) | InstData::Const(_) | InstData::GlobalAddr(_) | InstData::SlotAddr(_) => {}
+            InstData::Bin { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            InstData::Load { addr, .. } => *addr = f(*addr),
+            InstData::Store { val, addr, .. } => {
+                *val = f(*val);
+                *addr = f(*addr);
+            }
+            InstData::Call { args, .. } | InstData::Sys { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            InstData::Phi(args) => {
+                for (_, v) in args {
+                    *v = f(*v);
+                }
+            }
+            InstData::Copy(v) => *v = f(*v),
+        }
+    }
+
+    /// True when removing the instruction (with an unused result)
+    /// changes program behaviour.
+    #[must_use]
+    pub fn has_side_effect(&self) -> bool {
+        matches!(self, InstData::Store { .. } | InstData::Call { .. } | InstData::Sys { .. })
+    }
+
+    /// True for phi instructions.
+    #[must_use]
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstData::Phi(_))
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(Block),
+    /// Two-way branch on `cond != 0`.
+    CondBr {
+        /// Condition value.
+        cond: Value,
+        /// Target when nonzero.
+        then_bb: Block,
+        /// Target when zero.
+        else_bb: Block,
+    },
+    /// Function return.
+    Ret(Option<Value>),
+    /// Placeholder while a block is under construction; never present
+    /// in a verified function.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    #[must_use]
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+
+    /// Visits value operands.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(*cond),
+            Terminator::Ret(Some(v)) => f(*v),
+            _ => {}
+        }
+    }
+
+    /// Rewrites value operands in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
+        match self {
+            Terminator::CondBr { cond, .. } => *cond = f(*cond),
+            Terminator::Ret(Some(v)) => *v = f(*v),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_produce_bool() {
+        assert_eq!(BinOp::SLt.eval(-1i32 as u32, 0), 1);
+        assert_eq!(BinOp::UGe.eval(0, 1), 0);
+        assert_eq!(BinOp::SLe.eval(5, 5), 1);
+        assert_eq!(BinOp::Ne.eval(1, 2), 1);
+    }
+
+    #[test]
+    fn division_by_zero_defined() {
+        assert_eq!(BinOp::Div.eval(9, 0), u32::MAX);
+        assert_eq!(BinOp::RemU.eval(9, 0), 9);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Xor] {
+            assert_eq!(op.eval(13, 7), op.eval(7, 13));
+        }
+    }
+
+    #[test]
+    fn sysop_codes_roundtrip() {
+        for op in [SysOp::PrintInt, SysOp::PrintChar, SysOp::Exit] {
+            assert_eq!(SysOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(SysOp::from_code(99), None);
+    }
+
+    #[test]
+    fn operand_iteration_and_rewrite() {
+        let mut i = InstData::Bin { op: BinOp::Add, a: Value::new(1), b: Value::new(2) };
+        let mut seen = vec![];
+        i.for_each_operand(|v| seen.push(v));
+        assert_eq!(seen, vec![Value::new(1), Value::new(2)]);
+        i.map_operands(|v| Value::new(v.index() + 10));
+        let mut seen2 = vec![];
+        i.for_each_operand(|v| seen2.push(v));
+        assert_eq!(seen2, vec![Value::new(11), Value::new(12)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr { cond: Value::new(0), then_bb: Block::new(1), else_bb: Block::new(2) };
+        assert_eq!(t.successors(), vec![Block::new(1), Block::new(2)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Reference interpreter for the IR.
+//!
+//! Used as the semantic oracle in differential tests: MinC source is
+//! interpreted here and independently compiled + emulated on both
+//! ISAs; all three must agree on output and exit code.
+
+use std::collections::HashMap;
+
+use crate::{Block, Function, GlobalId, InstData, MemWidth, Module, SysOp, Terminator, Value};
+
+/// Base address where globals are laid out.
+pub const GLOBAL_BASE: u32 = 0x0001_0000;
+/// Initial stack pointer (stack grows down).
+pub const STACK_TOP: u32 = 0x003f_0000;
+/// Memory size in bytes.
+const MEM_SIZE: usize = 0x40_0000;
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// Captured `print_int`/`print_char` output.
+    pub stdout: String,
+    /// Exit code (from `exit` or `main`'s return value).
+    pub exit_code: i32,
+    /// Dynamic IR instruction count.
+    pub steps: u64,
+}
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// No function with the requested name.
+    NoSuchFunction(String),
+    /// Step budget exhausted (runaway loop).
+    StepLimit,
+    /// Call depth exceeded.
+    StackOverflow,
+    /// Out-of-range memory access.
+    BadAccess(u32),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            InterpError::StepLimit => write!(f, "interpreter step limit exceeded"),
+            InterpError::StackOverflow => write!(f, "interpreter call depth exceeded"),
+            InterpError::BadAccess(a) => write!(f, "bad memory access at {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+struct Interp<'m> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    global_addrs: HashMap<GlobalId, u32>,
+    stdout: String,
+    steps: u64,
+    step_limit: u64,
+    exited: Option<i32>,
+}
+
+enum FlowResult {
+    Return(u32),
+}
+
+impl<'m> Interp<'m> {
+    fn new(module: &'m Module, step_limit: u64) -> Interp<'m> {
+        let mut mem = vec![0u8; MEM_SIZE];
+        let mut global_addrs = HashMap::new();
+        let mut cursor = GLOBAL_BASE;
+        for (i, g) in module.globals.iter().enumerate() {
+            cursor = cursor.next_multiple_of(g.align.max(1));
+            global_addrs.insert(GlobalId::new(i), cursor);
+            let start = cursor as usize;
+            mem[start..start + g.init.len()].copy_from_slice(&g.init);
+            cursor += g.size;
+        }
+        Interp { module, mem, global_addrs, stdout: String::new(), steps: 0, step_limit, exited: None }
+    }
+
+    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, InterpError> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(InterpError::BadAccess(addr));
+        }
+        Ok(match width {
+            MemWidth::B => self.mem[a] as i8 as i32 as u32,
+            MemWidth::Bu => u32::from(self.mem[a]),
+            MemWidth::H => i32::from(i16::from_le_bytes([self.mem[a], self.mem[a + 1]])) as u32,
+            MemWidth::Hu => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            MemWidth::W => u32::from_le_bytes([self.mem[a], self.mem[a + 1], self.mem[a + 2], self.mem[a + 3]]),
+        })
+    }
+
+    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), InterpError> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(InterpError::BadAccess(addr));
+        }
+        match width {
+            MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
+            MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+            MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn sys(&mut self, op: SysOp, args: &[u32]) -> u32 {
+        match op {
+            SysOp::PrintInt => {
+                self.stdout.push_str(&(args[0] as i32).to_string());
+                self.stdout.push('\n');
+                0
+            }
+            SysOp::PrintChar => {
+                self.stdout.push(args[0] as u8 as char);
+                0
+            }
+            SysOp::Exit => {
+                self.exited = Some(args[0] as i32);
+                0
+            }
+        }
+    }
+
+    fn call(&mut self, func: &Function, args: &[u32], sp: u32, depth: u32) -> Result<FlowResult, InterpError> {
+        if depth > 256 {
+            return Err(InterpError::StackOverflow);
+        }
+        // Allocate this frame below the caller's sp.
+        let frame_size = func.frame_size();
+        let frame_base = sp.checked_sub(frame_size).ok_or(InterpError::BadAccess(0))?;
+        let slot_addr =
+            |slot: crate::SlotId| -> u32 { frame_base + func.slot_offset(slot) };
+
+        let mut vals: Vec<u32> = vec![0; func.insts.len()];
+        let mut block = func.entry();
+        let mut prev: Option<Block> = None;
+        loop {
+            // Phis first, evaluated as parallel copies from `prev`.
+            let data = func.block(block);
+            let mut phi_updates: Vec<(Value, u32)> = Vec::new();
+            for &v in &data.insts {
+                if let InstData::Phi(phi_args) = func.inst(v) {
+                    let p = prev.expect("phi in entry block");
+                    let (_, src) = phi_args
+                        .iter()
+                        .find(|(pb, _)| *pb == p)
+                        .unwrap_or_else(|| panic!("phi {v} missing edge from {p}"));
+                    phi_updates.push((v, vals[src.index()]));
+                } else {
+                    break;
+                }
+            }
+            for (v, x) in phi_updates {
+                vals[v.index()] = x;
+                self.steps += 1;
+            }
+            for &v in &data.insts {
+                let inst = func.inst(v);
+                if inst.is_phi() {
+                    continue;
+                }
+                self.steps += 1;
+                if self.steps > self.step_limit {
+                    return Err(InterpError::StepLimit);
+                }
+                let result = match inst {
+                    InstData::Param(i) => args.get(*i as usize).copied().unwrap_or(0),
+                    InstData::Const(c) => *c as u32,
+                    InstData::Bin { op, a, b } => op.eval(vals[a.index()], vals[b.index()]),
+                    InstData::Load { width, addr } => self.load(*width, vals[addr.index()])?,
+                    InstData::Store { width, val, addr } => {
+                        let x = vals[val.index()];
+                        self.store(*width, vals[addr.index()], x)?;
+                        x
+                    }
+                    InstData::Call { callee, args: call_args } => {
+                        let vals_args: Vec<u32> = call_args.iter().map(|a| vals[a.index()]).collect();
+                        let f = self
+                            .module
+                            .func(callee)
+                            .ok_or_else(|| InterpError::NoSuchFunction(callee.clone()))?;
+                        let FlowResult::Return(r) = self.call(f, &vals_args, frame_base, depth + 1)?;
+                        if self.exited.is_some() {
+                            return Ok(FlowResult::Return(r));
+                        }
+                        r
+                    }
+                    InstData::Sys { op, args: sys_args } => {
+                        let vals_args: Vec<u32> = sys_args.iter().map(|a| vals[a.index()]).collect();
+                        let r = self.sys(*op, &vals_args);
+                        if self.exited.is_some() {
+                            return Ok(FlowResult::Return(0));
+                        }
+                        r
+                    }
+                    InstData::GlobalAddr(g) => self.global_addrs[g],
+                    InstData::SlotAddr(s) => slot_addr(*s),
+                    InstData::Phi(_) => unreachable!(),
+                    InstData::Copy(c) => vals[c.index()],
+                };
+                vals[v.index()] = result;
+            }
+            self.steps += 1;
+            match &data.term {
+                Terminator::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::CondBr { cond, then_bb, else_bb } => {
+                    prev = Some(block);
+                    block = if vals[cond.index()] != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    let r = v.map(|v| vals[v.index()]).unwrap_or(0);
+                    return Ok(FlowResult::Return(r));
+                }
+                Terminator::Unreachable => panic!("executed unreachable terminator in {}", func.name),
+            }
+        }
+    }
+}
+
+/// Runs `main` with a default step limit.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on missing `main`, runaway execution, or
+/// bad memory accesses.
+pub fn run_main(module: &Module) -> Result<RunOutput, InterpError> {
+    run_func(module, "main", &[], 500_000_000)
+}
+
+/// Runs an arbitrary function with arguments and a step limit.
+///
+/// # Errors
+///
+/// See [`run_main`].
+pub fn run_func(module: &Module, name: &str, args: &[u32], step_limit: u64) -> Result<RunOutput, InterpError> {
+    let f = module.func(name).ok_or_else(|| InterpError::NoSuchFunction(name.to_string()))?;
+    let mut interp = Interp::new(module, step_limit);
+    let FlowResult::Return(ret) = interp.call(f, args, STACK_TOP, 0)?;
+    let exit_code = interp.exited.unwrap_or(ret as i32);
+    Ok(RunOutput { stdout: interp.stdout, exit_code, steps: interp.steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn run(src: &str) -> RunOutput {
+        let m = compile_source(src).expect("compiles");
+        run_main(&m).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("int main() { print_int(6 * 7); return 0; }");
+        assert_eq!(out.stdout, "42\n");
+        assert_eq!(out.exit_code, 0);
+    }
+
+    #[test]
+    fn loops_and_conditions() {
+        let out = run("int main() {
+            int s = 0;
+            int i;
+            for (i = 1; i <= 10; i++) { if (i % 2 == 0) s += i; }
+            print_int(s);
+            return s;
+        }");
+        assert_eq!(out.stdout, "30\n");
+        assert_eq!(out.exit_code, 30);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let out = run("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+                       int main() { print_int(fib(10)); return 0; }");
+        assert_eq!(out.stdout, "55\n");
+    }
+
+    #[test]
+    fn globals_arrays_strings() {
+        let out = run("int acc = 5;
+                       int tab[4];
+                       byte msg[8] = \"hi\";
+                       int main() {
+                           tab[0] = acc; tab[1] = tab[0] * 2;
+                           print_int(tab[1]);
+                           print_char(msg[0]); print_char(msg[1]); print_char('\\n');
+                           return 0;
+                       }");
+        assert_eq!(out.stdout, "10\nhi\n");
+    }
+
+    #[test]
+    fn pointers_and_addr_of() {
+        let out = run("void bump(int* p) { *p = *p + 1; }
+                       int main() { int x = 41; bump(&x); print_int(x); return 0; }");
+        assert_eq!(out.stdout, "42\n");
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        let out = run("int g = 0;
+                       int touch() { g = g + 1; return 1; }
+                       int main() {
+                           if (0 && touch()) {}
+                           if (1 || touch()) {}
+                           print_int(g);
+                           return 0;
+                       }");
+        assert_eq!(out.stdout, "0\n");
+    }
+
+    #[test]
+    fn do_while_and_break_continue() {
+        let out = run("int main() {
+            int i = 0; int s = 0;
+            do { i++; if (i == 3) continue; if (i > 5) break; s += i; } while (1);
+            print_int(s);
+            return 0;
+        }");
+        // 1 + 2 + 4 + 5 = 12
+        assert_eq!(out.stdout, "12\n");
+    }
+
+    #[test]
+    fn exit_cuts_execution() {
+        let out = run("int main() { exit(7); print_int(1); return 0; }");
+        assert_eq!(out.stdout, "");
+        assert_eq!(out.exit_code, 7);
+    }
+
+    #[test]
+    fn byte_truncation() {
+        let out = run("int main() { byte b = 300; print_int(b); return 0; }");
+        assert_eq!(out.stdout, "44\n");
+    }
+
+    #[test]
+    fn local_arrays() {
+        let out = run("int main() {
+            int a[5];
+            int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            print_int(a[4] + a[3]);
+            return 0;
+        }");
+        assert_eq!(out.stdout, "25\n"); // 16 + 9
+    }
+
+    #[test]
+    fn step_limit_detects_runaway() {
+        let m = compile_source("int main() { int x = 1; while (x) { x = 1; } return 0; }").unwrap();
+        assert_eq!(run_func(&m, "main", &[], 10_000), Err(InterpError::StepLimit));
+    }
+}

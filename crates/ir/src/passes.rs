@@ -1,0 +1,348 @@
+//! IR-to-IR passes: alias resolution, constant folding, dead-code
+//! elimination, unreachable-block removal, and critical-edge splitting
+//! (required by both back-ends before phi lowering).
+
+use std::collections::HashSet;
+
+use crate::{analysis::Cfg, Block, Function, InstData, Module, Terminator, Value};
+
+/// Runs the standard optimization pipeline on every function.
+pub fn optimize(module: &mut Module) {
+    resolve_aliases(module);
+    for f in &mut module.funcs {
+        remove_unreachable_blocks(f);
+        let mut budget = 4;
+        loop {
+            let changed = constfold(f) | dce(f);
+            budget -= 1;
+            if !changed || budget == 0 {
+                break;
+            }
+            remove_unreachable_blocks(f);
+        }
+        remove_unreachable_blocks(f);
+    }
+    resolve_aliases(module);
+}
+
+/// Folds `Copy` chains introduced by SSA construction and removes
+/// phis that become trivial once copies are resolved.
+pub fn resolve_aliases(module: &mut Module) {
+    for f in &mut module.funcs {
+        // Fixpoint: copy-resolve operands, then demote trivial phis.
+        loop {
+            let resolve = |mut v: Value, f: &Function| -> Value {
+                loop {
+                    match f.inst(v) {
+                        InstData::Copy(t) => v = *t,
+                        _ => return v,
+                    }
+                }
+            };
+            let mut changed = false;
+            for i in 0..f.insts.len() {
+                let mut inst = f.insts[i].clone();
+                inst.map_operands(|v| {
+                    let r = resolve(v, f);
+                    if r != v {
+                        changed = true;
+                    }
+                    r
+                });
+                f.insts[i] = inst;
+            }
+            for b in 0..f.blocks.len() {
+                let mut term = f.blocks[b].term.clone();
+                term.map_operands(|v| {
+                    let r = resolve(v, f);
+                    if r != v {
+                        changed = true;
+                    }
+                    r
+                });
+                f.blocks[b].term = term;
+            }
+            // Demote phis whose operands (ignoring self) agree.
+            for i in 0..f.insts.len() {
+                let phi = Value::new(i);
+                if let InstData::Phi(args) = &f.insts[i] {
+                    let mut same = None;
+                    let mut trivial = true;
+                    for (_, v) in args {
+                        if *v == phi {
+                            continue;
+                        }
+                        match same {
+                            None => same = Some(*v),
+                            Some(s) if s == *v => {}
+                            Some(_) => {
+                                trivial = false;
+                                break;
+                            }
+                        }
+                    }
+                    if trivial {
+                        if let Some(s) = same {
+                            f.insts[i] = InstData::Copy(s);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Drop now-dead Copy instructions from block bodies.
+        for b in 0..f.blocks.len() {
+            let insts = std::mem::take(&mut f.blocks[b].insts);
+            f.blocks[b].insts =
+                insts.into_iter().filter(|v| !matches!(f.insts[v.index()], InstData::Copy(_))).collect();
+        }
+    }
+}
+
+/// Folds constant expressions and constant conditional branches.
+/// Returns true when anything changed.
+pub fn constfold(f: &mut Function) -> bool {
+    let mut changed = false;
+    for i in 0..f.insts.len() {
+        if let InstData::Bin { op, a, b } = f.insts[i] {
+            if let (InstData::Const(ca), InstData::Const(cb)) = (f.inst(a), f.inst(b)) {
+                let folded = op.eval(*ca as u32, *cb as u32) as i32;
+                f.insts[i] = InstData::Const(folded);
+                changed = true;
+            }
+        }
+    }
+    // Fold conditional branches on constants.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if let Terminator::CondBr { cond, then_bb, else_bb } = f.block(b).term.clone() {
+            if then_bb == else_bb {
+                continue; // never produced by the front-end; left alone
+            }
+            if let InstData::Const(c) = f.inst(cond) {
+                let (taken, dropped) = if *c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                f.block_mut(b).term = Terminator::Br(taken);
+                remove_phi_edge(f, dropped, b);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Removes phi arguments coming from `pred` in block `b`.
+fn remove_phi_edge(f: &mut Function, b: Block, pred: Block) {
+    for v in f.block(b).insts.clone() {
+        if let InstData::Phi(args) = f.inst_mut(v) {
+            args.retain(|(p, _)| *p != pred);
+        }
+    }
+}
+
+/// Removes instructions whose results are unused and that have no side
+/// effects. Returns true when anything changed.
+pub fn dce(f: &mut Function) -> bool {
+    let mut live: HashSet<Value> = HashSet::new();
+    let mut work: Vec<Value> = Vec::new();
+    for b in f.block_ids() {
+        for &v in &f.block(b).insts {
+            if f.inst(v).has_side_effect() {
+                if live.insert(v) {
+                    work.push(v);
+                }
+            }
+        }
+        f.block(b).term.for_each_operand(|v| {
+            if live.insert(v) {
+                work.push(v);
+            }
+        });
+    }
+    while let Some(v) = work.pop() {
+        f.inst(v).for_each_operand(|op| {
+            if live.insert(op) {
+                work.push(op);
+            }
+        });
+    }
+    let mut changed = false;
+    for b in 0..f.blocks.len() {
+        let insts = std::mem::take(&mut f.blocks[b].insts);
+        let orig_len = insts.len();
+        let kept: Vec<Value> = insts.into_iter().filter(|v| live.contains(v)).collect();
+        if kept.len() != orig_len {
+            changed = true;
+        }
+        f.blocks[b].insts = kept;
+    }
+    changed
+}
+
+/// Removes blocks unreachable from the entry, compacting block ids
+/// and pruning phi arguments from deleted predecessors.
+pub fn remove_unreachable_blocks(f: &mut Function) {
+    let cfg = Cfg::compute(f);
+    let reachable: HashSet<Block> = cfg.rpo().iter().copied().collect();
+    if reachable.len() == f.blocks.len() {
+        return;
+    }
+    // Old -> new id mapping; keep original relative order.
+    let mut map: Vec<Option<Block>> = vec![None; f.blocks.len()];
+    let mut next = 0usize;
+    for b in f.block_ids() {
+        if reachable.contains(&b) {
+            map[b.index()] = Some(Block::new(next));
+            next += 1;
+        }
+    }
+    let remap = |b: Block| map[b.index()].expect("reachable block");
+    let mut new_blocks = Vec::with_capacity(next);
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if !reachable.contains(&b) {
+            continue;
+        }
+        let mut data = std::mem::take(&mut f.blocks[b.index()]);
+        data.term = match data.term {
+            Terminator::Br(t) => Terminator::Br(remap(t)),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                Terminator::CondBr { cond, then_bb: remap(then_bb), else_bb: remap(else_bb) }
+            }
+            t => t,
+        };
+        for &v in &data.insts {
+            if let InstData::Phi(args) = f.inst_mut(v) {
+                args.retain(|(p, _)| reachable.contains(p));
+                for (p, _) in args {
+                    *p = remap(*p);
+                }
+            }
+        }
+        new_blocks.push(data);
+    }
+    f.blocks = new_blocks;
+}
+
+/// Splits every critical edge (predecessor with multiple successors →
+/// successor with multiple predecessors) by inserting an empty block.
+/// Both back-ends require this before lowering phis to parallel moves
+/// or distance-fixing shuffles.
+pub fn split_critical_edges(f: &mut Function) {
+    let cfg = Cfg::compute(f);
+    let n = f.blocks.len();
+    let mut edits: Vec<(Block, usize, Block)> = Vec::new(); // (pred, succ-slot, succ)
+    for bi in 0..n {
+        let b = Block::new(bi);
+        let succs = f.block(b).term.successors();
+        if succs.len() < 2 {
+            continue;
+        }
+        for (slot, &s) in succs.iter().enumerate() {
+            if cfg.preds(s).len() > 1 {
+                edits.push((b, slot, s));
+            }
+        }
+    }
+    for (pred, slot, succ) in edits {
+        let mid = f.create_block();
+        f.block_mut(mid).term = Terminator::Br(succ);
+        match &mut f.block_mut(pred).term {
+            Terminator::CondBr { then_bb, else_bb, .. } => {
+                if slot == 0 {
+                    *then_bb = mid;
+                } else {
+                    *else_bb = mid;
+                }
+            }
+            _ => unreachable!("critical edge source must be a CondBr"),
+        }
+        for v in f.block(succ).insts.clone() {
+            if let InstData::Phi(args) = f.inst_mut(v) {
+                // Retarget exactly one matching arg (two-armed branches
+                // to the same block contribute two args).
+                if let Some(entry) = args.iter_mut().find(|(p, _)| *p == pred) {
+                    entry.0 = mid;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Terminator};
+
+    #[test]
+    fn constfold_folds_and_dce_cleans() {
+        let mut f = Function::new("c", 0, true);
+        let e = f.entry();
+        let a = f.push_inst(e, InstData::Const(2));
+        let b = f.push_inst(e, InstData::Const(3));
+        let s = f.push_inst(e, InstData::Bin { op: BinOp::Mul, a, b });
+        f.block_mut(e).term = Terminator::Ret(Some(s));
+        assert!(constfold(&mut f));
+        assert_eq!(f.inst(s), &InstData::Const(6));
+        assert!(dce(&mut f));
+        assert_eq!(f.block(e).insts, vec![s]);
+    }
+
+    #[test]
+    fn const_branch_folds_and_prunes_phi() {
+        let mut f = Function::new("b", 0, true);
+        let e = f.entry();
+        let t = f.create_block();
+        let z = f.create_block();
+        let j = f.create_block();
+        let c = f.push_inst(e, InstData::Const(1));
+        f.block_mut(e).term = Terminator::CondBr { cond: c, then_bb: t, else_bb: z };
+        let tv = f.push_inst(t, InstData::Const(10));
+        f.block_mut(t).term = Terminator::Br(j);
+        let zv = f.push_inst(z, InstData::Const(20));
+        f.block_mut(z).term = Terminator::Br(j);
+        let phi = f.create_inst(InstData::Phi(vec![(t, tv), (z, zv)]));
+        f.block_mut(j).insts.push(phi);
+        f.block_mut(j).term = Terminator::Ret(Some(phi));
+
+        assert!(constfold(&mut f));
+        assert_eq!(f.block(e).term, Terminator::Br(t));
+        remove_unreachable_blocks(&mut f);
+        // z removed; phi has a single arg now.
+        assert_eq!(f.blocks.len(), 3);
+        let phi_args = match f.inst(phi) {
+            InstData::Phi(a) => a.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(phi_args.len(), 1);
+    }
+
+    #[test]
+    fn split_critical_edges_inserts_blocks() {
+        // entry --cond--> {loop header (2 preds), exit}; edge to header
+        // is critical because entry has 2 succs and header has 2 preds.
+        let mut f = Function::new("s", 0, false);
+        let e = f.entry();
+        let h = f.create_block();
+        let x = f.create_block();
+        let c = f.push_inst(e, InstData::Const(1));
+        f.block_mut(e).term = Terminator::CondBr { cond: c, then_bb: h, else_bb: x };
+        let c2 = f.push_inst(h, InstData::Const(0));
+        f.block_mut(h).term = Terminator::CondBr { cond: c2, then_bb: h, else_bb: x };
+        f.block_mut(x).term = Terminator::Ret(None);
+
+        let before = f.blocks.len();
+        split_critical_edges(&mut f);
+        assert!(f.blocks.len() > before);
+        let cfg = Cfg::compute(&f);
+        for b in f.block_ids() {
+            let nsucc = cfg.succs(b).len();
+            if nsucc < 2 {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                assert!(cfg.preds(s).len() <= 1, "critical edge {b}->{s} survived");
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Structural verification of IR invariants: the back-ends rely on
+//! these holding, so `compile_source` verifies before handing off.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{
+    analysis::{Cfg, Dominators},
+    Block, Function, InstData, Module, Terminator, Value,
+};
+
+/// A broken IR invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in the module.
+///
+/// # Errors
+///
+/// Returns the first broken invariant found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for f in &module.funcs {
+        verify_function(f).map_err(|VerifyError(msg)| VerifyError(format!("{}: {msg}", f.name)))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function:
+///
+/// * every reachable block has a real terminator;
+/// * phis are grouped at block heads and their incoming edges match
+///   the CFG predecessors exactly;
+/// * every use is dominated by its definition (with phi uses checked
+///   at the end of the incoming predecessor);
+/// * `Param` instructions only appear in the entry block;
+/// * no `Copy` instructions remain placed in blocks.
+///
+/// # Errors
+///
+/// Returns the first broken invariant found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError(msg));
+    let cfg = Cfg::compute(f);
+    let dom = Dominators::compute(f, &cfg);
+
+    // Map each placed value to its block and intra-block position.
+    let mut place: HashMap<Value, (Block, usize)> = HashMap::new();
+    for b in f.block_ids() {
+        for (i, &v) in f.block(b).insts.iter().enumerate() {
+            if place.insert(v, (b, i)).is_some() {
+                return err(format!("{v} placed twice"));
+            }
+        }
+    }
+
+    for &b in cfg.rpo() {
+        let data = f.block(b);
+        if matches!(data.term, Terminator::Unreachable) {
+            return err(format!("{b} has no terminator"));
+        }
+        let mut seen_non_phi = false;
+        for &v in &data.insts {
+            let inst = f.inst(v);
+            match inst {
+                InstData::Phi(args) => {
+                    if seen_non_phi {
+                        return err(format!("phi {v} after non-phi in {b}"));
+                    }
+                    let mut expected: Vec<Block> = cfg.preds(b).to_vec();
+                    expected.sort_unstable();
+                    let mut got: Vec<Block> = args.iter().map(|(p, _)| *p).collect();
+                    got.sort_unstable();
+                    // Only compare reachable preds (unreachable blocks
+                    // are pruned before codegen).
+                    if expected != got {
+                        return err(format!("phi {v} in {b} edges {got:?} != preds {expected:?}"));
+                    }
+                }
+                InstData::Copy(_) => return err(format!("unresolved copy {v} in {b}")),
+                InstData::Param(_) => {
+                    if b != f.entry() {
+                        return err(format!("param {v} outside entry block"));
+                    }
+                    seen_non_phi = true;
+                }
+                _ => seen_non_phi = true,
+            }
+        }
+    }
+
+    // Dominance of uses.
+    let dominates_use = |def: Value, use_block: Block, use_pos: usize| -> bool {
+        match place.get(&def) {
+            None => false,
+            Some(&(db, dp)) => {
+                if db == use_block {
+                    dp < use_pos || f.inst(def).is_phi()
+                } else {
+                    dom.dominates(db, use_block)
+                }
+            }
+        }
+    };
+    for &b in cfg.rpo() {
+        let data = f.block(b);
+        for (i, &v) in data.insts.iter().enumerate() {
+            let inst = f.inst(v);
+            if let InstData::Phi(args) = inst {
+                for &(pred, av) in args {
+                    if !dominates_use(av, pred, usize::MAX) {
+                        return err(format!("phi {v} operand {av} not available at end of {pred}"));
+                    }
+                }
+            } else {
+                let mut bad = None;
+                inst.for_each_operand(|op| {
+                    if bad.is_none() && !dominates_use(op, b, i) {
+                        bad = Some(op);
+                    }
+                });
+                if let Some(op) = bad {
+                    return err(format!("use of {op} in {v} ({b}) not dominated by its definition"));
+                }
+            }
+        }
+        let mut bad = None;
+        data.term.for_each_operand(|op| {
+            if bad.is_none() && !dominates_use(op, b, usize::MAX) {
+                bad = Some(op);
+            }
+        });
+        if let Some(op) = bad {
+            return err(format!("terminator of {b} uses undominated {op}"));
+        }
+    }
+
+    // Successor targets must exist.
+    let nblocks = f.blocks.len();
+    for b in f.block_ids() {
+        for s in f.block(b).term.successors() {
+            if s.index() >= nblocks {
+                return err(format!("{b} branches to nonexistent {s}"));
+            }
+        }
+    }
+
+    let _ = HashSet::<Value>::new();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Terminator};
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut f = Function::new("ok", 0, true);
+        let e = f.entry();
+        let a = f.push_inst(e, InstData::Const(1));
+        let b = f.push_inst(e, InstData::Const(2));
+        let s = f.push_inst(e, InstData::Bin { op: BinOp::Add, a, b });
+        f.block_mut(e).term = Terminator::Ret(Some(s));
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let f = Function::new("bad", 0, false);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad", 0, true);
+        let e = f.entry();
+        let ghost = Value::new(999);
+        let a = f.push_inst(e, InstData::Const(1));
+        let s = f.push_inst(e, InstData::Bin { op: BinOp::Add, a, b: ghost });
+        f.block_mut(e).term = Terminator::Ret(Some(s));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut f = Function::new("bad", 0, true);
+        let e = f.entry();
+        let j = f.create_block();
+        let c = f.push_inst(e, InstData::Const(1));
+        f.block_mut(e).term = Terminator::Br(j);
+        let phi = f.create_inst(InstData::Phi(vec![(e, c), (Block::new(0), c)]));
+        f.block_mut(j).insts.push(phi);
+        f.block_mut(j).term = Terminator::Ret(Some(phi));
+        assert!(verify_function(&f).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+use std::fmt;
+
+/// The largest distance a source operand field can express.
+///
+/// The paper's bit-field format (Figure 1b) gives each source operand
+/// up to 10 bits, so the results of the last `2^10 - 1 = 1023`
+/// instructions can be referenced. Distance `0` decodes as the zero
+/// register.
+pub const MAX_DISTANCE: u16 = 1023;
+
+/// A source-operand distance: how many dynamic instructions back the
+/// producer of the value is, counted along the executed control-flow
+/// path.
+///
+/// `Dist::ZERO` (distance 0) is the architectural zero register and
+/// always reads as `0`.
+///
+/// ```
+/// use straight_isa::Dist;
+/// let d = Dist::new(2).unwrap();
+/// assert_eq!(d.get(), 2);
+/// assert!(Dist::new(2000).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dist(u16);
+
+/// Error returned when constructing a [`Dist`] out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(pub u32);
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "distance {} exceeds the maximum of {}", self.0, MAX_DISTANCE)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl Dist {
+    /// The zero register: reads as the constant 0.
+    pub const ZERO: Dist = Dist(0);
+
+    /// Creates a distance, failing if it exceeds [`MAX_DISTANCE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] when `d > MAX_DISTANCE`.
+    pub fn new(d: u32) -> Result<Dist, DistError> {
+        if d > u32::from(MAX_DISTANCE) {
+            Err(DistError(d))
+        } else {
+            Ok(Dist(d as u16))
+        }
+    }
+
+    /// Creates a distance, panicking if out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d > MAX_DISTANCE`. Convenient in tests and codegen
+    /// where the bound was already enforced.
+    #[must_use]
+    pub fn of(d: u32) -> Dist {
+        Dist::new(d).expect("distance within MAX_DISTANCE")
+    }
+
+    /// The raw distance value.
+    #[must_use]
+    pub fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.0)
+    }
+}
+
+impl fmt::Debug for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dist({})", self.0)
+    }
+}
+
+impl From<Dist> for u16 {
+    fn from(d: Dist) -> u16 {
+        d.0
+    }
+}
+
+impl TryFrom<u32> for Dist {
+    type Error = DistError;
+    fn try_from(d: u32) -> Result<Dist, DistError> {
+        Dist::new(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero_register() {
+        assert!(Dist::ZERO.is_zero());
+        assert_eq!(Dist::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn max_distance_accepted() {
+        assert_eq!(Dist::new(u32::from(MAX_DISTANCE)).unwrap().get(), MAX_DISTANCE);
+    }
+
+    #[test]
+    fn over_max_rejected() {
+        assert_eq!(Dist::new(1024), Err(DistError(1024)));
+        assert!(DistError(1024).to_string().contains("1024"));
+    }
+
+    #[test]
+    fn display_uses_brackets() {
+        assert_eq!(Dist::of(7).to_string(), "[7]");
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Dist::of(1) < Dist::of(2));
+    }
+}

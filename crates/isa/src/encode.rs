@@ -1,0 +1,278 @@
+//! Binary encoding of STRAIGHT instructions.
+//!
+//! The paper (Figure 1b) fixes only the essentials of the bit-field
+//! format: no destination field and up to 10 bits per source operand.
+//! This crate commits to a concrete 32-bit layout:
+//!
+//! ```text
+//! R-type: [31:26]=opcode [25:16]=s1 [15:6]=s2 [5:0]=sub
+//! I-type: [31:26]=opcode [25:16]=s1 [15:0]=imm16
+//! J-type: [31:26]=opcode [25:0]=imm26 (signed word offset)
+//! ```
+
+use std::fmt;
+
+use crate::{AluImmOp, AluOp, Dist, Inst, MemWidth};
+
+/// Error returned by [`decode`] on a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u8),
+    /// An ALU sub-opcode field is out of range.
+    BadSubOpcode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadSubOpcode(sub) => write!(f, "unknown ALU sub-opcode {sub:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod opc {
+    pub const NOP: u8 = 0;
+    pub const ALU: u8 = 1;
+    pub const ADDI: u8 = 2;
+    pub const SLTI: u8 = 3;
+    pub const SLTIU: u8 = 4;
+    pub const XORI: u8 = 5;
+    pub const ORI: u8 = 6;
+    pub const ANDI: u8 = 7;
+    pub const SLLI: u8 = 8;
+    pub const SRLI: u8 = 9;
+    pub const SRAI: u8 = 10;
+    pub const LUI: u8 = 11;
+    pub const LDW: u8 = 12;
+    pub const LDH: u8 = 13;
+    pub const LDHU: u8 = 14;
+    pub const LDB: u8 = 15;
+    pub const LDBU: u8 = 16;
+    pub const STW: u8 = 17;
+    pub const STH: u8 = 18;
+    pub const STB: u8 = 19;
+    pub const RMOV: u8 = 20;
+    pub const SPADD: u8 = 21;
+    pub const BEZ: u8 = 22;
+    pub const BNZ: u8 = 23;
+    pub const J: u8 = 24;
+    pub const JAL: u8 = 25;
+    pub const JR: u8 = 26;
+    pub const JALR: u8 = 27;
+    pub const SYS: u8 = 28;
+    pub const HALT: u8 = 29;
+}
+
+fn r_type(opcode: u8, s1: Dist, s2: Dist, sub: u8) -> u32 {
+    (u32::from(opcode) << 26) | (u32::from(s1.get()) << 16) | (u32::from(s2.get()) << 6) | u32::from(sub)
+}
+
+fn i_type(opcode: u8, s1: Dist, imm: u16) -> u32 {
+    (u32::from(opcode) << 26) | (u32::from(s1.get()) << 16) | u32::from(imm)
+}
+
+fn j_type(opcode: u8, offset: i32) -> u32 {
+    (u32::from(opcode) << 26) | ((offset as u32) & 0x03ff_ffff)
+}
+
+/// Encodes one instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if a `J`/`JAL` offset does not fit in 26 signed bits; the
+/// assembler validates ranges before encoding.
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Nop => u32::from(opc::NOP) << 26,
+        Inst::Alu { op, s1, s2 } => {
+            let sub = AluOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8;
+            r_type(opc::ALU, s1, s2, sub)
+        }
+        Inst::AluImm { op, s1, imm } => {
+            let opcode = match op {
+                AluImmOp::Addi => opc::ADDI,
+                AluImmOp::Slti => opc::SLTI,
+                AluImmOp::Sltiu => opc::SLTIU,
+                AluImmOp::Xori => opc::XORI,
+                AluImmOp::Ori => opc::ORI,
+                AluImmOp::Andi => opc::ANDI,
+                AluImmOp::Slli => opc::SLLI,
+                AluImmOp::Srli => opc::SRLI,
+                AluImmOp::Srai => opc::SRAI,
+            };
+            i_type(opcode, s1, imm as u16)
+        }
+        Inst::Lui { imm } => i_type(opc::LUI, Dist::ZERO, imm),
+        Inst::Ld { width, addr, offset } => {
+            let opcode = match width {
+                MemWidth::W => opc::LDW,
+                MemWidth::H => opc::LDH,
+                MemWidth::Hu => opc::LDHU,
+                MemWidth::B => opc::LDB,
+                MemWidth::Bu => opc::LDBU,
+            };
+            i_type(opcode, addr, offset as u16)
+        }
+        Inst::St { width, val, addr } => {
+            let opcode = match width {
+                MemWidth::W => opc::STW,
+                MemWidth::H | MemWidth::Hu => opc::STH,
+                MemWidth::B | MemWidth::Bu => opc::STB,
+            };
+            r_type(opcode, val, addr, 0)
+        }
+        Inst::Rmov { s } => r_type(opc::RMOV, s, Dist::ZERO, 0),
+        Inst::SpAdd { imm } => i_type(opc::SPADD, Dist::ZERO, imm as u16),
+        Inst::Bez { s, offset } => i_type(opc::BEZ, s, offset as u16),
+        Inst::Bnz { s, offset } => i_type(opc::BNZ, s, offset as u16),
+        Inst::J { offset } => {
+            assert!((-(1 << 25)..(1 << 25)).contains(&offset), "J offset out of range");
+            j_type(opc::J, offset)
+        }
+        Inst::Jal { offset } => {
+            assert!((-(1 << 25)..(1 << 25)).contains(&offset), "JAL offset out of range");
+            j_type(opc::JAL, offset)
+        }
+        Inst::Jr { s } => r_type(opc::JR, s, Dist::ZERO, 0),
+        Inst::Jalr { s } => r_type(opc::JALR, s, Dist::ZERO, 0),
+        Inst::Sys { code, s } => i_type(opc::SYS, s, code),
+        Inst::Halt => u32::from(opc::HALT) << 26,
+    }
+}
+
+fn field_s1(word: u32) -> Dist {
+    Dist::of((word >> 16) & 0x3ff)
+}
+
+fn field_s2(word: u32) -> Dist {
+    Dist::of((word >> 6) & 0x3ff)
+}
+
+fn field_imm16(word: u32) -> u16 {
+    (word & 0xffff) as u16
+}
+
+fn field_imm26(word: u32) -> i32 {
+    ((word << 6) as i32) >> 6
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an unknown opcode or sub-opcode.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = (word >> 26) as u8;
+    let inst = match opcode {
+        opc::NOP => Inst::Nop,
+        opc::ALU => {
+            let sub = (word & 0x3f) as u8;
+            let op = *AluOp::ALL.get(sub as usize).ok_or(DecodeError::BadSubOpcode(sub))?;
+            Inst::Alu { op, s1: field_s1(word), s2: field_s2(word) }
+        }
+        opc::ADDI | opc::SLTI | opc::SLTIU | opc::XORI | opc::ORI | opc::ANDI | opc::SLLI | opc::SRLI | opc::SRAI => {
+            let op = match opcode {
+                opc::ADDI => AluImmOp::Addi,
+                opc::SLTI => AluImmOp::Slti,
+                opc::SLTIU => AluImmOp::Sltiu,
+                opc::XORI => AluImmOp::Xori,
+                opc::ORI => AluImmOp::Ori,
+                opc::ANDI => AluImmOp::Andi,
+                opc::SLLI => AluImmOp::Slli,
+                opc::SRLI => AluImmOp::Srli,
+                _ => AluImmOp::Srai,
+            };
+            Inst::AluImm { op, s1: field_s1(word), imm: field_imm16(word) as i16 }
+        }
+        opc::LUI => Inst::Lui { imm: field_imm16(word) },
+        opc::LDW | opc::LDH | opc::LDHU | opc::LDB | opc::LDBU => {
+            let width = match opcode {
+                opc::LDW => MemWidth::W,
+                opc::LDH => MemWidth::H,
+                opc::LDHU => MemWidth::Hu,
+                opc::LDB => MemWidth::B,
+                _ => MemWidth::Bu,
+            };
+            Inst::Ld { width, addr: field_s1(word), offset: field_imm16(word) as i16 }
+        }
+        opc::STW | opc::STH | opc::STB => {
+            let width = match opcode {
+                opc::STW => MemWidth::W,
+                opc::STH => MemWidth::H,
+                _ => MemWidth::B,
+            };
+            Inst::St { width, val: field_s1(word), addr: field_s2(word) }
+        }
+        opc::RMOV => Inst::Rmov { s: field_s1(word) },
+        opc::SPADD => Inst::SpAdd { imm: field_imm16(word) as i16 },
+        opc::BEZ => Inst::Bez { s: field_s1(word), offset: field_imm16(word) as i16 },
+        opc::BNZ => Inst::Bnz { s: field_s1(word), offset: field_imm16(word) as i16 },
+        opc::J => Inst::J { offset: field_imm26(word) },
+        opc::JAL => Inst::Jal { offset: field_imm26(word) },
+        opc::JR => Inst::Jr { s: field_s1(word) },
+        opc::JALR => Inst::Jalr { s: field_s1(word) },
+        opc::SYS => Inst::Sys { code: field_imm16(word), s: field_s1(word) },
+        opc::HALT => Inst::Halt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        assert_eq!(decode(encode(&i)), Ok(i), "roundtrip of {i}");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        roundtrip(Inst::Nop);
+        roundtrip(Inst::Halt);
+        for op in AluOp::ALL {
+            roundtrip(Inst::Alu { op, s1: Dist::of(1023), s2: Dist::of(1) });
+        }
+        for op in AluImmOp::ALL {
+            roundtrip(Inst::AluImm { op, s1: Dist::of(7), imm: -1 });
+        }
+        roundtrip(Inst::Lui { imm: 0xffff });
+        for width in [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W] {
+            roundtrip(Inst::Ld { width, addr: Dist::of(3), offset: -8 });
+        }
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W] {
+            roundtrip(Inst::St { width, val: Dist::of(2), addr: Dist::of(1) });
+        }
+        roundtrip(Inst::Rmov { s: Dist::of(10) });
+        roundtrip(Inst::SpAdd { imm: -4 });
+        roundtrip(Inst::Bez { s: Dist::of(1), offset: -100 });
+        roundtrip(Inst::Bnz { s: Dist::of(1), offset: 100 });
+        roundtrip(Inst::J { offset: -(1 << 25) });
+        roundtrip(Inst::Jal { offset: (1 << 25) - 1 });
+        roundtrip(Inst::Jr { s: Dist::of(5) });
+        roundtrip(Inst::Jalr { s: Dist::of(5) });
+        roundtrip(Inst::Sys { code: 42, s: Dist::of(1) });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(63 << 26), Err(DecodeError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn bad_sub_opcode_rejected() {
+        let word = (1u32 << 26) | 0x3f;
+        assert_eq!(decode(word), Err(DecodeError::BadSubOpcode(0x3f)));
+    }
+
+    #[test]
+    #[should_panic(expected = "JAL offset out of range")]
+    fn jal_range_checked() {
+        encode(&Inst::Jal { offset: 1 << 25 });
+    }
+}

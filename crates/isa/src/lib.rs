@@ -1,0 +1,45 @@
+//! # straight-isa
+//!
+//! The STRAIGHT instruction set architecture from Irie et al.,
+//! *"STRAIGHT: Hazardless Processor Architecture Without Register
+//! Renaming"* (MICRO 2018).
+//!
+//! STRAIGHT is a RISC-like ISA with one defining twist: a source
+//! operand is not a register *name* but the **dynamic distance** to the
+//! instruction that produced the value. `ADD [1] [2]` adds the results
+//! of the previous instruction and the one before it. Every instruction
+//! implicitly writes exactly one fresh destination register, registers
+//! are therefore *write-once*, and a value expires once
+//! [`MAX_DISTANCE`] younger instructions have been fetched. The only
+//! overwritable architectural register is the stack pointer, which is
+//! manipulated exclusively by [`Inst::SpAdd`].
+//!
+//! This crate defines the instruction forms ([`Inst`]), the distance
+//! operand newtype ([`Dist`]), a concrete 32-bit binary encoding
+//! ([`encode`]/[`decode`]) and a disassembler (`Display` impls).
+//!
+//! ```
+//! use straight_isa::{Inst, AluOp, Dist};
+//!
+//! // The Fibonacci kernel from Figure 1 of the paper.
+//! let add = Inst::Alu { op: AluOp::Add, s1: Dist::new(1).unwrap(), s2: Dist::new(2).unwrap() };
+//! assert_eq!(add.to_string(), "ADD [1] [2]");
+//! let word = straight_isa::encode(&add);
+//! assert_eq!(straight_isa::decode(word).unwrap(), add);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod encode;
+mod inst;
+mod op;
+
+pub use dist::{Dist, DistError, MAX_DISTANCE};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{Inst, InstKind, MemWidth};
+pub use op::{AluImmOp, AluOp};
+
+/// Byte size of one encoded STRAIGHT instruction.
+pub const INST_BYTES: u32 = 4;

@@ -1,0 +1,301 @@
+use std::fmt;
+
+/// Register–register ALU operations (RV32IM-equivalent set, Section
+/// V-A of the paper equalizes STRAIGHT to RV32IM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl AluOp {
+    /// All register–register operations, in encoding order.
+    pub const ALL: [AluOp; 18] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Mulhsu,
+        AluOp::Mulhu,
+        AluOp::Div,
+        AluOp::Divu,
+        AluOp::Rem,
+        AluOp::Remu,
+    ];
+
+    /// The mnemonic, upper-case as in the paper's listings.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "ADD",
+            AluOp::Sub => "SUB",
+            AluOp::Sll => "SLL",
+            AluOp::Slt => "SLT",
+            AluOp::Sltu => "SLTU",
+            AluOp::Xor => "XOR",
+            AluOp::Srl => "SRL",
+            AluOp::Sra => "SRA",
+            AluOp::Or => "OR",
+            AluOp::And => "AND",
+            AluOp::Mul => "MUL",
+            AluOp::Mulh => "MULH",
+            AluOp::Mulhsu => "MULHSU",
+            AluOp::Mulhu => "MULHU",
+            AluOp::Div => "DIV",
+            AluOp::Divu => "DIVU",
+            AluOp::Rem => "REM",
+            AluOp::Remu => "REMU",
+        }
+    }
+
+    /// True for the M-extension multiply group (issued to the MUL unit).
+    #[must_use]
+    pub fn is_mul(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu)
+    }
+
+    /// True for the M-extension divide group (issued to the DIV unit).
+    #[must_use]
+    pub fn is_div(self) -> bool {
+        matches!(self, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu)
+    }
+
+    /// Evaluates the operation on two 32-bit values with RV32IM
+    /// semantics (shift amounts masked to 5 bits, division by zero
+    /// yields all-ones / the dividend as in RISC-V).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Slt => u32::from(sa < sb),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (sa.wrapping_shr(b & 31)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => ((i64::from(sa) * i64::from(sb)) >> 32) as u32,
+            AluOp::Mulhsu => ((i64::from(sa) * i64::from(b)) >> 32) as u32,
+            AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+            AluOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if sa == i32::MIN && sb == -1 {
+                    sa as u32
+                } else {
+                    (sa / sb) as u32
+                }
+            }
+            AluOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else if sa == i32::MIN && sb == -1 {
+                    0
+                } else {
+                    (sa % sb) as u32
+                }
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Register–immediate ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+impl AluImmOp {
+    /// All register–immediate operations, in encoding order.
+    pub const ALL: [AluImmOp; 9] = [
+        AluImmOp::Addi,
+        AluImmOp::Slti,
+        AluImmOp::Sltiu,
+        AluImmOp::Xori,
+        AluImmOp::Ori,
+        AluImmOp::Andi,
+        AluImmOp::Slli,
+        AluImmOp::Srli,
+        AluImmOp::Srai,
+    ];
+
+    /// The mnemonic, matching the paper's listings (`ADDi` etc.).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "ADDi",
+            AluImmOp::Slti => "SLTi",
+            AluImmOp::Sltiu => "SLTiu",
+            AluImmOp::Xori => "XORi",
+            AluImmOp::Ori => "ORi",
+            AluImmOp::Andi => "ANDi",
+            AluImmOp::Slli => "SLLi",
+            AluImmOp::Srli => "SRLi",
+            AluImmOp::Srai => "SRAi",
+        }
+    }
+
+    /// The corresponding register–register operation.
+    #[must_use]
+    pub fn base(self) -> AluOp {
+        match self {
+            AluImmOp::Addi => AluOp::Add,
+            AluImmOp::Slti => AluOp::Slt,
+            AluImmOp::Sltiu => AluOp::Sltu,
+            AluImmOp::Xori => AluOp::Xor,
+            AluImmOp::Ori => AluOp::Or,
+            AluImmOp::Andi => AluOp::And,
+            AluImmOp::Slli => AluOp::Sll,
+            AluImmOp::Srli => AluOp::Srl,
+            AluImmOp::Srai => AluOp::Sra,
+        }
+    }
+
+    /// Evaluates `op(a, imm)` with RISC-V semantics: the immediate is
+    /// used as given (callers sign-extend their 12-bit fields).
+    #[must_use]
+    pub fn eval(self, a: u32, imm: i32) -> u32 {
+        self.base().eval(a, imm as u32)
+    }
+
+    /// Evaluates `op(a, imm)` with STRAIGHT semantics: the logical
+    /// group (`ANDi`, `ORi`, `XORi`) **zero-extends** its 16-bit
+    /// immediate (as in MIPS) so that `LUI` + `ORi` materializes any
+    /// 32-bit constant; the arithmetic/compare group sign-extends.
+    #[must_use]
+    pub fn eval_straight(self, a: u32, imm: i16) -> u32 {
+        let imm32 = match self {
+            AluImmOp::Andi | AluImmOp::Ori | AluImmOp::Xori => u32::from(imm as u16),
+            _ => imm as i32 as u32,
+        };
+        self.base().eval(a, imm32)
+    }
+}
+
+impl fmt::Display for AluImmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+    }
+
+    #[test]
+    fn slt_is_signed() {
+        assert_eq!(AluOp::Slt.eval(-1i32 as u32, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(-1i32 as u32, 0), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(AluOp::Sll.eval(1, 33), 2);
+        assert_eq!(AluOp::Sra.eval(-8i32 as u32, 1), -4i32 as u32);
+    }
+
+    #[test]
+    fn riscv_division_semantics() {
+        assert_eq!(AluOp::Div.eval(7, 0), u32::MAX);
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Div.eval(i32::MIN as u32, -1i32 as u32), i32::MIN as u32);
+        assert_eq!(AluOp::Rem.eval(i32::MIN as u32, -1i32 as u32), 0);
+        assert_eq!(AluOp::Div.eval(-7i32 as u32, 2), -3i32 as u32);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        assert_eq!(AluOp::Mulh.eval(-1i32 as u32, -1i32 as u32), 0);
+        assert_eq!(AluOp::Mulhu.eval(u32::MAX, u32::MAX), u32::MAX - 1);
+        assert_eq!(AluOp::Mulhsu.eval(-1i32 as u32, u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn straight_logical_imm_zero_extends() {
+        // ORi with "negative" bit pattern must zero-extend in STRAIGHT...
+        assert_eq!(AluImmOp::Ori.eval_straight(0, -1), 0x0000_ffff);
+        assert_eq!(AluImmOp::Andi.eval_straight(0xffff_ffff, -1), 0x0000_ffff);
+        // ...but sign-extend in the shared RISC-V-style eval.
+        assert_eq!(AluImmOp::Ori.eval(0, -1), 0xffff_ffff);
+        // Arithmetic group sign-extends in both.
+        assert_eq!(AluImmOp::Addi.eval_straight(10, -1), 9);
+        // LUI + ORi materialization identity.
+        let v: u32 = 0xdead_beef;
+        let lui = v & 0xffff_0000;
+        assert_eq!(AluImmOp::Ori.eval_straight(lui, (v & 0xffff) as u16 as i16), v);
+    }
+
+    #[test]
+    fn imm_ops_match_base() {
+        for (op, a, imm) in [
+            (AluImmOp::Addi, 5u32, -3i32),
+            (AluImmOp::Andi, 0xff, 0x0f),
+            (AluImmOp::Srai, -16i32 as u32, 2),
+        ] {
+            assert_eq!(op.eval(a, imm), op.base().eval(a, imm as u32));
+        }
+    }
+}

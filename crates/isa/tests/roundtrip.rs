@@ -1,0 +1,78 @@
+//! Property tests: encode/decode round-trips for every representable
+//! instruction, and decode never panics on arbitrary words.
+
+use proptest::prelude::*;
+use straight_isa::{decode, encode, AluImmOp, AluOp, Dist, Inst, MemWidth};
+
+fn dist() -> impl Strategy<Value = Dist> {
+    (0u32..=1023).prop_map(Dist::of)
+}
+
+fn mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::Bu),
+        Just(MemWidth::H),
+        Just(MemWidth::Hu),
+        Just(MemWidth::W),
+    ]
+}
+
+fn store_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W)]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
+    (0usize..AluImmOp::ALL.len()).prop_map(|i| AluImmOp::ALL[i])
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        (alu_op(), dist(), dist()).prop_map(|(op, s1, s2)| Inst::Alu { op, s1, s2 }),
+        (alu_imm_op(), dist(), any::<i16>()).prop_map(|(op, s1, imm)| Inst::AluImm { op, s1, imm }),
+        any::<u16>().prop_map(|imm| Inst::Lui { imm }),
+        (mem_width(), dist(), any::<i16>()).prop_map(|(width, addr, offset)| Inst::Ld { width, addr, offset }),
+        (store_width(), dist(), dist()).prop_map(|(width, val, addr)| Inst::St { width, val, addr }),
+        dist().prop_map(|s| Inst::Rmov { s }),
+        any::<i16>().prop_map(|imm| Inst::SpAdd { imm }),
+        (dist(), any::<i16>()).prop_map(|(s, offset)| Inst::Bez { s, offset }),
+        (dist(), any::<i16>()).prop_map(|(s, offset)| Inst::Bnz { s, offset }),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Inst::J { offset }),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Inst::Jal { offset }),
+        dist().prop_map(|s| Inst::Jr { s }),
+        dist().prop_map(|s| Inst::Jalr { s }),
+        (any::<u16>(), dist()).prop_map(|(code, s)| Inst::Sys { code, s }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn decode_total_no_panic(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_sources_within_bounds(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            for s in i.sources().into_iter().flatten() {
+                prop_assert!(s.get() <= 1023);
+            }
+        }
+    }
+
+    #[test]
+    fn display_never_empty(i in inst()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! Standard RV32IM binary encoding (the real RISC-V formats, so the
+//! baseline binaries are genuine RV32IM machine code).
+
+use std::fmt;
+
+use straight_isa::{AluImmOp, AluOp, MemWidth};
+
+use crate::{BranchOp, Reg, RvInst};
+
+/// Error returned by [`decode`] on a word that is not a supported
+/// RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RvDecodeError(pub u32);
+
+impl fmt::Display for RvDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode RV32IM instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for RvDecodeError {}
+
+const OP_LUI: u32 = 0b011_0111;
+const OP_AUIPC: u32 = 0b001_0111;
+const OP_JAL: u32 = 0b110_1111;
+const OP_JALR: u32 = 0b110_0111;
+const OP_BRANCH: u32 = 0b110_0011;
+const OP_LOAD: u32 = 0b000_0011;
+const OP_STORE: u32 = 0b010_0011;
+const OP_IMM: u32 = 0b001_0011;
+const OP_OP: u32 = 0b011_0011;
+const OP_SYSTEM: u32 = 0b111_0011;
+
+fn rd(r: Reg) -> u32 {
+    u32::from(r.num()) << 7
+}
+
+fn rs1(r: Reg) -> u32 {
+    u32::from(r.num()) << 15
+}
+
+fn rs2(r: Reg) -> u32 {
+    u32::from(r.num()) << 20
+}
+
+fn funct3(f: u32) -> u32 {
+    f << 12
+}
+
+fn i_imm(imm: i32) -> u32 {
+    ((imm as u32) & 0xfff) << 20
+}
+
+fn s_imm(imm: i32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5) & 0x7f) << 25 | (imm & 0x1f) << 7
+}
+
+fn b_imm(imm: i32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12) & 1) << 31 | ((imm >> 5) & 0x3f) << 25 | ((imm >> 1) & 0xf) << 8 | ((imm >> 11) & 1) << 7
+}
+
+fn j_imm(imm: i32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20) & 1) << 31 | ((imm >> 1) & 0x3ff) << 21 | ((imm >> 11) & 1) << 20 | ((imm >> 12) & 0xff) << 12
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Beq => 0b000,
+        BranchOp::Bne => 0b001,
+        BranchOp::Blt => 0b100,
+        BranchOp::Bge => 0b101,
+        BranchOp::Bltu => 0b110,
+        BranchOp::Bgeu => 0b111,
+    }
+}
+
+fn load_funct3(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::B => 0b000,
+        MemWidth::H => 0b001,
+        MemWidth::W => 0b010,
+        MemWidth::Bu => 0b100,
+        MemWidth::Hu => 0b101,
+    }
+}
+
+fn store_funct3(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::B | MemWidth::Bu => 0b000,
+        MemWidth::H | MemWidth::Hu => 0b001,
+        MemWidth::W => 0b010,
+    }
+}
+
+/// Encodes one instruction into its RV32IM word.
+///
+/// # Panics
+///
+/// Panics when an immediate does not fit its field (`i32` offsets are
+/// validated by the assembler before encoding): 12-bit I/S immediates,
+/// 13-bit branch offsets, 21-bit JAL offsets.
+#[must_use]
+pub fn encode(inst: &RvInst) -> u32 {
+    match *inst {
+        RvInst::Lui { rd: d, imm } => {
+            assert_eq!(imm & 0xfff, 0, "LUI immediate must have low 12 bits clear");
+            (imm & 0xffff_f000) | rd(d) | OP_LUI
+        }
+        RvInst::Auipc { rd: d, imm } => {
+            assert_eq!(imm & 0xfff, 0, "AUIPC immediate must have low 12 bits clear");
+            (imm & 0xffff_f000) | rd(d) | OP_AUIPC
+        }
+        RvInst::Jal { rd: d, offset } => {
+            assert!((-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0, "JAL offset out of range");
+            j_imm(offset) | rd(d) | OP_JAL
+        }
+        RvInst::Jalr { rd: d, rs1: s1, offset } => {
+            assert!((-2048..2048).contains(&offset), "JALR offset out of range");
+            i_imm(offset) | rs1(s1) | funct3(0) | rd(d) | OP_JALR
+        }
+        RvInst::Branch { op, rs1: s1, rs2: s2, offset } => {
+            assert!((-4096..4096).contains(&offset) && offset % 2 == 0, "branch offset out of range");
+            b_imm(offset) | rs2(s2) | rs1(s1) | funct3(branch_funct3(op)) | OP_BRANCH
+        }
+        RvInst::Load { width, rd: d, rs1: s1, offset } => {
+            assert!((-2048..2048).contains(&offset), "load offset out of range");
+            i_imm(offset) | rs1(s1) | funct3(load_funct3(width)) | rd(d) | OP_LOAD
+        }
+        RvInst::Store { width, rs2: s2, rs1: s1, offset } => {
+            assert!((-2048..2048).contains(&offset), "store offset out of range");
+            s_imm(offset) | rs2(s2) | rs1(s1) | funct3(store_funct3(width)) | OP_STORE
+        }
+        RvInst::OpImm { op, rd: d, rs1: s1, imm } => {
+            let (f3, imm_field) = match op {
+                AluImmOp::Addi => (0b000, i_imm(imm)),
+                AluImmOp::Slti => (0b010, i_imm(imm)),
+                AluImmOp::Sltiu => (0b011, i_imm(imm)),
+                AluImmOp::Xori => (0b100, i_imm(imm)),
+                AluImmOp::Ori => (0b110, i_imm(imm)),
+                AluImmOp::Andi => (0b111, i_imm(imm)),
+                AluImmOp::Slli => (0b001, i_imm(imm & 31)),
+                AluImmOp::Srli => (0b101, i_imm(imm & 31)),
+                AluImmOp::Srai => (0b101, i_imm(imm & 31) | (0b010_0000 << 25)),
+            };
+            if !matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) {
+                assert!((-2048..2048).contains(&imm), "I-type immediate out of range");
+            }
+            imm_field | rs1(s1) | funct3(f3) | rd(d) | OP_IMM
+        }
+        RvInst::Op { op, rd: d, rs1: s1, rs2: s2 } => {
+            let (f7, f3) = match op {
+                AluOp::Add => (0b000_0000, 0b000),
+                AluOp::Sub => (0b010_0000, 0b000),
+                AluOp::Sll => (0b000_0000, 0b001),
+                AluOp::Slt => (0b000_0000, 0b010),
+                AluOp::Sltu => (0b000_0000, 0b011),
+                AluOp::Xor => (0b000_0000, 0b100),
+                AluOp::Srl => (0b000_0000, 0b101),
+                AluOp::Sra => (0b010_0000, 0b101),
+                AluOp::Or => (0b000_0000, 0b110),
+                AluOp::And => (0b000_0000, 0b111),
+                AluOp::Mul => (0b000_0001, 0b000),
+                AluOp::Mulh => (0b000_0001, 0b001),
+                AluOp::Mulhsu => (0b000_0001, 0b010),
+                AluOp::Mulhu => (0b000_0001, 0b011),
+                AluOp::Div => (0b000_0001, 0b100),
+                AluOp::Divu => (0b000_0001, 0b101),
+                AluOp::Rem => (0b000_0001, 0b110),
+                AluOp::Remu => (0b000_0001, 0b111),
+            };
+            (f7 << 25) | rs2(s2) | rs1(s1) | funct3(f3) | rd(d) | OP_OP
+        }
+        RvInst::Ecall => OP_SYSTEM,
+        RvInst::Ebreak => (1 << 20) | OP_SYSTEM,
+    }
+}
+
+fn x_rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 31) as u8)
+}
+
+fn x_rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 31) as u8)
+}
+
+fn x_rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 31) as u8)
+}
+
+fn x_i_imm(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn x_s_imm(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | ((word >> 7) & 0x1f) as i32
+}
+
+fn x_b_imm(word: u32) -> i32 {
+    let sign = (word as i32) >> 31;
+    (sign << 12) | (((word >> 25) & 0x3f) << 5) as i32 | (((word >> 8) & 0xf) << 1) as i32 | (((word >> 7) & 1) << 11) as i32
+}
+
+fn x_j_imm(word: u32) -> i32 {
+    let sign = (word as i32) >> 31;
+    (sign << 20) | (((word >> 21) & 0x3ff) << 1) as i32 | (((word >> 20) & 1) << 11) as i32 | (((word >> 12) & 0xff) << 12) as i32
+}
+
+/// Decodes an RV32IM instruction word.
+///
+/// # Errors
+///
+/// Returns [`RvDecodeError`] for unsupported opcodes or funct fields
+/// (anything outside RV32IM + `ecall`/`ebreak`).
+pub fn decode(word: u32) -> Result<RvInst, RvDecodeError> {
+    let err = || RvDecodeError(word);
+    let opcode = word & 0x7f;
+    let f3 = (word >> 12) & 7;
+    let f7 = word >> 25;
+    let inst = match opcode {
+        OP_LUI => RvInst::Lui { rd: x_rd(word), imm: word & 0xffff_f000 },
+        OP_AUIPC => RvInst::Auipc { rd: x_rd(word), imm: word & 0xffff_f000 },
+        OP_JAL => RvInst::Jal { rd: x_rd(word), offset: x_j_imm(word) },
+        OP_JALR if f3 == 0 => RvInst::Jalr { rd: x_rd(word), rs1: x_rs1(word), offset: x_i_imm(word) },
+        OP_BRANCH => {
+            let op = match f3 {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return Err(err()),
+            };
+            RvInst::Branch { op, rs1: x_rs1(word), rs2: x_rs2(word), offset: x_b_imm(word) }
+        }
+        OP_LOAD => {
+            let width = match f3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b100 => MemWidth::Bu,
+                0b101 => MemWidth::Hu,
+                _ => return Err(err()),
+            };
+            RvInst::Load { width, rd: x_rd(word), rs1: x_rs1(word), offset: x_i_imm(word) }
+        }
+        OP_STORE => {
+            let width = match f3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                _ => return Err(err()),
+            };
+            RvInst::Store { width, rs2: x_rs2(word), rs1: x_rs1(word), offset: x_s_imm(word) }
+        }
+        OP_IMM => {
+            let op = match f3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 if f7 == 0 => AluImmOp::Slli,
+                0b101 if f7 == 0 => AluImmOp::Srli,
+                0b101 if f7 == 0b010_0000 => AluImmOp::Srai,
+                _ => return Err(err()),
+            };
+            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) {
+                ((word >> 20) & 31) as i32
+            } else {
+                x_i_imm(word)
+            };
+            RvInst::OpImm { op, rd: x_rd(word), rs1: x_rs1(word), imm }
+        }
+        OP_OP => {
+            let op = match (f7, f3) {
+                (0b000_0000, 0b000) => AluOp::Add,
+                (0b010_0000, 0b000) => AluOp::Sub,
+                (0b000_0000, 0b001) => AluOp::Sll,
+                (0b000_0000, 0b010) => AluOp::Slt,
+                (0b000_0000, 0b011) => AluOp::Sltu,
+                (0b000_0000, 0b100) => AluOp::Xor,
+                (0b000_0000, 0b101) => AluOp::Srl,
+                (0b010_0000, 0b101) => AluOp::Sra,
+                (0b000_0000, 0b110) => AluOp::Or,
+                (0b000_0000, 0b111) => AluOp::And,
+                (0b000_0001, 0b000) => AluOp::Mul,
+                (0b000_0001, 0b001) => AluOp::Mulh,
+                (0b000_0001, 0b010) => AluOp::Mulhsu,
+                (0b000_0001, 0b011) => AluOp::Mulhu,
+                (0b000_0001, 0b100) => AluOp::Div,
+                (0b000_0001, 0b101) => AluOp::Divu,
+                (0b000_0001, 0b110) => AluOp::Rem,
+                (0b000_0001, 0b111) => AluOp::Remu,
+                _ => return Err(err()),
+            };
+            RvInst::Op { op, rd: x_rd(word), rs1: x_rs1(word), rs2: x_rs2(word) }
+        }
+        OP_SYSTEM if word == OP_SYSTEM => RvInst::Ecall,
+        OP_SYSTEM if word == (1 << 20) | OP_SYSTEM => RvInst::Ebreak,
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: RvInst) {
+        assert_eq!(decode(encode(&i)), Ok(i), "roundtrip of {i}");
+    }
+
+    #[test]
+    fn known_encodings_match_the_spec() {
+        // addi x1, x0, 5  => 0x00500093
+        assert_eq!(encode(&RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::RA, rs1: Reg::ZERO, imm: 5 }), 0x0050_0093);
+        // add x3, x1, x2 => 0x002081b3
+        assert_eq!(encode(&RvInst::Op { op: AluOp::Add, rd: Reg::GP, rs1: Reg::RA, rs2: Reg::SP }), 0x0020_81b3);
+        // lw x5, 8(x2) => 0x00812283
+        assert_eq!(
+            encode(&RvInst::Load { width: MemWidth::W, rd: Reg::T0, rs1: Reg::SP, offset: 8 }),
+            0x0081_2283
+        );
+        // sw x5, 8(x2) => 0x00512423
+        assert_eq!(
+            encode(&RvInst::Store { width: MemWidth::W, rs2: Reg::T0, rs1: Reg::SP, offset: 8 }),
+            0x0051_2423
+        );
+        // ecall => 0x00000073
+        assert_eq!(encode(&RvInst::Ecall), 0x0000_0073);
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        roundtrip(RvInst::Lui { rd: Reg::A0, imm: 0xdead_b000 });
+        roundtrip(RvInst::Auipc { rd: Reg::A0, imm: 0x1000 });
+        roundtrip(RvInst::Jal { rd: Reg::RA, offset: -4096 });
+        roundtrip(RvInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        for op in BranchOp::ALL {
+            roundtrip(RvInst::Branch { op, rs1: Reg::A0, rs2: Reg::A1, offset: -256 });
+        }
+        for width in [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W] {
+            roundtrip(RvInst::Load { width, rd: Reg::T3, rs1: Reg::S0, offset: -2048 });
+        }
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W] {
+            roundtrip(RvInst::Store { width, rs2: Reg::T3, rs1: Reg::S0, offset: 2047 });
+        }
+        for op in AluImmOp::ALL {
+            roundtrip(RvInst::OpImm { op, rd: Reg::A2, rs1: Reg::A3, imm: 17 });
+        }
+        for op in AluOp::ALL {
+            roundtrip(RvInst::Op { op, rd: Reg::A2, rs1: Reg::A3, rs2: Reg::A4 });
+        }
+        roundtrip(RvInst::Ecall);
+        roundtrip(RvInst::Ebreak);
+    }
+
+    #[test]
+    fn negative_branch_offset_roundtrips() {
+        for offset in [-4096, -2, 0, 2, 4094] {
+            roundtrip(RvInst::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::ZERO, offset });
+        }
+    }
+
+    #[test]
+    fn jal_extreme_offsets_roundtrip() {
+        for offset in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
+            roundtrip(RvInst::Jal { rd: Reg::RA, offset });
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # straight-riscv
+//!
+//! The RV32IM instruction set used as the conventional-superscalar
+//! baseline ("SS") in the STRAIGHT paper's evaluation (Section V-A).
+//!
+//! Operation semantics ([`AluOp`], [`AluImmOp`], [`MemWidth`]) are
+//! shared with the `straight-isa` crate because the paper deliberately
+//! equalizes the two machines to RV32IM integer semantics; only the
+//! operand model differs (named, overwritable registers here vs
+//! write-once distance operands there).
+//!
+//! ```
+//! use straight_riscv::{Reg, RvInst};
+//! use straight_isa::AluOp;
+//!
+//! let add = RvInst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+//! assert_eq!(add.to_string(), "add a0, a1, a2");
+//! let word = straight_riscv::encode(&add);
+//! assert_eq!(straight_riscv::decode(word).unwrap(), add);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod inst;
+mod reg;
+
+pub use encode::{decode, encode, RvDecodeError};
+pub use inst::{BranchOp, RvInst};
+pub use reg::Reg;
+pub use straight_isa::{AluImmOp, AluOp, MemWidth};
+
+/// Byte size of one encoded RV32 instruction.
+pub const INST_BYTES: u32 = 4;

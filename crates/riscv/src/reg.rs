@@ -1,0 +1,187 @@
+use std::fmt;
+
+/// One of the 32 RV32 integer registers.
+///
+/// `x0` is hardwired to zero. Display uses ABI names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[rustfmt::skip]
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+];
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved 0 / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg(17);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// The register number, 0..=31.
+    #[must_use]
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// True for `x0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, `a0`, ...).
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Saved register `s{i}` for `i` in `0..=11`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 11`.
+    #[must_use]
+    pub fn s(i: u8) -> Reg {
+        match i {
+            0 => Reg(8),
+            1 => Reg(9),
+            2..=11 => Reg(18 + i - 2),
+            _ => panic!("no saved register s{i}"),
+        }
+    }
+
+    /// Argument register `a{i}` for `i` in `0..=7`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 7`.
+    #[must_use]
+    pub fn a(i: u8) -> Reg {
+        assert!(i < 8, "no argument register a{i}");
+        Reg(10 + i)
+    }
+
+    /// Temporary register `t{i}` for `i` in `0..=6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 6`.
+    #[must_use]
+    pub fn t(i: u8) -> Reg {
+        match i {
+            0..=2 => Reg(5 + i),
+            3..=6 => Reg(28 + i - 3),
+            _ => panic!("no temporary register t{i}"),
+        }
+    }
+
+    /// True for registers the RISC-V calling convention preserves
+    /// across calls (`sp`, `s0`–`s11`).
+    #[must_use]
+    pub fn is_callee_saved(self) -> bool {
+        matches!(self.0, 2 | 8 | 9 | 18..=27)
+    }
+
+    /// All 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({})", self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_line_up() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::a(0), Reg::A0);
+        assert_eq!(Reg::a(7), Reg::A7);
+        assert_eq!(Reg::s(0), Reg::S0);
+        assert_eq!(Reg::s(11).to_string(), "s11");
+        assert_eq!(Reg::t(2), Reg::T2);
+        assert_eq!(Reg::t(3), Reg::T3);
+    }
+
+    #[test]
+    fn callee_saved_set() {
+        assert!(Reg::SP.is_callee_saved());
+        assert!(Reg::s(5).is_callee_saved());
+        assert!(!Reg::A0.is_callee_saved());
+        assert!(!Reg::T3.is_callee_saved());
+        assert!(!Reg::RA.is_callee_saved());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the RV32IM encoder/decoder.
+
+use proptest::prelude::*;
+use straight_riscv::{decode, encode, AluImmOp, AluOp, BranchOp, MemWidth, Reg, RvInst};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn inst() -> impl Strategy<Value = RvInst> {
+    prop_oneof![
+        (reg(), any::<u32>()).prop_map(|(rd, imm)| RvInst::Lui { rd, imm: imm & 0xffff_f000 }),
+        (reg(), any::<u32>()).prop_map(|(rd, imm)| RvInst::Auipc { rd, imm: imm & 0xffff_f000 }),
+        (reg(), (-(1i32 << 20) / 2..(1i32 << 19)).prop_map(|o| o * 2)).prop_map(|(rd, offset)| RvInst::Jal { rd, offset }),
+        (reg(), reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| RvInst::Jalr { rd, rs1, offset }),
+        (0usize..6, reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2)).prop_map(|(i, rs1, rs2, offset)| {
+            RvInst::Branch { op: BranchOp::ALL[i], rs1, rs2, offset }
+        }),
+        (0usize..5, reg(), reg(), -2048i32..2048).prop_map(|(i, rd, rs1, offset)| {
+            let width = [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W][i];
+            RvInst::Load { width, rd, rs1, offset }
+        }),
+        (0usize..3, reg(), reg(), -2048i32..2048).prop_map(|(i, rs2, rs1, offset)| {
+            let width = [MemWidth::B, MemWidth::H, MemWidth::W][i];
+            RvInst::Store { width, rs2, rs1, offset }
+        }),
+        (0usize..AluImmOp::ALL.len(), reg(), reg(), -2048i32..2048).prop_map(|(i, rd, rs1, imm)| {
+            let op = AluImmOp::ALL[i];
+            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) { imm & 31 } else { imm };
+            RvInst::OpImm { op, rd, rs1, imm }
+        }),
+        (0usize..AluOp::ALL.len(), reg(), reg(), reg()).prop_map(|(i, rd, rs1, rs2)| RvInst::Op {
+            op: AluOp::ALL[i],
+            rd,
+            rs1,
+            rs2
+        }),
+        Just(RvInst::Ecall),
+        Just(RvInst::Ebreak),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn decode_total_no_panic(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn display_never_empty(i in inst()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+}

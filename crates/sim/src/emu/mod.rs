@@ -1,0 +1,87 @@
+//! Functional (architectural) emulators for both ISAs.
+//!
+//! These execute linked [`straight_asm::Image`]s in order, with no
+//! timing model; they serve as the semantic oracle for the
+//! cycle-accurate cores and produce the retired-instruction statistics
+//! of Figures 15 and 16.
+
+mod riscv;
+mod straight;
+pub mod sys;
+
+pub use riscv::RiscvEmu;
+pub use straight::StraightEmu;
+
+use std::collections::BTreeMap;
+
+/// Why emulation stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuExit {
+    /// The program invoked the exit service or executed `HALT`.
+    Done {
+        /// Exit code.
+        code: i32,
+    },
+    /// The step budget was exhausted.
+    StepLimit,
+    /// A fault: bad fetch, bad decode, or wild memory access.
+    Fault(String),
+}
+
+/// Retired-instruction statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EmuStats {
+    /// Total retired instructions.
+    pub retired: u64,
+    /// Per-category counts (Figure 15 categories).
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Histogram of source-operand distances (STRAIGHT only; index =
+    /// distance, Figure 16).
+    pub dist_hist: Vec<u64>,
+}
+
+impl EmuStats {
+    pub(crate) fn bump_kind(&mut self, kind: &'static str) {
+        *self.kinds.entry(kind).or_insert(0) += 1;
+        self.retired += 1;
+    }
+
+    /// Cumulative fraction of operands at distance ≤ `d`.
+    #[must_use]
+    pub fn cumulative_fraction(&self, d: usize) -> f64 {
+        let total: u64 = self.dist_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: u64 = self.dist_hist.iter().take(d + 1).sum();
+        within as f64 / total as f64
+    }
+
+    /// The largest operand distance observed.
+    #[must_use]
+    pub fn max_distance_used(&self) -> usize {
+        self.dist_hist.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+}
+
+/// Result of running an emulator to completion.
+#[derive(Debug, Clone)]
+pub struct EmuResult {
+    /// Why execution stopped.
+    pub exit: EmuExit,
+    /// Captured console output.
+    pub stdout: String,
+    /// Statistics.
+    pub stats: EmuStats,
+}
+
+impl EmuResult {
+    /// The exit code, if the program completed.
+    #[must_use]
+    pub fn exit_code(&self) -> Option<i32> {
+        match self.exit {
+            EmuExit::Done { code } => Some(code),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Functional emulator for the RV32IM baseline.
+
+use straight_asm::{Image, MEM_SIZE, STACK_TOP};
+use straight_riscv::{decode, MemWidth, Reg, RvInst};
+
+use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
+
+/// RV32IM functional emulator.
+#[derive(Debug)]
+pub struct RiscvEmu {
+    image: Image,
+    mem: Vec<u8>,
+    regs: [u32; 32],
+    pc: u32,
+    sys: SysState,
+    stats: EmuStats,
+}
+
+impl RiscvEmu {
+    /// Prepares an emulator for a linked image.
+    #[must_use]
+    pub fn new(image: Image) -> RiscvEmu {
+        let mut mem = vec![0u8; MEM_SIZE as usize];
+        image.load_into(&mut mem);
+        let pc = image.entry;
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.num() as usize] = STACK_TOP;
+        RiscvEmu { image, mem, regs, pc, sys: SysState::default(), stats: EmuStats::default() }
+    }
+
+    fn r(&self, reg: Reg) -> u32 {
+        self.regs[reg.num() as usize]
+    }
+
+    fn w(&mut self, reg: Reg, val: u32) {
+        if !reg.is_zero() {
+            self.regs[reg.num() as usize] = val;
+        }
+    }
+
+    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, String> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(format!("load fault at {addr:#x}"));
+        }
+        Ok(match width {
+            MemWidth::B => self.mem[a] as i8 as i32 as u32,
+            MemWidth::Bu => u32::from(self.mem[a]),
+            MemWidth::H => i32::from(i16::from_le_bytes([self.mem[a], self.mem[a + 1]])) as u32,
+            MemWidth::Hu => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            MemWidth::W => {
+                u32::from_le_bytes([self.mem[a], self.mem[a + 1], self.mem[a + 2], self.mem[a + 3]])
+            }
+        })
+    }
+
+    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), String> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(format!("store fault at {addr:#x}"));
+        }
+        match width {
+            MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
+            MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+            MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn kind_name(inst: &RvInst) -> &'static str {
+        match inst {
+            RvInst::Jal { .. } | RvInst::Jalr { .. } | RvInst::Branch { .. } => "jump+branch",
+            RvInst::Load { .. } => "ld",
+            RvInst::Store { .. } => "st",
+            RvInst::Ecall | RvInst::Ebreak => "other",
+            _ => "alu",
+        }
+    }
+
+    /// Executes one instruction. Returns `Some(exit)` when the program
+    /// stops.
+    pub fn step(&mut self) -> Option<EmuExit> {
+        let Some(word) = self.image.fetch(self.pc) else {
+            return Some(EmuExit::Fault(format!("fetch fault at {:#x}", self.pc)));
+        };
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(e) => return Some(EmuExit::Fault(format!("decode fault at {:#x}: {e}", self.pc))),
+        };
+        self.stats.bump_kind(Self::kind_name(&inst));
+        let mut next_pc = self.pc.wrapping_add(4);
+        match inst {
+            RvInst::Lui { rd, imm } => self.w(rd, imm),
+            RvInst::Auipc { rd, imm } => self.w(rd, self.pc.wrapping_add(imm)),
+            RvInst::Jal { rd, offset } => {
+                self.w(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            RvInst::Jalr { rd, rs1, offset } => {
+                let target = self.r(rs1).wrapping_add(offset as u32) & !1;
+                self.w(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            RvInst::Branch { op, rs1, rs2, offset } => {
+                if op.eval(self.r(rs1), self.r(rs2)) {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            RvInst::Load { width, rd, rs1, offset } => {
+                let a = self.r(rs1).wrapping_add(offset as u32);
+                match self.load(width, a) {
+                    Ok(v) => self.w(rd, v),
+                    Err(e) => return Some(EmuExit::Fault(e)),
+                }
+            }
+            RvInst::Store { width, rs2, rs1, offset } => {
+                let a = self.r(rs1).wrapping_add(offset as u32);
+                let v = self.r(rs2);
+                if let Err(e) = self.store(width, a, v) {
+                    return Some(EmuExit::Fault(e));
+                }
+            }
+            RvInst::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.r(rs1), imm);
+                self.w(rd, v);
+            }
+            RvInst::Op { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.r(rs1), self.r(rs2));
+                self.w(rd, v);
+            }
+            RvInst::Ecall => {
+                let code = self.r(Reg::A7) as u16;
+                let arg = self.r(Reg::A0);
+                match self.sys.apply(code, arg) {
+                    Some(r) => self.w(Reg::A0, r),
+                    None => return Some(EmuExit::Fault(format!("unknown ecall code {code}"))),
+                }
+            }
+            RvInst::Ebreak => {
+                self.pc = next_pc;
+                return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+            }
+        }
+        self.pc = next_pc;
+        if self.sys.exit_code.is_some() {
+            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap() });
+        }
+        None
+    }
+
+    /// Runs until exit, fault, or the step limit.
+    pub fn run(mut self, max_steps: u64) -> EmuResult {
+        loop {
+            if self.stats.retired >= max_steps {
+                return self.finish(EmuExit::StepLimit);
+            }
+            if let Some(exit) = self.step() {
+                return self.finish(exit);
+            }
+        }
+    }
+
+    fn finish(self, exit: EmuExit) -> EmuResult {
+        EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use straight_asm::{link_riscv, RvFunc, RvItem, RvProgram, RvReloc};
+    use straight_isa::AluImmOp;
+
+    #[test]
+    fn returns_value_through_stub() {
+        // main: li a0, 42; ret
+        let prog = RvProgram {
+            funcs: vec![RvFunc {
+                name: "main".into(),
+                items: vec![
+                    RvItem::plain(RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 }),
+                    RvItem::plain(RvInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
+                ],
+                labels: vec![],
+            }],
+            data: vec![],
+        };
+        let image = link_riscv(&prog).unwrap();
+        let r = RiscvEmu::new(image).run(1000);
+        assert_eq!(r.exit_code(), Some(42));
+    }
+
+    #[test]
+    fn memory_and_branches() {
+        // Loop: sum 1..=5 into a1, store/load through sp, return it.
+        let prog = RvProgram {
+            funcs: vec![RvFunc {
+                name: "main".into(),
+                items: vec![
+                    RvItem::plain(RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::T0, rs1: Reg::ZERO, imm: 5 }),
+                    RvItem::plain(RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::A1, rs1: Reg::ZERO, imm: 0 }),
+                    // loop:
+                    RvItem::plain(RvInst::Op {
+                        op: straight_isa::AluOp::Add,
+                        rd: Reg::A1,
+                        rs1: Reg::A1,
+                        rs2: Reg::T0,
+                    }),
+                    RvItem::plain(RvInst::OpImm { op: AluImmOp::Addi, rd: Reg::T0, rs1: Reg::T0, imm: -1 }),
+                    RvItem {
+                        inst: RvInst::Branch {
+                            op: straight_riscv::BranchOp::Bne,
+                            rs1: Reg::T0,
+                            rs2: Reg::ZERO,
+                            offset: 0,
+                        },
+                        reloc: Some(RvReloc::BranchTo("loop".into())),
+                    },
+                    RvItem::plain(RvInst::Store {
+                        width: MemWidth::W,
+                        rs2: Reg::A1,
+                        rs1: Reg::SP,
+                        offset: -4,
+                    }),
+                    RvItem::plain(RvInst::Load { width: MemWidth::W, rd: Reg::A0, rs1: Reg::SP, offset: -4 }),
+                    RvItem::plain(RvInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
+                ],
+                labels: vec![("loop".into(), 2)],
+            }],
+            data: vec![],
+        };
+        let image = link_riscv(&prog).unwrap();
+        let r = RiscvEmu::new(image).run(10_000);
+        assert_eq!(r.exit_code(), Some(15));
+        assert!(r.stats.kinds["jump+branch"] >= 5);
+    }
+}

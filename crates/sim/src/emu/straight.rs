@@ -1,0 +1,309 @@
+//! Functional emulator for the STRAIGHT ISA.
+//!
+//! Architectural state is the PC, the SP, and the ring of the last
+//! `MAX_DISTANCE` results (the paper's key-value register file seen
+//! architecturally). Distance `d` reads the result of the `d`-th
+//! previously executed instruction.
+
+use straight_asm::{Image, MEM_SIZE, STACK_TOP};
+use straight_isa::{decode, Dist, Inst, InstKind, MemWidth, MAX_DISTANCE};
+
+use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
+
+const RING: usize = (MAX_DISTANCE as usize + 1).next_power_of_two();
+
+/// STRAIGHT functional emulator.
+#[derive(Debug)]
+pub struct StraightEmu {
+    image: Image,
+    mem: Vec<u8>,
+    /// Results of the most recent instructions, indexed by retired
+    /// count modulo `RING`.
+    ring: Vec<u32>,
+    count: u64,
+    pc: u32,
+    sp: u32,
+    sys: SysState,
+    stats: EmuStats,
+    /// Collect the per-operand distance histogram (Figure 16).
+    pub profile_distances: bool,
+}
+
+impl StraightEmu {
+    /// Prepares an emulator for a linked image.
+    #[must_use]
+    pub fn new(image: Image) -> StraightEmu {
+        let mut mem = vec![0u8; MEM_SIZE as usize];
+        image.load_into(&mut mem);
+        let pc = image.entry;
+        StraightEmu {
+            image,
+            mem,
+            ring: vec![0; RING],
+            count: 0,
+            pc,
+            sp: STACK_TOP,
+            sys: SysState::default(),
+            stats: EmuStats { dist_hist: vec![0; MAX_DISTANCE as usize + 1], ..EmuStats::default() },
+            profile_distances: false,
+        }
+    }
+
+    fn read_dist(&self, d: Dist) -> u32 {
+        if d.is_zero() {
+            return 0;
+        }
+        let back = u64::from(d.get());
+        debug_assert!(back <= self.count, "distance {back} exceeds executed count {}", self.count);
+        self.ring[((self.count - back) % RING as u64) as usize]
+    }
+
+    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, String> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(format!("load fault at {addr:#x}"));
+        }
+        Ok(match width {
+            MemWidth::B => self.mem[a] as i8 as i32 as u32,
+            MemWidth::Bu => u32::from(self.mem[a]),
+            MemWidth::H => i32::from(i16::from_le_bytes([self.mem[a], self.mem[a + 1]])) as u32,
+            MemWidth::Hu => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            MemWidth::W => {
+                u32::from_le_bytes([self.mem[a], self.mem[a + 1], self.mem[a + 2], self.mem[a + 3]])
+            }
+        })
+    }
+
+    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), String> {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return Err(format!("store fault at {addr:#x}"));
+        }
+        match width {
+            MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
+            MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+            MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn profile(&mut self, inst: &Inst) {
+        for s in inst.sources().into_iter().flatten() {
+            if !s.is_zero() {
+                self.stats.dist_hist[s.get() as usize] += 1;
+            }
+        }
+    }
+
+    fn kind_name(kind: InstKind) -> &'static str {
+        match kind {
+            InstKind::JumpBranch => "jump+branch",
+            InstKind::Alu => "alu",
+            InstKind::Ld => "ld",
+            InstKind::St => "st",
+            InstKind::Rmov => "rmov",
+            InstKind::Nop => "nop",
+            InstKind::Other => "other",
+        }
+    }
+
+    /// Executes one instruction. Returns `Some(exit)` when the program
+    /// stops.
+    pub fn step(&mut self) -> Option<EmuExit> {
+        let Some(word) = self.image.fetch(self.pc) else {
+            return Some(EmuExit::Fault(format!("fetch fault at {:#x}", self.pc)));
+        };
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(e) => return Some(EmuExit::Fault(format!("decode fault at {:#x}: {e}", self.pc))),
+        };
+        if self.profile_distances {
+            self.profile(&inst);
+        }
+        self.stats.bump_kind(Self::kind_name(inst.kind()));
+        let mut next_pc = self.pc.wrapping_add(4);
+        let result: u32 = match inst {
+            Inst::Nop | Inst::Halt => 0,
+            Inst::Alu { op, s1, s2 } => op.eval(self.read_dist(s1), self.read_dist(s2)),
+            Inst::AluImm { op, s1, imm } => op.eval_straight(self.read_dist(s1), imm),
+            Inst::Lui { imm } => u32::from(imm) << 16,
+            Inst::Ld { width, addr, offset } => {
+                let a = self.read_dist(addr).wrapping_add(offset as i32 as u32);
+                match self.load(width, a) {
+                    Ok(v) => v,
+                    Err(e) => return Some(EmuExit::Fault(e)),
+                }
+            }
+            Inst::St { width, val, addr } => {
+                let v = self.read_dist(val);
+                let a = self.read_dist(addr);
+                if let Err(e) = self.store(width, a, v) {
+                    return Some(EmuExit::Fault(e));
+                }
+                v
+            }
+            Inst::Rmov { s } => self.read_dist(s),
+            Inst::SpAdd { imm } => {
+                self.sp = self.sp.wrapping_add(imm as i32 as u32);
+                self.sp
+            }
+            Inst::Bez { s, offset } => {
+                if self.read_dist(s) == 0 {
+                    next_pc = self.pc.wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                }
+                0
+            }
+            Inst::Bnz { s, offset } => {
+                if self.read_dist(s) != 0 {
+                    next_pc = self.pc.wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                }
+                0
+            }
+            Inst::J { offset } => {
+                next_pc = self.pc.wrapping_add((offset as u32).wrapping_mul(4));
+                0
+            }
+            Inst::Jal { offset } => {
+                let link = self.pc.wrapping_add(4);
+                next_pc = self.pc.wrapping_add((offset as u32).wrapping_mul(4));
+                link
+            }
+            Inst::Jr { s } | Inst::Jalr { s } => {
+                let target = self.read_dist(s);
+                next_pc = target;
+                if matches!(inst, Inst::Jalr { .. }) {
+                    self.pc.wrapping_add(4)
+                } else {
+                    target
+                }
+            }
+            Inst::Sys { code, s } => {
+                let arg = self.read_dist(s);
+                match self.sys.apply(code, arg) {
+                    Some(r) => r,
+                    None => return Some(EmuExit::Fault(format!("unknown SYS code {code}"))),
+                }
+            }
+        };
+        self.ring[(self.count % RING as u64) as usize] = result;
+        self.count += 1;
+        self.pc = next_pc;
+        if matches!(inst, Inst::Halt) {
+            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+        }
+        if self.sys.exit_code.is_some() {
+            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap() });
+        }
+        None
+    }
+
+    /// Runs until exit, fault, or the step limit.
+    pub fn run(mut self, max_steps: u64) -> EmuResult {
+        loop {
+            if self.stats.retired >= max_steps {
+                return self.finish(EmuExit::StepLimit);
+            }
+            if let Some(exit) = self.step() {
+                return self.finish(exit);
+            }
+        }
+    }
+
+    fn finish(self, exit: EmuExit) -> EmuResult {
+        EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use straight_asm::{link_straight, parse_straight_asm};
+
+    fn run_asm(src: &str) -> EmuResult {
+        let prog = parse_straight_asm(src).expect("assembles");
+        let image = link_straight(&prog).expect("links");
+        StraightEmu::new(image).run(1_000_000)
+    }
+
+    #[test]
+    fn returns_value_through_stub() {
+        // main returns 42 via the convention: retval immediately
+        // before JR, return address is the JAL at distance 3 from JR.
+        let r = run_asm(
+            ".text
+             func main:
+                ADDi [0] 41
+                ADDi [1] 1
+                RMOV [1]
+                JR [4]",
+        );
+        assert_eq!(r.exit_code(), Some(42));
+    }
+
+    #[test]
+    fn fibonacci_loop_from_figure1() {
+        // A counted loop in the style of Figure 1/9: the NOP
+        // equalizes the fall-through entry distance with the
+        // back-edge distance (the paper's padding rule).
+        let r = run_asm(
+            ".text
+             func main:
+                ADDi [0] 10      ; counter
+                NOP              ; entry-path padding
+             loop:
+                ADDi [2] -1      ; counter - 1 (same distance on both paths)
+                BNZ [1] loop
+                SYS 1 [2]        ; print the final counter
+                HALT",
+        );
+        assert_eq!(r.exit_code(), Some(0));
+        assert_eq!(r.stdout, "0\n");
+        assert!(r.stats.retired > 20, "{}", r.stats.retired);
+        assert!(r.stats.kinds.get("nop").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn spadd_updates_sp_and_returns_it() {
+        let r = run_asm(
+            ".text
+             func main:
+                SPADD -16
+                ADDi [0] 7
+                ST [1] [2]       ; store 7 at frame base
+                LD [3] 0         ; load it back
+                RMOV [1]
+                JR [6]",
+        );
+        assert_eq!(r.exit_code(), Some(7));
+    }
+
+    #[test]
+    fn distance_profile_collected() {
+        let prog = parse_straight_asm(
+            ".text
+             func main:
+                ADDi [0] 1
+                ADD [1] [1]
+                RMOV [2]
+                JR [4]",
+        )
+        .unwrap();
+        let image = link_straight(&prog).unwrap();
+        let mut emu = StraightEmu::new(image);
+        emu.profile_distances = true;
+        let r = emu.run(1000);
+        assert!(r.stats.dist_hist[1] >= 2);
+        assert!(r.stats.cumulative_fraction(8) > 0.9);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let r = run_asm(
+            ".text
+             func main:
+             spin:
+                J spin",
+        );
+        assert_eq!(r.exit, EmuExit::StepLimit);
+    }
+}

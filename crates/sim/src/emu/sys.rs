@@ -1,0 +1,51 @@
+//! Shared environment-service handling (`SYS` / `ecall`).
+
+use straight_asm::abi;
+
+/// Captured console output and termination state.
+#[derive(Debug, Clone, Default)]
+pub struct SysState {
+    /// Text printed so far.
+    pub stdout: String,
+    /// Set when the exit service has run.
+    pub exit_code: Option<i32>,
+}
+
+impl SysState {
+    /// Applies one service invocation; returns the service's result
+    /// value, or `None` for an unknown code.
+    pub fn apply(&mut self, code: u16, arg: u32) -> Option<u32> {
+        match code {
+            abi::SYS_PRINT_INT => {
+                self.stdout.push_str(&(arg as i32).to_string());
+                self.stdout.push('\n');
+                Some(0)
+            }
+            abi::SYS_PRINT_CHAR => {
+                self.stdout.push(arg as u8 as char);
+                Some(0)
+            }
+            abi::SYS_EXIT => {
+                self.exit_code = Some(arg as i32);
+                Some(0)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn services() {
+        let mut s = SysState::default();
+        assert_eq!(s.apply(abi::SYS_PRINT_INT, -5i32 as u32), Some(0));
+        assert_eq!(s.apply(abi::SYS_PRINT_CHAR, u32::from(b'x')), Some(0));
+        assert_eq!(s.stdout, "-5\nx");
+        assert_eq!(s.apply(abi::SYS_EXIT, 9), Some(0));
+        assert_eq!(s.exit_code, Some(9));
+        assert_eq!(s.apply(999, 0), None);
+    }
+}

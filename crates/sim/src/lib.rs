@@ -1,0 +1,25 @@
+//! # straight-sim
+//!
+//! Execution infrastructure for the STRAIGHT reproduction:
+//!
+//! * [`emu`] — fast functional (architectural) emulators for both
+//!   ISAs, used for correctness validation, retired-instruction-mix
+//!   analysis (Figure 15), and operand-distance profiling (Figure 16);
+//! * [`mem`] — the simulated memory hierarchy (L1I/L1D/L2/L3 caches,
+//!   stream prefetcher, main memory);
+//! * [`predict`] — branch predictors (gshare and 8-component TAGE),
+//!   BTB, return-address stack, and a store-set memory-dependence
+//!   predictor;
+//! * [`pipeline`] — the cycle-accurate out-of-order cores: the
+//!   renaming superscalar baseline (`SS`) with RAM-based RMT and
+//!   ROB-walking recovery, and the STRAIGHT core with RP-based
+//!   operand determination and single-read recovery (Sections III and
+//!   V-A of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emu;
+pub mod mem;
+pub mod pipeline;
+pub mod predict;

@@ -1,0 +1,9 @@
+//! Timing model of the memory system: set-associative caches with LRU
+//! replacement, a stream prefetcher for the data side, and a
+//! fixed-latency main memory, per Table I of the paper.
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheCfg};
+pub use hierarchy::{Hierarchy, HierarchyCfg, MemStats};

@@ -1,0 +1,944 @@
+//! The shared out-of-order core.
+//!
+//! One machine model executes both ISAs: fetch (with direction
+//! prediction and a return-address stack), a latency-modeled front-end
+//! pipe, an ISA-specific rename stage (RAM-based RMT + free list for
+//! SS, the RP adders for STRAIGHT — Figure 3), dispatch into a
+//! unified scheduler, age-ordered issue over the Table-I functional
+//! units, a load/store queue with store-to-load forwarding and
+//! memory-dependence speculation, and in-order commit from the ROB.
+//!
+//! Recovery is where the two machines differ (Figure 4): SS restores
+//! the RMT by walking squashed ROB entries at front-end width per
+//! cycle and stalls rename until the walk completes; STRAIGHT restores
+//! RP/SP from a single ROB entry in one cycle.
+
+use std::collections::VecDeque;
+
+use straight_asm::{Image, MEM_SIZE, STACK_TOP};
+use straight_isa::MemWidth;
+
+use crate::emu::sys::SysState;
+use crate::mem::Hierarchy;
+use crate::predict::{build, DirectionPredictor, Ras, RasCheckpoint, StoreSets};
+
+use super::config::{IsaKind, MachineConfig};
+use super::stats::{SimResult, SimStats};
+use super::uop::{
+    rename_riscv, rename_straight, ControlInfo, ExecUnit, FuncOp, RawInst, RmtState, RpState, UOp,
+};
+
+/// Default cycle budget for [`simulate`].
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RState {
+    /// Dispatched, waiting in the scheduler (or at the ROB head for
+    /// `SYS`/`HALT`).
+    Waiting,
+    /// Issued to a functional unit.
+    Issued,
+    /// Completed.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    uop: UOp,
+    state: RState,
+    predicted_next: u32,
+    pred_taken: bool,
+    actual_taken: bool,
+    ras_cp: RasCheckpoint,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LoadSrc {
+    /// Read functional memory at completion.
+    Mem,
+    /// Forwarded from an in-flight store.
+    Fwd(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    seq: u64,
+    done_at: u64,
+    load_src: Option<LoadSrc>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: u64,
+    is_store: bool,
+    pc: u32,
+    width: MemWidth,
+    addr: Option<u32>,
+    data: Option<u32>,
+    /// Load executed while older store addresses were unknown.
+    speculative: bool,
+    /// For executed loads: sequence number of the store the value was
+    /// forwarded from (`None` = read from memory).
+    fwd_src: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct FrontEntry {
+    ready_at: u64,
+    pc: u32,
+    raw: RawInst,
+    predicted_next: u32,
+    pred_taken: bool,
+    ras_cp: RasCheckpoint,
+}
+
+/// The cycle-accurate core.
+pub struct Core {
+    cfg: MachineConfig,
+    image: Image,
+    mem: Vec<u8>,
+    hier: Hierarchy,
+    bp: Box<dyn DirectionPredictor>,
+    ras: Ras,
+    memdep: StoreSets,
+    prf: Vec<u32>,
+    prf_ready: Vec<bool>,
+    rp_state: RpState,
+    arch_rp: RpState,
+    rmt_state: RmtState,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    iq: Vec<u64>,
+    inflight: Vec<Inflight>,
+    lsq: Vec<LsqEntry>,
+    front_q: VecDeque<FrontEntry>,
+    fetch_pc: u32,
+    fetch_stall_until: u64,
+    rename_stall_until: u64,
+    div_busy_until: Vec<u64>,
+    cycle: u64,
+    sys: SysState,
+    stats: SimStats,
+    halted: Option<i32>,
+    /// Debug: (load pc, store pc) of each memory-order violation.
+    pub violation_log: Vec<(u32, u32)>,
+}
+
+impl Core {
+    /// Builds a core for a linked image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's ISA does not match the configuration
+    /// (checked only indirectly via decode faults at run time) or if
+    /// the physical register file is too small for the configuration.
+    #[must_use]
+    pub fn new(image: Image, cfg: MachineConfig) -> Core {
+        assert!(cfg.phys_regs >= 33, "need at least 33 physical registers");
+        let mut mem = vec![0u8; MEM_SIZE as usize];
+        image.load_into(&mut mem);
+        let phys = cfg.phys_regs as usize;
+        let mut prf = vec![0u32; phys];
+        let mut rmt_state = RmtState::new(cfg.phys_regs);
+        // Architectural init: SP (x2 for RV32; the SP register for
+        // STRAIGHT lives in the rename stage).
+        prf[rmt_state.rmt[2] as usize] = STACK_TOP;
+        rmt_state.freelist.make_contiguous();
+        let fetch_pc = image.entry;
+        Core {
+            bp: build(cfg.predictor),
+            hier: Hierarchy::new(cfg.hierarchy),
+            div_busy_until: vec![0; cfg.units.div as usize],
+            cfg,
+            image,
+            mem,
+            ras: Ras::new(),
+            memdep: StoreSets::new(),
+            prf,
+            prf_ready: vec![true; phys],
+            rp_state: RpState { rp: 0, sp: STACK_TOP },
+            arch_rp: RpState { rp: 0, sp: STACK_TOP },
+            rmt_state,
+            rob: VecDeque::new(),
+            next_seq: 0,
+            iq: Vec::new(),
+            inflight: Vec::new(),
+            lsq: Vec::new(),
+            front_q: VecDeque::new(),
+            fetch_pc,
+            fetch_stall_until: 0,
+            rename_stall_until: 0,
+            cycle: 0,
+            sys: SysState::default(),
+            stats: SimStats::default(),
+            halted: None,
+            violation_log: Vec::new(),
+        }
+    }
+
+    // -- helpers ----------------------------------------------------
+
+    /// ROB entries always hold contiguous sequence numbers (dispatch
+    /// appends, commit pops the front, recovery truncates the tail),
+    /// but squashed sequence numbers are never reused, so indexing is
+    /// relative to the current front entry.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        if idx < self.rob.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn src_value(&self, src: Option<u16>) -> u32 {
+        match src {
+            Some(p) => self.prf[p as usize],
+            None => 0,
+        }
+    }
+
+    fn srcs_ready(&self, uop: &UOp) -> bool {
+        uop.srcs.iter().flatten().all(|&p| self.prf_ready[p as usize])
+    }
+
+    fn mem_read(&self, width: MemWidth, addr: u32) -> u32 {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return 0; // wrong-path wild access
+        }
+        match width {
+            MemWidth::B => self.mem[a] as i8 as i32 as u32,
+            MemWidth::Bu => u32::from(self.mem[a]),
+            MemWidth::H => i32::from(i16::from_le_bytes([self.mem[a], self.mem[a + 1]])) as u32,
+            MemWidth::Hu => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            MemWidth::W => {
+                u32::from_le_bytes([self.mem[a], self.mem[a + 1], self.mem[a + 2], self.mem[a + 3]])
+            }
+        }
+    }
+
+    fn mem_write(&mut self, width: MemWidth, addr: u32, val: u32) {
+        let a = addr as usize;
+        if a + width.bytes() as usize > self.mem.len() {
+            return;
+        }
+        match width {
+            MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
+            MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+            MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+        }
+    }
+
+    fn overlap(a_addr: u32, a_w: MemWidth, b_addr: u32, b_w: MemWidth) -> bool {
+        let a_end = a_addr.wrapping_add(a_w.bytes());
+        let b_end = b_addr.wrapping_add(b_w.bytes());
+        a_addr < b_end && b_addr < a_end
+    }
+
+    // -- commit ------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { return };
+            let seq = head.seq;
+            match head.state {
+                RState::Done => {
+                    let entry = self.rob.pop_front().expect("head exists");
+                    self.retire(entry);
+                    if self.halted.is_some() {
+                        return;
+                    }
+                    let _ = seq;
+                }
+                RState::Waiting if head.uop.is_sys() || head.uop.is_halt() => {
+                    // Environment calls and HALT execute
+                    // non-speculatively at the ROB head.
+                    if head.uop.is_halt() {
+                        let e = self.rob.front_mut().expect("head");
+                        e.state = RState::Done;
+                    } else if self.srcs_ready(&head.uop) {
+                        let uop = head.uop.clone();
+                        let arg = self.src_value(uop.srcs[0]);
+                        let code = match uop.func {
+                            FuncOp::Sys { code: Some(c) } => c,
+                            FuncOp::Sys { code: None } => self.src_value(uop.srcs[1]) as u16,
+                            _ => unreachable!(),
+                        };
+                        let result = self.sys.apply(code, arg).unwrap_or(0);
+                        if let Some(d) = uop.dst {
+                            self.prf[d as usize] = result;
+                            self.prf_ready[d as usize] = true;
+                            self.stats.events.prf_writes += 1;
+                        }
+                        let e = self.rob.front_mut().expect("head");
+                        e.state = RState::Done;
+                    }
+                    return; // retires next cycle
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn retire(&mut self, entry: RobEntry) {
+        let uop = &entry.uop;
+        self.stats.bump_kind(uop.kind);
+        self.stats.events.rob_commits += 1;
+        // Predictor training happens in order at retire.
+        if uop.is_cond_branch() {
+            self.bp.update(uop.pc, entry.actual_taken, entry.pred_taken);
+        }
+        if uop.is_store() {
+            if let Some(i) = self.lsq.iter().position(|e| e.seq == entry.seq) {
+                let e = self.lsq.remove(i);
+                if let (Some(addr), Some(data)) = (e.addr, e.data) {
+                    self.mem_write(e.width, addr, data);
+                }
+            }
+        } else if uop.is_load() {
+            if let Some(i) = self.lsq.iter().position(|e| e.seq == entry.seq) {
+                let e = self.lsq.remove(i);
+                if e.speculative && self.stats.retired.is_multiple_of(64) {
+                    // Sparse decay: successful speculation slowly
+                    // releases a trained dependence.
+                    self.memdep.on_no_violation(e.pc);
+                }
+            }
+        }
+        // SS: the previous mapping's physical register is now free.
+        if let Some(prev) = uop.prev_phys {
+            self.rmt_state.freelist.push_back(prev);
+            self.stats.events.freelist_ops += 1;
+        }
+        // Architectural STRAIGHT state shadows (used when a recovery
+        // squashes the whole window).
+        if self.cfg.isa == IsaKind::Straight {
+            self.arch_rp = RpState { rp: uop.rp_after, sp: uop.sp_after };
+        }
+        if uop.is_halt() {
+            self.halted = Some(self.sys.exit_code.unwrap_or(0));
+        } else if self.sys.exit_code.is_some() {
+            self.halted = self.sys.exit_code;
+        }
+    }
+
+    // -- completion / writeback --------------------------------------
+
+    fn complete(&mut self) {
+        let mut due: Vec<Inflight> = Vec::new();
+        self.inflight.retain(|f| {
+            if f.done_at <= self.cycle {
+                due.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|f| f.seq);
+        for f in due {
+            // Entry may have been squashed by an earlier recovery this
+            // cycle.
+            let Some(idx) = self.rob_index(f.seq) else { continue };
+            if self.rob[idx].state != RState::Issued {
+                continue;
+            }
+            let uop = self.rob[idx].uop.clone();
+            let s0 = self.src_value(uop.srcs[0]);
+            let s1 = self.src_value(uop.srcs[1]);
+            let mut actual_next = uop.pc.wrapping_add(4);
+            let mut actual_taken = false;
+            let result: u32 = match uop.func {
+                FuncOp::Alu(op) => op.eval(s0, s1),
+                FuncOp::AluImmRv(op, imm) => op.eval(s0, imm),
+                FuncOp::AluImmS(op, imm) => op.eval_straight(s0, imm),
+                FuncOp::Const(v) => v,
+                FuncOp::Copy => s0,
+                FuncOp::Load { width, .. } => match f.load_src {
+                    Some(LoadSrc::Fwd(v)) => v,
+                    _ => {
+                        let addr = self
+                            .lsq
+                            .iter()
+                            .find(|e| e.seq == f.seq)
+                            .and_then(|e| e.addr)
+                            .unwrap_or(0);
+                        self.mem_read(width, addr)
+                    }
+                },
+                FuncOp::Store { .. } => s1, // STRAIGHT: ST result is the stored value
+                FuncOp::Branch { cond, target } => {
+                    actual_taken = cond.eval(s0, s1);
+                    actual_next = if actual_taken { target } else { uop.pc.wrapping_add(4) };
+                    0
+                }
+                FuncOp::Jump { target, link } => {
+                    actual_next = target;
+                    if link {
+                        uop.pc.wrapping_add(4)
+                    } else {
+                        0
+                    }
+                }
+                FuncOp::JumpInd { offset, link } => {
+                    let target = s0.wrapping_add(offset as u32) & !1;
+                    actual_next = target;
+                    if link {
+                        uop.pc.wrapping_add(4)
+                    } else {
+                        target
+                    }
+                }
+                FuncOp::Sys { .. } | FuncOp::Halt => unreachable!("executed at commit"),
+                FuncOp::Nop => 0,
+            };
+            if let Some(d) = uop.dst {
+                self.prf[d as usize] = result;
+                self.prf_ready[d as usize] = true;
+                self.stats.events.prf_writes += 1;
+                self.stats.events.iq_wakeups += 1;
+            }
+            self.rob[idx].state = RState::Done;
+            self.rob[idx].actual_taken = actual_taken;
+            if uop.is_control() {
+                if uop.is_cond_branch() {
+                    self.stats.branches += 1;
+                }
+                if actual_next != self.rob[idx].predicted_next {
+                    if uop.is_cond_branch() {
+                        self.stats.branch_mispredicts += 1;
+                    } else {
+                        self.stats.indirect_mispredicts += 1;
+                    }
+                    let cp = self.rob[idx].ras_cp;
+                    self.recover(f.seq, actual_next, Some(cp));
+                }
+            }
+        }
+    }
+
+    // -- issue ------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut budget_total = self.cfg.issue_width;
+        let mut budget = [
+            self.cfg.units.alu,
+            self.cfg.units.mul,
+            self.cfg.units.div,
+            self.cfg.units.bc,
+            self.cfg.units.mem,
+        ];
+        let unit_idx = |u: ExecUnit| match u {
+            ExecUnit::Alu => 0usize,
+            ExecUnit::Mul => 1,
+            ExecUnit::Div => 2,
+            ExecUnit::Branch => 3,
+            ExecUnit::Mem => 4,
+        };
+        self.iq.sort_unstable();
+        let candidates: Vec<u64> = self.iq.clone();
+        for seq in candidates {
+            if budget_total == 0 {
+                break;
+            }
+            let Some(idx) = self.rob_index(seq) else {
+                self.iq.retain(|&s| s != seq);
+                continue;
+            };
+            if self.rob[idx].state != RState::Waiting {
+                self.iq.retain(|&s| s != seq);
+                continue;
+            }
+            let uop = self.rob[idx].uop.clone();
+            let ui = unit_idx(uop.unit);
+            if budget[ui] == 0 {
+                continue;
+            }
+            // Unpipelined divider occupancy.
+            let mut div_slot = None;
+            if uop.unit == ExecUnit::Div {
+                match self.div_busy_until.iter().position(|&b| b <= self.cycle) {
+                    Some(k) => div_slot = Some(k),
+                    None => continue,
+                }
+            }
+            let mut load_src = None;
+            let latency;
+            if uop.is_load() {
+                if !self.srcs_ready(&uop) {
+                    continue;
+                }
+                match self.try_issue_load(seq, &uop) {
+                    Some((lat, src)) => {
+                        latency = lat;
+                        load_src = Some(src);
+                    }
+                    None => continue, // retry next cycle
+                }
+            } else if uop.is_store() {
+                // Stores issue their address as soon as the base
+                // register is ready (split AGU), shrinking the window
+                // in which younger loads see unknown store addresses.
+                let addr_known = self.lsq.iter().any(|e| e.seq == seq && e.addr.is_some());
+                if !addr_known {
+                    if uop.srcs[0].is_some_and(|p| !self.prf_ready[p as usize]) {
+                        continue;
+                    }
+                    let violation = self.issue_store_addr(seq, &uop);
+                    if violation {
+                        return; // the recovery consumed this cycle
+                    }
+                    // The address generation consumes this issue slot.
+                    budget[ui] -= 1;
+                    budget_total -= 1;
+                    self.stats.events.fu_ops += 1;
+                    if uop.srcs[1].is_some_and(|p| !self.prf_ready[p as usize]) {
+                        continue; // data not ready yet; stay in the IQ
+                    }
+                    self.record_store_data(seq, &uop);
+                    let idx = self.rob_index(seq).expect("present");
+                    self.rob[idx].state = RState::Issued;
+                    self.inflight.push(Inflight { seq, done_at: self.cycle + 1, load_src: None });
+                    self.iq.retain(|&s| s != seq);
+                    continue;
+                }
+                // Address already generated; waiting for data.
+                if uop.srcs[1].is_some_and(|p| !self.prf_ready[p as usize]) {
+                    continue;
+                }
+                self.record_store_data(seq, &uop);
+                latency = 1;
+            } else {
+                if !self.srcs_ready(&uop) {
+                    continue;
+                }
+                latency = uop.latency;
+            }
+            if let Some(k) = div_slot {
+                self.div_busy_until[k] = self.cycle + u64::from(latency);
+            }
+            budget[ui] -= 1;
+            budget_total -= 1;
+            self.stats.events.fu_ops += 1;
+            self.stats.events.prf_reads += uop.srcs.iter().flatten().count() as u64;
+            let idx = self.rob_index(seq).expect("still present");
+            self.rob[idx].state = RState::Issued;
+            self.inflight.push(Inflight { seq, done_at: self.cycle + u64::from(latency), load_src });
+            self.iq.retain(|&s| s != seq);
+        }
+    }
+
+    /// Attempts to issue a load: address generation, LSQ search,
+    /// forwarding, and memory-dependence speculation. Returns the
+    /// latency and value source, or `None` to retry later.
+    fn try_issue_load(&mut self, seq: u64, uop: &UOp) -> Option<(u32, LoadSrc)> {
+        let FuncOp::Load { width, offset } = uop.func else { unreachable!() };
+        let addr = self.src_value(uop.srcs[0]).wrapping_add(offset as u32);
+        self.stats.events.lsq_searches += 1;
+        let mut unknown_older = false;
+        let mut best: Option<(u64, u32, MemWidth, u32)> = None; // (seq, addr, width, data)
+        for e in &self.lsq {
+            if !e.is_store || e.seq >= seq {
+                continue;
+            }
+            match e.addr {
+                None => unknown_older = true,
+                Some(sa) => {
+                    if Self::overlap(sa, e.width, addr, width) {
+                        if sa == addr && e.width == width {
+                            let Some(data) = e.data else {
+                                return None; // forwardable, data pending
+                            };
+                            if best.is_none_or(|(bs, ..)| e.seq > bs) {
+                                best = Some((e.seq, sa, e.width, data));
+                            }
+                        } else {
+                            // Partial overlap: wait for the store to
+                            // drain at commit.
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        if unknown_older && self.memdep.predict_dependent(uop.pc) {
+            // Predicted dependent: even with a forwardable match, an
+            // unknown-address store in between could be the real
+            // producer — wait for all older store addresses.
+            return None;
+        }
+        // Record the load address for later violation checks.
+        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+            e.addr = Some(addr);
+            e.speculative = unknown_older;
+            e.fwd_src = best.map(|(bs, ..)| bs);
+        }
+        match best {
+            Some((.., data)) => Some((2, LoadSrc::Fwd(data))),
+            None => {
+                let lat = 1 + self.hier.data_access(addr);
+                Some((lat, LoadSrc::Mem))
+            }
+        }
+    }
+
+    /// Generates a store's address, detecting memory-order violations
+    /// by younger speculatively-executed loads. Returns true when a
+    /// violation recovery was triggered.
+    fn issue_store_addr(&mut self, seq: u64, uop: &UOp) -> bool {
+        let FuncOp::Store { width, offset } = uop.func else { unreachable!() };
+        let addr = self.src_value(uop.srcs[0]).wrapping_add(offset as u32);
+        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+            e.addr = Some(addr);
+        }
+        self.stats.events.lsq_searches += 1;
+        // A younger load that already executed reading this address
+        // got stale data.
+        let victim = self
+            .lsq
+            .iter()
+            .filter(|e| {
+                !e.is_store
+                    && e.seq > seq
+                    && e.addr.is_some_and(|la| Self::overlap(addr, width, la, e.width))
+                    // A load that forwarded from a store *younger* than
+                    // this one already read the correct, newer value.
+                    && e.fwd_src.is_none_or(|fs| fs < seq)
+            })
+            .map(|e| (e.seq, e.pc))
+            .min();
+        if let Some((load_seq, load_pc)) = victim {
+            // Only an actual executed load matters; it re-executes.
+            self.violation_log.push((load_pc, uop.pc));
+            self.stats.memory_violations += 1;
+            self.memdep.on_violation(load_pc);
+            self.recover(load_seq - 1, load_pc, None);
+            return true;
+        }
+        false
+    }
+
+    /// Records a store's data once its value operand is ready.
+    fn record_store_data(&mut self, seq: u64, uop: &UOp) {
+        let data = self.src_value(uop.srcs[1]);
+        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+            e.data = Some(data);
+        }
+    }
+
+    // -- recovery ----------------------------------------------------
+
+    /// Squashes everything younger than `boundary_seq` and refetches
+    /// from `new_pc`. This is the mechanism whose cost separates the
+    /// two machines.
+    fn recover(&mut self, boundary_seq: u64, new_pc: u32, ras_cp: Option<RasCheckpoint>) {
+        let front_seq = self.rob.front().map(|e| e.seq).unwrap_or(boundary_seq + 1);
+        let keep = (boundary_seq + 1).saturating_sub(front_seq) as usize;
+        let squashed: Vec<RobEntry> = self.rob.drain(keep.min(self.rob.len())..).collect();
+        let n = squashed.len() as u64;
+        self.stats.squashed += n;
+        match self.cfg.isa {
+            IsaKind::Ss => {
+                // Walk the squashed entries from the tail, restoring
+                // previous mappings and refreeing destinations.
+                for e in squashed.iter().rev() {
+                    self.stats.events.rob_walk_reads += 1;
+                    if let (Some(l), Some(prev)) = (e.uop.logical_dst, e.uop.prev_phys) {
+                        self.rmt_state.rmt[l as usize] = e.uop.dst.expect("dst allocated");
+                        // Undo: current mapping is e.dst; restore prev.
+                        self.rmt_state.rmt[l as usize] = prev;
+                        self.rmt_state.freelist.push_back(e.uop.dst.expect("dst"));
+                        self.stats.events.freelist_ops += 1;
+                    }
+                }
+                let walk_cycles = if self.cfg.ideal_recovery {
+                    0
+                } else {
+                    n.div_ceil(u64::from(self.cfg.walk_width()))
+                };
+                self.rename_stall_until = self.rename_stall_until.max(self.cycle + walk_cycles);
+                self.stats.recovery_stall_cycles += walk_cycles;
+            }
+            IsaKind::Straight => {
+                // One ROB-entry read restores RP and SP (Figure 4).
+                let restore = match self.rob.back() {
+                    Some(e) => RpState { rp: e.uop.rp_after, sp: e.uop.sp_after },
+                    None => self.arch_rp,
+                };
+                self.rp_state = restore;
+                for e in &squashed {
+                    if let Some(d) = e.uop.dst {
+                        self.prf_ready[d as usize] = true;
+                    }
+                }
+                let stall = u64::from(!self.cfg.ideal_recovery);
+                self.rename_stall_until = self.rename_stall_until.max(self.cycle + stall);
+                self.stats.recovery_stall_cycles += stall;
+            }
+        }
+        // The ROB tail pointer moves back: squashed sequence numbers
+        // are reused, keeping ROB sequence numbers contiguous.
+        self.next_seq = boundary_seq + 1;
+        self.iq.retain(|&s| s <= boundary_seq);
+        self.inflight.retain(|f| f.seq <= boundary_seq);
+        self.lsq.retain(|e| e.seq <= boundary_seq);
+        self.front_q.clear();
+        self.bp.recover();
+        if let Some(cp) = ras_cp {
+            self.ras.restore(cp);
+        }
+        self.fetch_pc = new_pc;
+        self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + 1);
+    }
+
+    // -- rename / dispatch -------------------------------------------
+
+    fn rename_dispatch(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        if self.cycle < self.rename_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            let Some(front) = self.front_q.front() else { return };
+            if front.ready_at > self.cycle {
+                return;
+            }
+            if self.rob.len() >= self.cfg.rob_capacity as usize || self.iq.len() >= self.cfg.iq_entries as usize
+            {
+                self.stats.backpressure_stall_cycles += 1;
+                return;
+            }
+            // LSQ capacity.
+            let (is_load, is_store) = match front.raw {
+                RawInst::S(i) => (matches!(i, straight_isa::Inst::Ld { .. }), matches!(i, straight_isa::Inst::St { .. })),
+                RawInst::R(i) => {
+                    (matches!(i, straight_riscv::RvInst::Load { .. }), matches!(i, straight_riscv::RvInst::Store { .. }))
+                }
+            };
+            if is_load && self.lsq.iter().filter(|e| !e.is_store).count() >= self.cfg.lsq_ld as usize {
+                self.stats.backpressure_stall_cycles += 1;
+                return;
+            }
+            if is_store && self.lsq.iter().filter(|e| e.is_store).count() >= self.cfg.lsq_st as usize {
+                self.stats.backpressure_stall_cycles += 1;
+                return;
+            }
+            // Rename.
+            let front = self.front_q.front().expect("checked").clone();
+            let uop = match (self.cfg.isa, front.raw) {
+                (IsaKind::Straight, RawInst::S(inst)) => {
+                    self.stats.events.rp_adds +=
+                        1 + inst.sources().iter().flatten().count() as u64;
+                    rename_straight(inst, front.pc, &mut self.rp_state, self.cfg.phys_regs)
+                }
+                (IsaKind::Ss, RawInst::R(inst)) => {
+                    let nsrc = inst.sources().iter().flatten().count() as u64;
+                    match rename_riscv(inst, front.pc, &mut self.rmt_state) {
+                        Some(u) => {
+                            self.stats.events.rmt_reads += nsrc + u64::from(u.dst.is_some());
+                            self.stats.events.rmt_writes += u64::from(u.dst.is_some());
+                            self.stats.events.freelist_ops += u64::from(u.dst.is_some());
+                            u
+                        }
+                        None => {
+                            self.stats.freelist_stall_cycles += 1;
+                            return;
+                        }
+                    }
+                }
+                (k, r) => panic!("ISA mismatch: machine {k:?} fed {r:?}"),
+            };
+            self.front_q.pop_front();
+            self.stats.events.decoded += 1;
+            if let Some(d) = uop.dst {
+                self.prf_ready[d as usize] = false;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let goes_to_iq = !(uop.is_sys() || uop.is_halt());
+            if uop.is_load() || uop.is_store() {
+                self.lsq.push(LsqEntry {
+                    seq,
+                    is_store: uop.is_store(),
+                    pc: uop.pc,
+                    width: match uop.func {
+                        FuncOp::Load { width, .. } | FuncOp::Store { width, .. } => width,
+                        _ => MemWidth::W,
+                    },
+                    addr: None,
+                    data: None,
+                    speculative: false,
+                    fwd_src: None,
+                });
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                uop,
+                state: RState::Waiting,
+                predicted_next: front.predicted_next,
+                pred_taken: front.pred_taken,
+                actual_taken: false,
+                ras_cp: front.ras_cp,
+            });
+            self.stats.events.rob_writes += 1;
+            if goes_to_iq {
+                self.iq.push(seq);
+                self.stats.events.iq_inserts += 1;
+            }
+        }
+    }
+
+    // -- fetch --------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.halted.is_some() || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let capacity = (self.cfg.fetch_width * (self.cfg.frontend_latency + 2)) as usize;
+        if self.front_q.len() >= capacity {
+            return;
+        }
+        let mut pc = self.fetch_pc;
+        // Instruction-cache access for the group's first line; a miss
+        // stalls fetch (the hit latency is folded into the front-end
+        // depth).
+        let extra = self.hier.fetch_access(pc);
+        if extra > 0 {
+            self.fetch_stall_until = self.cycle + u64::from(extra);
+            return;
+        }
+        let delay = if self.cfg.ideal_recovery { 1 } else { u64::from(self.cfg.frontend_latency) };
+        for _ in 0..self.cfg.fetch_width {
+            if self.front_q.len() >= capacity {
+                break;
+            }
+            let Some(word) = self.image.fetch(pc) else { break };
+            let raw = match self.cfg.isa {
+                IsaKind::Straight => match straight_isa::decode(word) {
+                    Ok(i) => RawInst::S(i),
+                    Err(_) => break, // wrong-path garbage
+                },
+                IsaKind::Ss => match straight_riscv::decode(word) {
+                    Ok(i) => RawInst::R(i),
+                    Err(_) => break,
+                },
+            };
+            let ras_cp = self.ras.checkpoint();
+            let (predicted_next, pred_taken) = match raw.control_info(pc) {
+                ControlInfo::None => (pc.wrapping_add(4), false),
+                ControlInfo::CondBranch { target } => {
+                    let taken = self.bp.predict(pc);
+                    (if taken { target } else { pc.wrapping_add(4) }, taken)
+                }
+                ControlInfo::DirectJump { target, is_call } => {
+                    if is_call {
+                        self.ras.push(pc.wrapping_add(4));
+                    }
+                    (target, true)
+                }
+                ControlInfo::IndirectJump { is_call, is_return } => {
+                    let t = if is_return { self.ras.pop() } else { pc.wrapping_add(4) };
+                    if is_call {
+                        self.ras.push(pc.wrapping_add(4));
+                    }
+                    (t, true)
+                }
+            };
+            self.front_q.push_back(FrontEntry {
+                ready_at: self.cycle + delay,
+                pc,
+                raw,
+                predicted_next,
+                pred_taken,
+                ras_cp,
+            });
+            self.stats.events.fetched += 1;
+            let sequential = predicted_next == pc.wrapping_add(4);
+            pc = predicted_next;
+            if !sequential {
+                break; // redirect: next group starts at the target
+            }
+        }
+        self.fetch_pc = pc;
+    }
+
+    // -- driver -------------------------------------------------------
+
+    /// One-line state summary for debugging stalls.
+    #[must_use]
+    pub fn debug_snapshot(&self) -> String {
+        let head = self.rob.front().map(|e| {
+            format!(
+                "head seq={} pc={:#x} {:?} state={:?} srcs_ready={}",
+                e.seq,
+                e.uop.pc,
+                e.uop.func,
+                e.state,
+                self.srcs_ready(&e.uop)
+            )
+        });
+        format!(
+            "cyc={} rob={} iq={} infl={} lsq={} frontq={} front_rdy={:?} front_pc={:?} fetch_pc={:#x} fstall@{} rstall@{} retired={} | {:?}",
+            self.cycle,
+            self.rob.len(),
+            self.iq.len(),
+            self.inflight.len(),
+            self.lsq.len(),
+            self.front_q.len(),
+            self.front_q.front().map(|f| f.ready_at),
+            self.front_q.front().map(|f| format!("{:#x}", f.pc)),
+            self.fetch_pc,
+            self.fetch_stall_until,
+            self.rename_stall_until,
+            self.stats.retired,
+            head
+        )
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.commit();
+        if self.halted.is_some() {
+            return;
+        }
+        self.complete();
+        self.issue();
+        self.rename_dispatch();
+        self.fetch();
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Runs in place to completion (or the cycle budget), leaving the
+    /// core inspectable.
+    pub fn run_in_place(&mut self, max_cycles: u64) -> SimResult {
+        while self.halted.is_none() && self.cycle < max_cycles {
+            self.step();
+        }
+        self.stats.mem = self.hier.stats();
+        SimResult { exit_code: self.halted, stdout: self.sys.stdout.clone(), stats: self.stats.clone() }
+    }
+
+    /// Runs to completion (or the cycle budget).
+    #[must_use]
+    pub fn run(mut self, max_cycles: u64) -> SimResult {
+        while self.halted.is_none() && self.cycle < max_cycles {
+            self.step();
+        }
+        self.stats.mem = self.hier.stats();
+        SimResult { exit_code: self.halted, stdout: self.sys.stdout, stats: self.stats }
+    }
+}
+
+/// Simulates a linked image on the given machine.
+#[must_use]
+pub fn simulate(image: Image, cfg: MachineConfig, max_cycles: u64) -> SimResult {
+    Core::new(image, cfg).run(max_cycles)
+}

@@ -1,0 +1,13 @@
+//! The cycle-accurate out-of-order cores (Section III and V-A of the
+//! paper): a shared back-end with ISA-specific front-ends — the
+//! renaming superscalar (`SS`) and STRAIGHT.
+
+mod config;
+mod core;
+mod stats;
+mod uop;
+
+pub use config::{IsaKind, MachineConfig, UnitCfg};
+pub use core::{simulate, Core, DEFAULT_MAX_CYCLES};
+pub use stats::{PowerEvents, SimResult, SimStats};
+pub use uop::{ControlInfo, ExecUnit, FuncOp, RawInst, UOp};

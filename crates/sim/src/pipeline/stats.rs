@@ -1,0 +1,128 @@
+//! Simulation statistics, including the activity-event counters the
+//! power model consumes (Figure 17).
+
+use std::collections::BTreeMap;
+
+use crate::mem::MemStats;
+
+/// Activity events for the power model: every counter corresponds to
+/// a physical structure access in one of the modeled modules.
+#[derive(Debug, Clone, Copy, Default)]
+#[allow(missing_docs)]
+pub struct PowerEvents {
+    // Rename logic (the module STRAIGHT removes).
+    pub rmt_reads: u64,
+    pub rmt_writes: u64,
+    pub freelist_ops: u64,
+    pub rob_walk_reads: u64,
+    // STRAIGHT's counterpart: the operand-determination adders.
+    pub rp_adds: u64,
+    // Register file.
+    pub prf_reads: u64,
+    pub prf_writes: u64,
+    // Other core modules.
+    pub fetched: u64,
+    pub decoded: u64,
+    pub iq_wakeups: u64,
+    pub iq_inserts: u64,
+    pub fu_ops: u64,
+    pub rob_writes: u64,
+    pub rob_commits: u64,
+    pub lsq_searches: u64,
+}
+
+/// Full statistics of one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Retired (committed) instructions.
+    pub retired: u64,
+    /// Retired counts per category (Figure 15 categories).
+    pub retired_kinds: BTreeMap<&'static str, u64>,
+    /// Conditional branches resolved / mispredicted.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+    /// Indirect-jump mispredicts (wrong RAS/unknown target).
+    pub indirect_mispredicts: u64,
+    /// Memory-order violations (store-load replays).
+    pub memory_violations: u64,
+    /// Total instructions squashed by recoveries.
+    pub squashed: u64,
+    /// Cycles the rename stage was blocked by recovery (ROB walking
+    /// for SS; the single ROB read for STRAIGHT).
+    pub recovery_stall_cycles: u64,
+    /// Cycles rename stalled for a free physical register.
+    pub freelist_stall_cycles: u64,
+    /// Cycles dispatch stalled on a full ROB/IQ/LSQ.
+    pub backpressure_stall_cycles: u64,
+    /// Power-model activity events.
+    pub events: PowerEvents,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misprediction rate over conditional branches.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Bumps a retired-kind counter.
+    pub fn bump_kind(&mut self, kind: &'static str) {
+        *self.retired_kinds.entry(kind).or_insert(0) += 1;
+        self.retired += 1;
+    }
+}
+
+/// Result of simulating a program to completion.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Exit code, if the program completed.
+    pub exit_code: Option<i32>,
+    /// Console output.
+    pub stdout: String,
+    /// Statistics.
+    pub stats: SimStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let mut s = SimStats { cycles: 100, ..SimStats::default() };
+        for _ in 0..150 {
+            s.bump_kind("alu");
+        }
+        s.branches = 10;
+        s.branch_mispredicts = 3;
+        assert!((s.ipc() - 1.5).abs() < 1e-9);
+        assert!((s.mispredict_rate() - 0.3).abs() < 1e-9);
+        assert_eq!(s.retired_kinds["alu"], 150);
+    }
+
+    #[test]
+    fn zero_cycles_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+}

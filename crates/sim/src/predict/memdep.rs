@@ -1,0 +1,81 @@
+//! Store-set memory-dependence predictor (Chrysos & Emer style,
+//! simplified): loads that have violated in the past are predicted to
+//! depend on older stores and wait for their addresses.
+
+use std::collections::HashMap;
+
+/// Per-load-PC dependence predictor with a small confidence counter.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSets {
+    /// Load PC → 2-bit "waits for stores" confidence.
+    table: HashMap<u32, u8>,
+}
+
+impl StoreSets {
+    /// Empty predictor: all loads predicted independent.
+    #[must_use]
+    pub fn new() -> StoreSets {
+        StoreSets::default()
+    }
+
+    /// Should the load at `pc` wait for older stores with unknown
+    /// addresses?
+    #[must_use]
+    pub fn predict_dependent(&self, pc: u32) -> bool {
+        self.table.get(&pc).copied().unwrap_or(0) >= 2
+    }
+
+    /// Trains on a detected memory-order violation by the load at
+    /// `pc`.
+    pub fn on_violation(&mut self, pc: u32) {
+        let c = self.table.entry(pc).or_insert(0);
+        *c = (*c + 2).min(3);
+    }
+
+    /// Slowly decays confidence when the load executed early and no
+    /// violation occurred.
+    pub fn on_no_violation(&mut self, pc: u32) {
+        if let Some(c) = self.table.get_mut(&pc) {
+            if *c > 0 && fastrand_decay(pc) {
+                *c -= 1;
+            }
+        }
+    }
+}
+
+/// Deterministic sparse decay (roughly 1/64 of the time), keyed on a
+/// per-call counter folded with the PC so behaviour is reproducible.
+fn fastrand_decay(pc: u32) -> bool {
+    use std::cell::Cell;
+    thread_local! {
+        static COUNTER: Cell<u32> = const { Cell::new(0) };
+    }
+    COUNTER.with(|c| {
+        let v = c.get().wrapping_add(0x9e37_79b9).wrapping_add(pc);
+        c.set(v);
+        v & 63 == 0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_trains_dependence() {
+        let mut s = StoreSets::new();
+        assert!(!s.predict_dependent(0x100));
+        s.on_violation(0x100);
+        assert!(s.predict_dependent(0x100));
+    }
+
+    #[test]
+    fn decay_eventually_releases() {
+        let mut s = StoreSets::new();
+        s.on_violation(0x200);
+        for _ in 0..100_000 {
+            s.on_no_violation(0x200);
+        }
+        assert!(!s.predict_dependent(0x200));
+    }
+}

@@ -1,0 +1,270 @@
+//! An 8-component TAGE predictor (Seznec, "A new case for the TAGE
+//! branch predictor", MICRO 2011) — the configuration Figure 14 of the
+//! STRAIGHT paper swaps in for gshare.
+//!
+//! One bimodal base table plus seven tagged components with
+//! geometrically increasing history lengths. Each tagged entry holds a
+//! partial tag, a 3-bit signed counter, and a 2-bit useful counter.
+
+use super::DirectionPredictor;
+
+const NUM_TAGGED: usize = 7;
+const HIST_LENGTHS: [u32; NUM_TAGGED] = [5, 9, 15, 25, 44, 76, 130];
+const TAGGED_BITS: u32 = 10; // 1 K entries per component
+const TAG_BITS: u32 = 9;
+const BASE_BITS: u32 = 13; // 8 K bimodal entries
+const MAX_HIST: usize = 160;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: i8, // -4..=3
+    useful: u8,
+}
+
+/// The TAGE predictor with speculative global history and squash
+/// repair.
+#[derive(Debug)]
+pub struct Tage {
+    base: Vec<u8>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    /// Global history bits, newest at index 0.
+    history: Vec<bool>,
+    spec_history: Vec<bool>,
+    /// Deterministic LFSR for the allocation tie-breaking.
+    rng: u32,
+    /// Periodic useful-bit reset counter.
+    tick: u32,
+}
+
+impl Tage {
+    /// Builds an empty predictor.
+    #[must_use]
+    pub fn new() -> Tage {
+        Tage {
+            base: vec![1; 1 << BASE_BITS],
+            tagged: vec![vec![TaggedEntry::default(); 1 << TAGGED_BITS]; NUM_TAGGED],
+            history: vec![false; MAX_HIST],
+            spec_history: vec![false; MAX_HIST],
+            rng: 0x1234_5678,
+            tick: 0,
+        }
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        // xorshift32
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.rng = x;
+        x
+    }
+
+    /// Folded history hash over the first `len` bits.
+    fn fold(history: &[bool], len: u32, out_bits: u32) -> u32 {
+        let mut acc = 0u32;
+        let mut chunk = 0u32;
+        let mut nbits = 0;
+        for &b in history.iter().take(len as usize) {
+            chunk = (chunk << 1) | u32::from(b);
+            nbits += 1;
+            if nbits == out_bits {
+                acc ^= chunk;
+                chunk = 0;
+                nbits = 0;
+            }
+        }
+        acc ^= chunk;
+        acc & ((1 << out_bits) - 1)
+    }
+
+    fn tagged_index(&self, pc: u32, comp: usize, history: &[bool]) -> usize {
+        let h = Self::fold(history, HIST_LENGTHS[comp], TAGGED_BITS);
+        ((((pc >> 2) ^ (pc >> (2 + comp as u32 + 1))) ^ h) & ((1 << TAGGED_BITS) - 1)) as usize
+    }
+
+    fn tag_of(&self, pc: u32, comp: usize, history: &[bool]) -> u16 {
+        let h1 = Self::fold(history, HIST_LENGTHS[comp], TAG_BITS);
+        let h2 = Self::fold(history, HIST_LENGTHS[comp], TAG_BITS - 1) << 1;
+        (((pc >> 2) ^ h1 ^ h2) & ((1 << TAG_BITS) - 1)) as u16
+    }
+
+    fn base_index(&self, pc: u32) -> usize {
+        ((pc >> 2) & ((1 << BASE_BITS) - 1)) as usize
+    }
+
+    /// (provider component or None=base, prediction, alternate pred).
+    fn lookup(&self, pc: u32, history: &[bool]) -> (Option<usize>, bool, bool) {
+        let mut provider = None;
+        let mut alt: Option<bool> = None;
+        let mut pred = self.base[self.base_index(pc)] >= 2;
+        // Search longest history first.
+        for comp in (0..NUM_TAGGED).rev() {
+            let idx = self.tagged_index(pc, comp, history);
+            let e = &self.tagged[comp][idx];
+            if e.tag == self.tag_of(pc, comp, history) {
+                if provider.is_none() {
+                    provider = Some(comp);
+                    pred = e.ctr >= 0;
+                } else if alt.is_none() {
+                    alt = Some(e.ctr >= 0);
+                }
+            }
+        }
+        let alt = alt.unwrap_or(self.base[self.base_index(pc)] >= 2);
+        (provider, pred, alt)
+    }
+
+    fn push_history(history: &mut Vec<bool>, taken: bool) {
+        history.insert(0, taken);
+        history.truncate(MAX_HIST);
+    }
+}
+
+impl Default for Tage {
+    fn default() -> Self {
+        Tage::new()
+    }
+}
+
+impl DirectionPredictor for Tage {
+    fn predict(&mut self, pc: u32) -> bool {
+        let (_, pred, _) = self.lookup(pc, &self.spec_history.clone());
+        Self::push_history(&mut self.spec_history, pred);
+        pred
+    }
+
+    fn update(&mut self, pc: u32, taken: bool, _fetch_pred: bool) {
+        let history = self.history.clone();
+        let (provider, pred, alt) = self.lookup(pc, &history);
+        match provider {
+            Some(comp) => {
+                let idx = self.tagged_index(pc, comp, &history);
+                let tag = self.tag_of(pc, comp, &history);
+                let e = &mut self.tagged[comp][idx];
+                debug_assert_eq!(e.tag, tag);
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if pred != alt {
+                    if pred == taken {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+            None => {
+                let idx = self.base_index(pc);
+                let c = &mut self.base[idx];
+                if taken {
+                    *c = (*c + 1).min(3);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+        // Allocate on misprediction in a longer component.
+        if pred != taken {
+            let start = provider.map(|p| p + 1).unwrap_or(0);
+            if start < NUM_TAGGED {
+                // Find a not-useful entry among the longer components,
+                // preferring shorter ones with a random skip.
+                let mut allocated = false;
+                let skip = (self.next_rand() & 1) as usize;
+                let mut candidates: Vec<usize> = (start..NUM_TAGGED).collect();
+                if candidates.len() > 1 && skip == 1 {
+                    candidates.remove(0);
+                }
+                for comp in candidates {
+                    let idx = self.tagged_index(pc, comp, &history);
+                    if self.tagged[comp][idx].useful == 0 {
+                        let tag = self.tag_of(pc, comp, &history);
+                        self.tagged[comp][idx] =
+                            TaggedEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                        allocated = true;
+                        break;
+                    }
+                }
+                if !allocated {
+                    for comp in start..NUM_TAGGED {
+                        let idx = self.tagged_index(pc, comp, &history);
+                        let e = &mut self.tagged[comp][idx];
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        // Periodic graceful useful-bit aging.
+        self.tick += 1;
+        if self.tick.is_multiple_of(256 * 1024) {
+            for comp in &mut self.tagged {
+                for e in comp.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+        Self::push_history(&mut self.history, taken);
+    }
+
+    fn recover(&mut self) {
+        self.spec_history = self.history.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_bias() {
+        let mut t = Tage::new();
+        for _ in 0..16 {
+            let p = t.predict(0x400);
+            t.update(0x400, true, p);
+        }
+        assert!(t.predict(0x400));
+    }
+
+    #[test]
+    fn learns_long_period_pattern_better_than_gshare_style_history() {
+        // Period-24 pattern: 23 taken, 1 not-taken — the long-history
+        // components should capture it.
+        let mut t = Tage::new();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..24 * 400 {
+            let outcome = !(i % 24 == 23);
+            let p = t.predict(0x800);
+            if i >= 24 * 200 {
+                total += 1;
+                if p == outcome {
+                    correct += 1;
+                }
+            }
+            t.update(0x800, outcome, p);
+            if p != outcome {
+                t.recover(); // pipeline repairs history on mispredicts
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.97, "TAGE accuracy on period-24 pattern: {acc}");
+    }
+
+    #[test]
+    fn recover_restores_history() {
+        let mut t = Tage::new();
+        let p = t.predict(0x100);
+        let _ = t.predict(0x104);
+        t.recover();
+        assert_eq!(t.spec_history, t.history);
+        t.update(0x100, p, p);
+    }
+
+    #[test]
+    fn fold_is_stable_and_bounded() {
+        let h = vec![true; 64];
+        let f = Tage::fold(&h, 44, 10);
+        assert!(f < 1024);
+        assert_eq!(f, Tage::fold(&h, 44, 10));
+    }
+}

@@ -1,0 +1,216 @@
+//! The Dhrystone-like workload, adapted from the structure of
+//! Dhrystone 2.1 (Weicker): record manipulation through pointers,
+//! 30-character string copy/compare, a chain of small procedures with
+//! enum/bool/char logic, and a global integer/array mix. MinC has no
+//! structs, so the two `Record_Type` instances live in parallel
+//! arrays indexed by a record id — the same loads/stores a
+//! field-offset access would produce.
+
+/// MinC source; `__ITER__` is replaced with the run count.
+pub const SOURCE: &str = r#"
+int RUNS = __ITER__;
+
+// Record pool: two records, fields as parallel arrays.
+int rec_ptr[2];     // PtrComp: index of the next record
+int rec_discr[2];
+int rec_enum[2];
+int rec_int[2];
+byte rec_str[64];   // 31 bytes per record, record r at offset r*31
+
+int Int_Glob;
+int Bool_Glob;
+int Ch_1_Glob;
+int Ch_2_Glob;
+int Arr_1_Glob[50];
+int Arr_2_Glob[2500]; // 50 x 50
+
+byte Str_1_Loc[31];
+byte Str_2_Loc[31];
+
+void strcpy_(byte* dst, byte* src) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+}
+
+int strcmp_(byte* a, byte* b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int Func_1(int ch_1, int ch_2) {
+    int ch_1_loc = ch_1;
+    int ch_2_loc = ch_1_loc;
+    if (ch_2_loc != ch_2) return 0;       // Ident_1
+    Ch_1_Glob = ch_1_loc;
+    return 1;                             // Ident_2
+}
+
+int Func_2(byte* str_1, byte* str_2) {
+    int int_loc = 2;
+    int ch_loc = 0;
+    while (int_loc <= 2) {
+        if (Func_1(str_1[int_loc], str_2[int_loc + 1]) == 0) {
+            ch_loc = 'A';
+            int_loc = int_loc + 1;
+        }
+    }
+    if (ch_loc >= 'W' && ch_loc < 'Z') int_loc = 7;
+    if (ch_loc == 'R') return 1;
+    if (strcmp_(str_1, str_2) > 0) {
+        int_loc = int_loc + 7;
+        Int_Glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+int Func_3(int enum_par) {
+    int enum_loc = enum_par;
+    if (enum_loc == 2) return 1;          // Ident_3
+    return 0;
+}
+
+void Proc_6(int enum_val, int* enum_ref) {
+    *enum_ref = enum_val;
+    if (Func_3(enum_val) == 0) *enum_ref = 3;
+    if (enum_val == 0) *enum_ref = 0;
+    else if (enum_val == 1) { if (Int_Glob > 100) *enum_ref = 0; else *enum_ref = 3; }
+    else if (enum_val == 2) *enum_ref = 1;
+    else if (enum_val == 4) *enum_ref = 2;
+}
+
+void Proc_7(int int_1, int int_2, int* int_out) {
+    int int_loc = int_1 + 2;
+    *int_out = int_2 + int_loc;
+}
+
+void Proc_8(int* arr_1, int* arr_2, int int_1, int int_2) {
+    int int_loc = int_1 + 5;
+    arr_1[int_loc] = int_2;
+    arr_1[int_loc + 1] = arr_1[int_loc];
+    arr_1[int_loc + 30] = int_loc;
+    int idx;
+    for (idx = int_loc; idx <= int_loc + 1; idx++) arr_2[int_loc * 50 + idx] = int_loc;
+    arr_2[int_loc * 50 + int_loc - 1] = arr_2[int_loc * 50 + int_loc - 1] + 1;
+    arr_2[(int_loc + 20) * 50 + int_loc] = arr_1[int_loc];
+    Int_Glob = 5;
+}
+
+void Proc_5() {
+    Ch_1_Glob = 'A';
+    Bool_Glob = 0;
+}
+
+void Proc_4() {
+    int bool_loc = Ch_1_Glob == 'A';
+    bool_loc = bool_loc | Bool_Glob;
+    Ch_2_Glob = 'B';
+}
+
+void Proc_3(int* ptr_ref) {
+    if (rec_ptr[0] >= 0) *ptr_ref = rec_ptr[0];
+    Proc_7(10, Int_Glob, &rec_int[0]);
+}
+
+void Proc_2(int* int_par_ref) {
+    int int_loc = *int_par_ref + 10;
+    int enum_loc = 0;
+    int done = 0;
+    while (done == 0) {
+        if (Ch_1_Glob == 'A') {
+            int_loc = int_loc - 1;
+            *int_par_ref = int_loc - Int_Glob;
+            enum_loc = 1;
+        }
+        if (enum_loc == 1) done = 1;
+    }
+}
+
+void Proc_1(int ptr_val_par) {
+    int next = rec_ptr[ptr_val_par];
+    // *Ptr_Val_Par->Ptr_Comp = *Ptr_Glob (structure assignment)
+    rec_ptr[next] = rec_ptr[0];
+    rec_discr[next] = rec_discr[0];
+    rec_enum[next] = rec_enum[0];
+    rec_int[next] = rec_int[0];
+    rec_int[ptr_val_par] = 5;
+    rec_int[next] = rec_int[ptr_val_par];
+    rec_ptr[next] = rec_ptr[ptr_val_par];
+    Proc_3(&rec_ptr[next]);
+    if (rec_discr[next] == 0) {
+        rec_int[next] = 6;
+        Proc_6(rec_enum[ptr_val_par], &rec_enum[next]);
+        rec_ptr[next] = rec_ptr[0];
+        Proc_7(rec_int[next], 10, &rec_int[next]);
+    } else {
+        rec_ptr[ptr_val_par] = rec_ptr[next];
+        rec_discr[ptr_val_par] = rec_discr[next];
+        rec_enum[ptr_val_par] = rec_enum[next];
+        rec_int[ptr_val_par] = rec_int[next];
+    }
+}
+
+int main() {
+    int int_1_loc;
+    int int_2_loc;
+    int int_3_loc = 0;
+    int ch_index;
+    int enum_loc;
+    int run_index;
+
+    // Initialization, as in dhry_1.c main().
+    rec_ptr[1] = 0;                 // Next_Ptr_Glob
+    rec_ptr[0] = 1;                 // Ptr_Glob->Ptr_Comp = Next
+    rec_discr[0] = 0;               // Ident_1
+    rec_enum[0] = 2;                // Ident_3
+    rec_int[0] = 40;
+    strcpy_(&rec_str[0], "DHRYSTONE PROGRAM, SOME STRING");
+    strcpy_(Str_1_Loc, "DHRYSTONE PROGRAM, 1'ST STRING");
+    Arr_2_Glob[8 * 50 + 7] = 10;
+
+    for (run_index = 1; run_index <= RUNS; run_index++) {
+        Proc_5();
+        Proc_4();
+        int_1_loc = 2;
+        int_2_loc = 3;
+        strcpy_(Str_2_Loc, "DHRYSTONE PROGRAM, 2'ND STRING");
+        enum_loc = 1;
+        Bool_Glob = Func_2(Str_1_Loc, Str_2_Loc) == 0;
+        while (int_1_loc < int_2_loc) {
+            int_3_loc = 5 * int_1_loc - int_2_loc;
+            Proc_7(int_1_loc, int_2_loc, &int_3_loc);
+            int_1_loc = int_1_loc + 1;
+        }
+        Proc_8(Arr_1_Glob, Arr_2_Glob, int_1_loc, int_3_loc);
+        Proc_1(0);
+        for (ch_index = 'A'; ch_index <= Ch_2_Glob; ch_index++) {
+            if (enum_loc == Func_1(ch_index, 'C')) {
+                Proc_6(0, &enum_loc);
+                strcpy_(Str_2_Loc, "DHRYSTONE PROGRAM, 3'RD STRING");
+                Int_Glob = run_index;
+            }
+        }
+        int_2_loc = int_2_loc * int_1_loc;
+        int_1_loc = int_2_loc / int_3_loc;
+        int_2_loc = 7 * (int_2_loc - int_3_loc) - int_1_loc;
+        Proc_2(&int_1_loc);
+    }
+
+    // Checksum over the observable state (stands in for Dhrystone's
+    // printed validation values).
+    int sum = Int_Glob;
+    sum = sum * 31 + Bool_Glob;
+    sum = sum * 31 + Ch_1_Glob;
+    sum = sum * 31 + Ch_2_Glob;
+    sum = sum * 31 + Arr_1_Glob[7];
+    sum = sum * 31 + Arr_2_Glob[8 * 50 + 7];
+    sum = sum * 31 + rec_int[0] + rec_int[1];
+    sum = sum * 31 + int_3_loc;
+    int i;
+    for (i = 0; i < 31 && Str_2_Loc[i]; i++) sum = sum + Str_2_Loc[i];
+    print_int(sum);
+    return 0;
+}
+"#;

@@ -1,0 +1,182 @@
+//! Small MinC kernels for tests, examples, and microbenchmarks.
+
+/// Iterative Fibonacci printing `fib(n)`.
+#[must_use]
+pub fn fibonacci(n: u32) -> String {
+    format!(
+        "int main() {{
+             int a = 0;
+             int b = 1;
+             int i;
+             for (i = 0; i < {n}; i++) {{ int t = a + b; a = b; b = t; }}
+             print_int(a);
+             return 0;
+         }}"
+    )
+}
+
+/// Recursive Fibonacci (call-heavy).
+#[must_use]
+pub fn fibonacci_recursive(n: u32) -> String {
+    format!(
+        "int fib(int n) {{ if (n < 2) return n; return fib(n - 1) + fib(n - 2); }}
+         int main() {{ print_int(fib({n})); return 0; }}"
+    )
+}
+
+/// Sieve of Eratosthenes counting primes below `limit` (≤ 4096).
+#[must_use]
+pub fn sieve(limit: u32) -> String {
+    assert!(limit <= 4096, "sieve buffer is 4096 bytes");
+    format!(
+        "byte composite[4096];
+         int main() {{
+             int count = 0;
+             int i;
+             int j;
+             for (i = 2; i < {limit}; i++) {{
+                 if (composite[i] == 0) {{
+                     count++;
+                     for (j = i + i; j < {limit}; j += i) composite[j] = 1;
+                 }}
+             }}
+             print_int(count);
+             return 0;
+         }}"
+    )
+}
+
+/// Quicksort over a pseudo-random array, printing a checksum.
+#[must_use]
+pub fn quicksort(n: u32) -> String {
+    assert!(n <= 512);
+    format!(
+        "int data[512];
+         void qsort_(int* a, int lo, int hi) {{
+             if (lo >= hi) return;
+             int pivot = a[(lo + hi) / 2];
+             int i = lo;
+             int j = hi;
+             while (i <= j) {{
+                 while (a[i] < pivot) i++;
+                 while (a[j] > pivot) j -= 1;
+                 if (i <= j) {{
+                     int t = a[i]; a[i] = a[j]; a[j] = t;
+                     i++;
+                     j -= 1;
+                 }}
+             }}
+             qsort_(a, lo, j);
+             qsort_(a, i, hi);
+         }}
+         int main() {{
+             int s = 42;
+             int i;
+             for (i = 0; i < {n}; i++) {{ s = s * 1103515245 + 12345; data[i] = (s >> 16) & 1023; }}
+             qsort_(data, 0, {n} - 1);
+             int sum = 0;
+             for (i = 0; i < {n}; i++) sum = sum * 3 + data[i];
+             print_int(sum);
+             return 0;
+         }}"
+    )
+}
+
+/// CRC-32 over a generated buffer (bit-twiddling heavy).
+#[must_use]
+pub fn crc32(len: u32) -> String {
+    assert!(len <= 2048);
+    format!(
+        "byte buf[2048];
+         int main() {{
+             int i;
+             int s = 7;
+             for (i = 0; i < {len}; i++) {{ s = s * 1103515245 + 12345; buf[i] = (s >> 16) & 255; }}
+             int crc = -1;
+             for (i = 0; i < {len}; i++) {{
+                 crc = crc ^ buf[i];
+                 int k;
+                 for (k = 0; k < 8; k++) {{
+                     int mask = -(crc & 1);
+                     crc = ((crc >> 1) & 0x7FFFFFFF) ^ (0xEDB88320 & mask);
+                 }}
+             }}
+             print_int(crc ^ -1);
+             return 0;
+         }}"
+    )
+}
+
+/// Dense 16x16 integer matrix multiply, printing the trace.
+#[must_use]
+pub fn matmul() -> String {
+    "int a[256];
+     int b[256];
+     int c[256];
+     int main() {
+         int i;
+         int j;
+         int k;
+         for (i = 0; i < 256; i++) { a[i] = i % 7 + 1; b[i] = i % 5 + 2; }
+         for (i = 0; i < 16; i++)
+             for (j = 0; j < 16; j++) {
+                 int acc = 0;
+                 for (k = 0; k < 16; k++) acc += a[i * 16 + k] * b[k * 16 + j];
+                 c[i * 16 + j] = acc;
+             }
+         int trace = 0;
+         for (i = 0; i < 16; i++) trace += c[i * 16 + i];
+         print_int(trace);
+         return 0;
+     }"
+    .to_string()
+}
+
+/// String utilities exercised over byte arrays.
+#[must_use]
+pub fn string_ops() -> String {
+    r#"
+byte buf[128];
+int strlen_(byte* s) { int n = 0; while (s[n]) n++; return n; }
+void strcat_(byte* dst, byte* src) {
+    int n = strlen_(dst);
+    int i = 0;
+    while (src[i]) { dst[n + i] = src[i]; i++; }
+    dst[n + i] = 0;
+}
+int main() {
+    strcat_(buf, "hazardless ");
+    strcat_(buf, "processor ");
+    strcat_(buf, "architecture");
+    int sum = 0;
+    int i;
+    for (i = 0; buf[i]; i++) sum = sum * 31 + buf[i];
+    print_int(sum);
+    print_int(strlen_(buf));
+    return 0;
+}
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_nonempty_and_parameterized() {
+        assert!(fibonacci(10).contains("for"));
+        assert!(fibonacci_recursive(5).contains("fib"));
+        assert!(sieve(100).contains("100"));
+        assert!(quicksort(64).contains("qsort_"));
+        assert!(crc32(128).contains("0xEDB88320"));
+        assert!(matmul().contains("acc"));
+        assert!(string_ops().contains("strcat_"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sieve buffer")]
+    fn sieve_bounds_checked() {
+        let _ = sieve(5000);
+    }
+}

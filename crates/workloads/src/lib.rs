@@ -1,0 +1,59 @@
+//! # straight-workloads
+//!
+//! MinC benchmark sources for the STRAIGHT reproduction.
+//!
+//! The paper evaluates Dhrystone 2.1 and CoreMark. Those cannot be
+//! redistributed (and need a libc), so this crate provides
+//! re-implementations of their *workload character* in MinC (see
+//! DESIGN.md for the substitution argument):
+//!
+//! * [`dhrystone`] — record (struct-as-array) manipulation, 30-byte
+//!   string copy/compare, a chain of small procedures; few values live
+//!   across control-flow merges.
+//! * [`coremark`] — the three CoreMark kernels: linked-list
+//!   find/mergesort, matrix operations, and a table-driven state
+//!   machine, results folded through a CRC-16; noticeably more live
+//!   values across merges (the property driving the paper's RAW vs
+//!   RE+ gap, Figures 11/12/15).
+//! * [`kernels`] — small programs for tests, examples, and
+//!   microbenchmarks.
+//!
+//! All workloads print a checksum so functional correctness can be
+//! validated on every machine model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+
+mod coremark_src;
+mod dhrystone_src;
+
+/// The Dhrystone-like benchmark, performing `iterations` passes.
+/// Prints a checksum and returns 0.
+#[must_use]
+pub fn dhrystone(iterations: u32) -> String {
+    dhrystone_src::SOURCE.replace("__ITER__", &iterations.to_string())
+}
+
+/// The CoreMark-like benchmark, performing `iterations` passes.
+/// Prints the final CRC and returns 0.
+#[must_use]
+pub fn coremark(iterations: u32) -> String {
+    coremark_src::SOURCE.replace("__ITER__", &iterations.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_substitute() {
+        let d = dhrystone(7);
+        assert!(d.contains("int RUNS = 7;"));
+        assert!(!d.contains("__ITER__"));
+        let c = coremark(3);
+        assert!(c.contains("int RUNS = 3;"));
+        assert!(!c.contains("__ITER__"));
+    }
+}

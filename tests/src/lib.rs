@@ -1,0 +1,84 @@
+//! Shared helpers for the workspace-spanning integration tests: the
+//! full MinC → {interpreter, STRAIGHT machine code, RV32IM machine
+//! code} pipeline with differential checking.
+
+#![forbid(unsafe_code)]
+
+use straight_asm::{link_riscv, link_straight, Image};
+use straight_compiler::{compile_riscv, compile_straight, StraightOptions};
+use straight_ir::{compile_source, interp, Module};
+use straight_sim::emu::{EmuResult, RiscvEmu, StraightEmu};
+
+/// One program's behaviour: output text plus exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Behaviour {
+    /// Captured stdout.
+    pub stdout: String,
+    /// Exit code.
+    pub exit_code: i32,
+}
+
+/// Compiles MinC to IR, panicking with the compile error on failure.
+pub fn build_ir(src: &str) -> Module {
+    match compile_source(src) {
+        Ok(m) => m,
+        Err(e) => panic!("MinC compilation failed: {e}\n{src}"),
+    }
+}
+
+/// Runs the IR interpreter.
+pub fn run_interp(module: &Module) -> Behaviour {
+    let out = interp::run_main(module).expect("interpreter runs");
+    Behaviour { stdout: out.stdout, exit_code: out.exit_code }
+}
+
+/// Compiles and links for STRAIGHT.
+pub fn build_straight(module: &Module, opts: &StraightOptions) -> Image {
+    let prog = compile_straight(module, opts).expect("STRAIGHT codegen");
+    link_straight(&prog).expect("STRAIGHT link")
+}
+
+/// Compiles and links for RV32IM.
+pub fn build_riscv(module: &Module) -> Image {
+    let prog = compile_riscv(module).expect("riscv codegen");
+    link_riscv(&prog).expect("riscv link")
+}
+
+/// Runs the STRAIGHT emulator with a generous budget.
+pub fn run_straight(image: Image) -> EmuResult {
+    StraightEmu::new(image).run(300_000_000)
+}
+
+/// Runs the RV32IM emulator with a generous budget.
+pub fn run_riscv(image: Image) -> EmuResult {
+    RiscvEmu::new(image).run(300_000_000)
+}
+
+fn behaviour_of(r: &EmuResult, what: &str) -> Behaviour {
+    let code = match r.exit_code() {
+        Some(c) => c,
+        None => panic!("{what} did not complete: {:?}\n--- stdout ---\n{}", r.exit, r.stdout),
+    };
+    Behaviour { stdout: r.stdout.clone(), exit_code: code }
+}
+
+/// The full differential check: interpreter, STRAIGHT RAW, STRAIGHT
+/// RE+, STRAIGHT RE+ with max distance 31, and RV32IM must agree.
+pub fn check_differential(src: &str) -> Behaviour {
+    let module = build_ir(src);
+    let expected = run_interp(&module);
+
+    let rv = run_riscv(build_riscv(&module));
+    assert_eq!(behaviour_of(&rv, "riscv"), expected, "riscv disagrees with interpreter");
+
+    for (name, opts) in [
+        ("straight RAW", StraightOptions::raw()),
+        ("straight RE+", StraightOptions::default()),
+        ("straight RE+ d=31", StraightOptions::default().with_max_distance(31)),
+        ("straight RAW d=31", StraightOptions::raw().with_max_distance(31)),
+    ] {
+        let r = run_straight(build_straight(&module, &opts));
+        assert_eq!(behaviour_of(&r, name), expected, "{name} disagrees with interpreter");
+    }
+    expected
+}

@@ -1,0 +1,194 @@
+//! Edge cases aimed at the compiler's distance machinery: programs
+//! engineered to sit near the limits of the ISA's distance bound, the
+//! calling convention, and the frame shuffles.
+
+use straight_compiler::StraightOptions;
+use straight_sim::pipeline::{simulate, MachineConfig};
+use straight_tests::{build_ir, build_riscv, build_straight, check_differential, run_interp, run_straight};
+
+#[test]
+fn long_straightline_block_forces_relays() {
+    // A single basic block much longer than max distance 31: the
+    // first value is used at the very end, so bounding must relay it.
+    // 14 values stay live across a block far longer than the bound;
+    // more than ~20 would (correctly) exceed what distance 31 can hold.
+    let mut body = String::from("int first = 17;\n");
+    for i in 0..10 {
+        body.push_str(&format!("int t{i} = {i} * 3 + {};\n", i % 7));
+    }
+    body.push_str("int pad = 0;\nint k;\nfor (k = 0; k < 1; k++) pad += k;\n");
+    body.push_str("int acc = first + pad;\n");
+    for i in 0..10 {
+        body.push_str(&format!("acc = acc + t{i};\n"));
+    }
+    let src = format!("int main() {{ {body} print_int(acc); return 0; }}");
+    check_differential(&src);
+}
+
+#[test]
+fn deeply_nested_control_flow() {
+    check_differential(
+        "int main() {
+             int s = 0;
+             int a;
+             int b;
+             int c;
+             for (a = 0; a < 4; a++)
+                 for (b = 0; b < 4; b++)
+                     for (c = 0; c < 4; c++) {
+                         if (a == b) { if (b == c) s += 9; else s += 1; }
+                         else if (a < b) { while (s % 7 != 0) s++; }
+                         else s -= c;
+                     }
+             print_int(s);
+             return 0;
+         }",
+    );
+}
+
+#[test]
+fn chain_of_eight_calls_deep() {
+    // Return-address handling and spilling through a deep, non-leaf
+    // call chain (too big to inline end-to-end).
+    let mut src = String::new();
+    src.push_str("int f0(int x) { int arr[20]; int i; for (i = 0; i < 20; i++) arr[i] = x + i; return arr[x % 20] + 1; }\n");
+    for k in 1..8 {
+        src.push_str(&format!(
+            "int f{k}(int x) {{ int keep = x * {k}; int r = f{}(x + {k}); return r + keep; }}\n",
+            k - 1
+        ));
+    }
+    src.push_str("int main() { print_int(f7(3)); return 0; }");
+    check_differential(&src);
+}
+
+#[test]
+fn arguments_survive_interleaved_calls() {
+    check_differential(
+        "int id(int x) { return x; }
+         int combine(int a, int b, int c, int d) {
+             return id(a) * 1000 + id(b) * 100 + id(c) * 10 + id(d);
+         }
+         int main() { print_int(combine(1, 2, 3, 4)); return 0; }",
+    );
+}
+
+#[test]
+fn loop_with_wide_live_set_at_distance_31() {
+    // Twelve accumulators live around the loop back edge: the header
+    // frame is wide but must stay within the 31-distance budget.
+    let mut decls = String::new();
+    let mut updates = String::new();
+    let mut sum = String::from("0");
+    for i in 0..8 {
+        decls.push_str(&format!("int v{i} = {i};\n"));
+        updates.push_str(&format!("v{i} = v{i} + i + {i};\n"));
+        sum = format!("{sum} + v{i}");
+    }
+    let src = format!(
+        "int main() {{
+             {decls}
+             int i;
+             for (i = 0; i < 25; i++) {{ {updates} }}
+             print_int({sum});
+             return 0;
+         }}"
+    );
+    check_differential(&src);
+}
+
+#[test]
+fn raw_mode_relays_retaddr_through_loops() {
+    // RAW keeps the return address in the frame of every merge
+    // (Figure 10a); make sure a function with a long loop still
+    // returns correctly under the tight bound.
+    let src = "int work(int n) {
+                   int s = 0;
+                   int i;
+                   for (i = 0; i < n; i++) s = s * 3 + i;
+                   return s;
+               }
+               int main() { print_int(work(40)); return 0; }";
+    let module = build_ir(src);
+    let expected = run_interp(&module);
+    let raw = run_straight(build_straight(&module, &StraightOptions::raw().with_max_distance(31)));
+    assert_eq!(raw.stdout, expected.stdout);
+    assert_eq!(raw.exit_code(), Some(expected.exit_code));
+}
+
+#[test]
+fn simulator_handles_tiny_iq_pressure() {
+    // The 2-way model's 16-entry scheduler under a dependence chain
+    // that cannot issue for a long time (division chains).
+    let src = "int main() {
+                   int d = 1000000;
+                   int i;
+                   for (i = 1; i < 40; i++) d = d / (i % 5 + 1) + i;
+                   print_int(d);
+                   return 0;
+               }";
+    let module = build_ir(src);
+    let expected = run_interp(&module);
+    let r = simulate(build_riscv(&module), MachineConfig::ss_2way(), 10_000_000);
+    assert_eq!(r.stdout, expected.stdout);
+    let s = simulate(
+        build_straight(&module, &StraightOptions::default().with_max_distance(31)),
+        MachineConfig::straight_2way(),
+        10_000_000,
+    );
+    assert_eq!(s.stdout, expected.stdout);
+}
+
+#[test]
+fn frame_too_large_reported_not_panicked() {
+    // More live values at a merge than distance 8 can express must be
+    // a clean error.
+    let mut decls = String::new();
+    let mut sum = String::from("0");
+    for i in 0..24usize {
+        decls.push_str(&format!("int w{i} = {i} * 3;\n"));
+        sum = format!("{sum} + w{i}");
+    }
+    let src = format!(
+        "int helper(int x) {{ return x + 1; }}
+         int main() {{
+             {decls}
+             int i;
+             for (i = 0; i < 5; i++) {{ if (i % 2) {{ }} }}
+             print_int({sum} + helper(i));
+             return 0;
+         }}"
+    );
+    let module = build_ir(&src);
+    match straight_compiler::compile_straight(&module, &StraightOptions::raw().with_max_distance(8)) {
+        Ok(prog) => {
+            // The optimizer may have shrunk the live set enough; then
+            // the program must still be correct.
+            let image = straight_asm::link_straight(&prog).unwrap();
+            let expected = run_interp(&module);
+            let r = straight_sim::emu::StraightEmu::new(image).run(10_000_000);
+            assert_eq!(r.stdout, expected.stdout);
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("exceed") || msg.contains("distance"), "unexpected error: {msg}");
+        }
+    }
+}
+
+#[test]
+fn globals_initializers_and_negative_values() {
+    check_differential(
+        "int big = 2147483647;
+         int neg = -2147483647;
+         byte small = 200;
+         int main() {
+             print_int(big);
+             print_int(neg - 1);
+             print_int(small + 100);
+             big = big + 1;
+             print_int(big);
+             return 0;
+         }",
+    );
+}
