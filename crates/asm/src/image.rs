@@ -9,9 +9,32 @@ pub const STACK_TOP: u32 = 0x003f_0000;
 /// Size of the simulated physical memory.
 pub const MEM_SIZE: u32 = 0x0040_0000;
 
+/// Which ISA an image's code section encodes. The linker stamps it so
+/// consumers (the cycle-accurate cores in particular) can reject a
+/// mismatched machine at construction time instead of decoding
+/// garbage at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageIsa {
+    /// STRAIGHT (distance-operand) code.
+    Straight,
+    /// RV32IM code.
+    Riscv,
+}
+
+impl std::fmt::Display for ImageIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageIsa::Straight => write!(f, "STRAIGHT"),
+            ImageIsa::Riscv => write!(f, "RV32IM"),
+        }
+    }
+}
+
 /// A linked, executable program image.
 #[derive(Debug, Clone)]
 pub struct Image {
+    /// ISA of the code section.
+    pub isa: ImageIsa,
     /// Entry PC (the synthesized `_start`).
     pub entry: u32,
     /// Base address of the code segment.
@@ -56,7 +79,7 @@ impl Image {
     /// The instruction word at `pc`, if inside the code segment.
     #[must_use]
     pub fn fetch(&self, pc: u32) -> Option<u32> {
-        if pc < self.code_base || pc >= self.code_end() || pc % 4 != 0 {
+        if pc < self.code_base || pc >= self.code_end() || !pc.is_multiple_of(4) {
             return None;
         }
         Some(self.code[((pc - self.code_base) / 4) as usize])
@@ -70,6 +93,7 @@ mod tests {
     #[test]
     fn load_and_fetch() {
         let img = Image {
+            isa: ImageIsa::Riscv,
             entry: CODE_BASE,
             code_base: CODE_BASE,
             code: vec![0xdead_beef, 0x0102_0304],

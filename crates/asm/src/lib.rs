@@ -37,7 +37,7 @@ mod link;
 mod object;
 mod text;
 
-pub use image::{Image, CODE_BASE, MEM_SIZE, STACK_TOP};
+pub use image::{Image, ImageIsa, CODE_BASE, MEM_SIZE, STACK_TOP};
 pub use link::{abi, link_riscv, link_straight, LinkError};
 pub use object::{DataItem, RvFunc, RvItem, RvProgram, RvReloc, SFunc, SItem, SProgram, SReloc};
 pub use text::{parse_straight_asm, AsmError};

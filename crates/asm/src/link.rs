@@ -7,7 +7,7 @@ use straight_isa::{AluImmOp, Dist, Inst};
 use straight_riscv::{Reg, RvInst};
 
 use crate::{
-    image::{Image, CODE_BASE},
+    image::{Image, ImageIsa, CODE_BASE},
     object::{RvFunc, RvItem, RvProgram, RvReloc, SFunc, SItem, SProgram, SReloc},
 };
 
@@ -123,13 +123,13 @@ fn layout(
     let mut bytes = Vec::new();
     for d in data {
         let pad = (data_base + bytes.len() as u32).next_multiple_of(d.align.max(1)) - (data_base + bytes.len() as u32);
-        bytes.extend(std::iter::repeat(0).take(pad as usize));
+        bytes.extend(std::iter::repeat_n(0, pad as usize));
         let addr = data_base + bytes.len() as u32;
         if symbols.insert(d.name.clone(), addr).is_some() {
             return Err(LinkError::Duplicate(d.name.clone()));
         }
         bytes.extend_from_slice(&d.init);
-        bytes.extend(std::iter::repeat(0).take((d.size as usize).saturating_sub(d.init.len())));
+        bytes.extend(std::iter::repeat_n(0, (d.size as usize).saturating_sub(d.init.len())));
     }
     Ok(Layout { symbols, func_bases, data_base, data: bytes })
 }
@@ -205,6 +205,7 @@ pub fn link_straight(prog: &SProgram) -> Result<Image, LinkError> {
         }
     }
     Ok(Image {
+        isa: ImageIsa::Straight,
         entry: CODE_BASE,
         code_base: CODE_BASE,
         code,
@@ -287,6 +288,7 @@ pub fn link_riscv(prog: &RvProgram) -> Result<Image, LinkError> {
         }
     }
     Ok(Image {
+        isa: ImageIsa::Riscv,
         entry: CODE_BASE,
         code_base: CODE_BASE,
         code,

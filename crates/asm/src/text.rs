@@ -103,7 +103,7 @@ pub fn parse_straight_asm(src: &str) -> Result<SProgram, AsmError> {
                     if !(s.starts_with('"') && s.ends_with('"') && s.len() >= 2) {
                         return Err(err("expected a quoted string"));
                     }
-                    let mut init = s[1..s.len() - 1].as_bytes().to_vec();
+                    let mut init = s.as_bytes()[1..s.len() - 1].to_vec();
                     if dir == ".asciz" {
                         init.push(0);
                     }

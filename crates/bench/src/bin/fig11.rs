@@ -5,6 +5,14 @@ use straight_bench::{cm_iters, dhry_iters};
 use straight_core::{experiment, report};
 
 fn main() {
-    let groups = experiment::fig11(dhry_iters(), cm_iters());
-    print!("{}", report::render_perf("Figure 11: 4-way relative performance (vs SS-4way)", &groups));
+    match experiment::fig11(dhry_iters(), cm_iters()) {
+        Ok(groups) => print!(
+            "{}",
+            report::render_perf("Figure 11: 4-way relative performance (vs SS-4way)", &groups)
+        ),
+        Err(e) => {
+            eprintln!("fig11 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -4,6 +4,14 @@ use straight_bench::{cm_iters, dhry_iters};
 use straight_core::{experiment, report};
 
 fn main() {
-    let groups = experiment::fig12(dhry_iters(), cm_iters());
-    print!("{}", report::render_perf("Figure 12: 2-way relative performance (vs SS-2way)", &groups));
+    match experiment::fig12(dhry_iters(), cm_iters()) {
+        Ok(groups) => print!(
+            "{}",
+            report::render_perf("Figure 12: 2-way relative performance (vs SS-2way)", &groups)
+        ),
+        Err(e) => {
+            eprintln!("fig12 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

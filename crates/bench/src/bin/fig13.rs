@@ -5,6 +5,14 @@ use straight_bench::cm_iters;
 use straight_core::{experiment, report};
 
 fn main() {
-    let groups = experiment::fig13(cm_iters());
-    print!("{}", report::render_perf("Figure 13: misprediction-penalty effect (vs SS-2way)", &groups));
+    match experiment::fig13(cm_iters()) {
+        Ok(groups) => print!(
+            "{}",
+            report::render_perf("Figure 13: misprediction-penalty effect (vs SS-2way)", &groups)
+        ),
+        Err(e) => {
+            eprintln!("fig13 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -4,6 +4,13 @@ use straight_bench::cm_iters;
 use straight_core::{experiment, report};
 
 fn main() {
-    let groups = experiment::fig14(cm_iters());
-    print!("{}", report::render_perf("Figure 14: with TAGE branch predictor (vs SS)", &groups));
+    match experiment::fig14(cm_iters()) {
+        Ok(groups) => {
+            print!("{}", report::render_perf("Figure 14: with TAGE branch predictor (vs SS)", &groups));
+        }
+        Err(e) => {
+            eprintln!("fig14 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

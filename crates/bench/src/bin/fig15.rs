@@ -4,6 +4,11 @@ use straight_bench::cm_iters;
 use straight_core::{experiment, report};
 
 fn main() {
-    let rows = experiment::fig15(cm_iters());
-    print!("{}", report::render_mix(&rows));
+    match experiment::fig15(cm_iters()) {
+        Ok(rows) => print!("{}", report::render_mix(&rows)),
+        Err(e) => {
+            eprintln!("fig15 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

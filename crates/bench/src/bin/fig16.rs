@@ -4,6 +4,11 @@ use straight_bench::{cm_iters, dhry_iters};
 use straight_core::{experiment, report};
 
 fn main() {
-    let profiles = experiment::fig16(dhry_iters(), cm_iters());
-    print!("{}", report::render_distances(&profiles));
+    match experiment::fig16(dhry_iters(), cm_iters()) {
+        Ok(profiles) => print!("{}", report::render_distances(&profiles)),
+        Err(e) => {
+            eprintln!("fig16 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

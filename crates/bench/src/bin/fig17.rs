@@ -4,6 +4,11 @@ use straight_bench::dhry_iters;
 use straight_core::{experiment, report};
 
 fn main() {
-    let rows = experiment::fig17(dhry_iters());
-    print!("{}", report::render_power(&rows));
+    match experiment::fig17(dhry_iters()) {
+        Ok(rows) => print!("{}", report::render_power(&rows)),
+        Err(e) => {
+            eprintln!("fig17 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -5,6 +5,11 @@ use straight_bench::cm_iters;
 use straight_core::{experiment, report};
 
 fn main() {
-    let rows = experiment::sensitivity(cm_iters(), &[1023, 127, 63, 31]);
-    print!("{}", report::render_sensitivity(&rows));
+    match experiment::sensitivity(cm_iters(), &[1023, 127, 63, 31]) {
+        Ok(rows) => print!("{}", report::render_sensitivity(&rows)),
+        Err(e) => {
+            eprintln!("sensitivity failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -450,11 +450,11 @@ mod tests {
     use super::*;
 
     fn apply(moves: &[(VReg, VReg)], init: &mut HashMap<VReg, i32>) {
-        let mut next = 1000;
+        let next = 1000;
         let seq = sequence_parallel_moves(moves, || next);
         for step in seq {
             match step {
-                MoveStep::UsedTemp => next += 1,
+                MoveStep::UsedTemp => {}
                 MoveStep::Copy { dst, src } => {
                     let v = init[&src];
                     init.insert(dst, v);

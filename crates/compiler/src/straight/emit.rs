@@ -1208,7 +1208,7 @@ impl<'a> FnEmitter<'a> {
             }
             Terminator::Ret(v) => {
                 // Return address first (may need the frame).
-                if self.st.pos.get(&Tracked::RetAddr).is_none() {
+                if !self.st.pos.contains_key(&Tracked::RetAddr) {
                     if self.st.spilled.contains(&Tracked::RetAddr) {
                         self.reload(Tracked::RetAddr)?;
                     } else {

@@ -2,21 +2,132 @@
 //!
 //! Each returns plain data; the `straight-bench` binaries print them
 //! in the paper's format and EXPERIMENTS.md records the outcomes.
+//!
+//! Every failure mode — a workload that fails to build for one
+//! target, a machine that rejects an image, a run that ends in a trap
+//! or the cycle budget, or a functional divergence between variants —
+//! propagates as a typed [`ExperimentError`] naming the workload and
+//! the target/machine involved, instead of panicking mid-sweep.
 
 use std::collections::BTreeMap;
 
 use straight_power::{figure17, Figure17Row};
 use straight_sim::emu::StraightEmu;
-use straight_sim::pipeline::{MachineConfig, SimStats};
+use straight_sim::pipeline::{CoreError, MachineConfig, SimResult, SimStats};
 use straight_workloads::{coremark, dhrystone};
 
-use crate::{build, machines, run_on, Target};
+use crate::{build, machines, run_on, BuildError, Target};
 
 /// Cycle budget for experiment runs.
 pub const MAX_CYCLES: u64 = 20_000_000_000;
 
 /// The Table-I distance limit used by the evaluated models.
 pub const EVAL_MAX_DISTANCE: u16 = 31;
+
+/// A failure while driving an experiment, with enough context to know
+/// which workload/target/machine combination broke.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A workload failed to compile or link for one target.
+    Build {
+        /// Workload name.
+        workload: String,
+        /// Target description ("RV32IM", "STRAIGHT(RE+)", ...).
+        target: &'static str,
+        /// The underlying build failure.
+        source: BuildError,
+    },
+    /// A machine model rejected the image outright.
+    Machine {
+        /// Workload name.
+        workload: String,
+        /// Machine configuration name.
+        machine: String,
+        /// The underlying construction failure.
+        source: CoreError,
+    },
+    /// A run did not complete normally (trap, watchdog, or cycle/step
+    /// budget).
+    Abnormal {
+        /// Workload name.
+        workload: String,
+        /// Machine or emulator description.
+        machine: String,
+        /// Human-readable exit description.
+        exit: String,
+    },
+    /// Two variants of the same workload produced different output —
+    /// the experiment's numbers would compare unlike programs.
+    Divergence {
+        /// Workload name.
+        workload: String,
+        /// The variant that disagrees with the baseline.
+        variant: &'static str,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Build { workload, target, source } => {
+                write!(f, "{workload}/{target}: build failed: {source}")
+            }
+            ExperimentError::Machine { workload, machine, source } => {
+                write!(f, "{workload} on {machine}: {source}")
+            }
+            ExperimentError::Abnormal { workload, machine, exit } => {
+                write!(f, "{workload} on {machine}: did not complete: {exit}")
+            }
+            ExperimentError::Divergence { workload, variant } => {
+                write!(f, "{workload}: {variant} output diverged from the baseline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+fn target_name(target: Target) -> &'static str {
+    match target {
+        Target::Riscv => "RV32IM",
+        Target::StraightRaw { .. } => "STRAIGHT(RAW)",
+        Target::StraightRePlus { .. } => "STRAIGHT(RE+)",
+    }
+}
+
+fn build_for(
+    workload: &str,
+    src: &str,
+    target: Target,
+) -> Result<straight_asm::Image, ExperimentError> {
+    build(src, target).map_err(|source| ExperimentError::Build {
+        workload: workload.to_string(),
+        target: target_name(target),
+        source,
+    })
+}
+
+/// Runs an image and requires normal completion.
+fn run_checked(
+    workload: &str,
+    image: &straight_asm::Image,
+    cfg: MachineConfig,
+) -> Result<SimResult, ExperimentError> {
+    let machine = cfg.name.clone();
+    let result = run_on(image, cfg, MAX_CYCLES).map_err(|source| ExperimentError::Machine {
+        workload: workload.to_string(),
+        machine: machine.clone(),
+        source,
+    })?;
+    if result.exit_code.is_none() {
+        return Err(ExperimentError::Abnormal {
+            workload: workload.to_string(),
+            machine,
+            exit: format!("{:?}", result.exit),
+        });
+    }
+    Ok(result)
+}
 
 /// One bar of a performance figure.
 #[derive(Debug, Clone)]
@@ -41,10 +152,6 @@ pub struct PerfGroup {
     pub rows: Vec<PerfRow>,
 }
 
-fn straight_cfg(base: MachineConfig) -> MachineConfig {
-    base
-}
-
 /// Runs one workload on SS / STRAIGHT-RAW / STRAIGHT-RE+ with the
 /// given machine pair, producing a Figure 11/12-style bar group.
 fn perf_group(
@@ -52,69 +159,91 @@ fn perf_group(
     src: &str,
     ss_cfg: MachineConfig,
     st_cfg: MachineConfig,
-) -> PerfGroup {
-    let ss = run_on(&build(src, Target::Riscv).expect("riscv build"), ss_cfg, MAX_CYCLES);
-    let raw = run_on(
-        &build(src, Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE }).expect("raw build"),
-        straight_cfg(st_cfg.clone()),
-        MAX_CYCLES,
-    );
-    let re = run_on(
-        &build(src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("re+ build"),
-        straight_cfg(st_cfg),
-        MAX_CYCLES,
-    );
-    assert_eq!(ss.stdout, raw.stdout, "{workload}: RAW functional mismatch");
-    assert_eq!(ss.stdout, re.stdout, "{workload}: RE+ functional mismatch");
+) -> Result<PerfGroup, ExperimentError> {
+    let ss = run_checked(workload, &build_for(workload, src, Target::Riscv)?, ss_cfg)?;
+    let raw = run_checked(
+        workload,
+        &build_for(workload, src, Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE })?,
+        st_cfg.clone(),
+    )?;
+    let re = run_checked(
+        workload,
+        &build_for(workload, src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?,
+        st_cfg,
+    )?;
+    if ss.stdout != raw.stdout {
+        return Err(ExperimentError::Divergence {
+            workload: workload.to_string(),
+            variant: "STRAIGHT(RAW)",
+        });
+    }
+    if ss.stdout != re.stdout {
+        return Err(ExperimentError::Divergence {
+            workload: workload.to_string(),
+            variant: "STRAIGHT(RE+)",
+        });
+    }
     let base = ss.stats.cycles as f64;
-    let mk = |label: &str, r: &straight_sim::pipeline::SimResult| PerfRow {
+    let mk = |label: &str, r: &SimResult| PerfRow {
         label: label.to_string(),
         cycles: r.stats.cycles,
         retired: r.stats.retired,
         relative: base / r.stats.cycles as f64,
     };
-    PerfGroup {
+    Ok(PerfGroup {
         workload: workload.to_string(),
         rows: vec![mk("SS", &ss), mk("STRAIGHT(RAW)", &raw), mk("STRAIGHT(RE+)", &re)],
-    }
+    })
 }
 
 /// Figure 11: 4-way relative performance on Dhrystone and CoreMark.
-#[must_use]
-pub fn fig11(dhry_iters: u32, cm_iters: u32) -> Vec<PerfGroup> {
-    vec![
-        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_4way(), machines::straight_4way()),
-        perf_group("Coremark", &coremark(cm_iters), machines::ss_4way(), machines::straight_4way()),
-    ]
+///
+/// # Errors
+///
+/// Propagates any build, machine, or divergence failure with the
+/// offending workload/target named.
+pub fn fig11(dhry_iters: u32, cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
+    Ok(vec![
+        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_4way(), machines::straight_4way())?,
+        perf_group("Coremark", &coremark(cm_iters), machines::ss_4way(), machines::straight_4way())?,
+    ])
 }
 
 /// Figure 12: the same comparison on the 2-way models.
-#[must_use]
-pub fn fig12(dhry_iters: u32, cm_iters: u32) -> Vec<PerfGroup> {
-    vec![
-        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_2way(), machines::straight_2way()),
-        perf_group("Coremark", &coremark(cm_iters), machines::ss_2way(), machines::straight_2way()),
-    ]
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig12(dhry_iters: u32, cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
+    Ok(vec![
+        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_2way(), machines::straight_2way())?,
+        perf_group("Coremark", &coremark(cm_iters), machines::ss_2way(), machines::straight_2way())?,
+    ])
 }
 
 /// Figure 13: the effect of the misprediction penalty — SS, SS with
 /// an idealized (zero) penalty, and STRAIGHT RE+, for both scales on
 /// CoreMark, normalized to SS-2way.
-#[must_use]
-pub fn fig13(cm_iters: u32) -> Vec<PerfGroup> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig13(cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
+    let workload = "Coremark";
     let src = coremark(cm_iters);
-    let rv = build(&src, Target::Riscv).expect("riscv build");
-    let st = build(&src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("re+ build");
-    let base = run_on(&rv, machines::ss_2way(), MAX_CYCLES).stats.cycles as f64;
+    let rv = build_for(workload, &src, Target::Riscv)?;
+    let st =
+        build_for(workload, &src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?;
+    let base = run_checked(workload, &rv, machines::ss_2way())?.stats.cycles as f64;
     let mut out = Vec::new();
     for (scale, ss_cfg, st_cfg) in [
         ("2-way", machines::ss_2way(), machines::straight_2way()),
         ("4-way", machines::ss_4way(), machines::straight_4way()),
     ] {
-        let ss = run_on(&rv, ss_cfg.clone(), MAX_CYCLES);
-        let nop = run_on(&rv, ss_cfg.with_ideal_recovery(), MAX_CYCLES);
-        let re = run_on(&st, st_cfg, MAX_CYCLES);
-        let mk = |label: &str, r: &straight_sim::pipeline::SimResult| PerfRow {
+        let ss = run_checked(workload, &rv, ss_cfg.clone())?;
+        let nop = run_checked(workload, &rv, ss_cfg.with_ideal_recovery())?;
+        let re = run_checked(workload, &st, st_cfg)?;
+        let mk = |label: &str, r: &SimResult| PerfRow {
             label: label.to_string(),
             cycles: r.stats.cycles,
             retired: r.stats.retired,
@@ -125,28 +254,31 @@ pub fn fig13(cm_iters: u32) -> Vec<PerfGroup> {
             rows: vec![mk("SS", &ss), mk("SS no penalty", &nop), mk("STRAIGHT(RE+)", &re)],
         });
     }
-    out
+    Ok(out)
 }
 
 /// Figure 14: Figure 11/12's CoreMark comparison with the TAGE
 /// predictor instead of gshare.
-#[must_use]
-pub fn fig14(cm_iters: u32) -> Vec<PerfGroup> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig14(cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
     let src = coremark(cm_iters);
-    vec![
+    Ok(vec![
         perf_group(
             "Coremark 2-way",
             &src,
             machines::ss_2way().with_tage(),
             machines::straight_2way().with_tage(),
-        ),
+        )?,
         perf_group(
             "Coremark 4-way",
             &src,
             machines::ss_4way().with_tage(),
             machines::straight_4way().with_tage(),
-        ),
-    ]
+        )?,
+    ])
 }
 
 /// One bar of the retired-instruction-mix figure.
@@ -162,8 +294,12 @@ pub struct MixRow {
 
 /// Figure 15: retired-instruction mix on CoreMark for SS, STRAIGHT
 /// RAW, and STRAIGHT RE+, in emulator (architectural) terms.
-#[must_use]
-pub fn fig15(cm_iters: u32) -> Vec<MixRow> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig15(cm_iters: u32) -> Result<Vec<MixRow>, ExperimentError> {
+    let workload = "Coremark";
     let src = coremark(cm_iters);
     let mut rows = Vec::new();
     for (label, target) in [
@@ -171,15 +307,21 @@ pub fn fig15(cm_iters: u32) -> Vec<MixRow> {
         ("STRAIGHT(RAW)", Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE }),
         ("STRAIGHT(RE+)", Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }),
     ] {
-        let image = build(&src, target).expect("build");
+        let image = build_for(workload, &src, target)?;
         let result = match target {
             Target::Riscv => straight_sim::emu::RiscvEmu::new(image).run(u64::MAX),
             _ => StraightEmu::new(image).run(u64::MAX),
         };
-        assert!(result.exit_code().is_some(), "{label} did not finish");
+        if result.exit_code().is_none() {
+            return Err(ExperimentError::Abnormal {
+                workload: workload.to_string(),
+                machine: format!("{label} emulator"),
+                exit: format!("{:?}", result.exit),
+            });
+        }
         rows.push(MixRow { label: label.to_string(), total: result.stats.retired, kinds: result.stats.kinds });
     }
-    rows
+    Ok(rows)
 }
 
 /// Figure 16 data: cumulative source-distance fraction per workload,
@@ -195,15 +337,24 @@ pub struct DistanceProfile {
 }
 
 /// Figure 16: source-operand distance distribution.
-#[must_use]
-pub fn fig16(dhry_iters: u32, cm_iters: u32) -> Vec<DistanceProfile> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig16(dhry_iters: u32, cm_iters: u32) -> Result<Vec<DistanceProfile>, ExperimentError> {
     let mut out = Vec::new();
     for (name, src) in [("Dhrystone", dhrystone(dhry_iters)), ("Coremark", coremark(cm_iters))] {
-        let image = build(&src, Target::StraightRePlus { max_distance: 1023 }).expect("build");
+        let image = build_for(name, &src, Target::StraightRePlus { max_distance: 1023 })?;
         let mut emu = StraightEmu::new(image);
         emu.profile_distances = true;
         let r = emu.run(u64::MAX);
-        assert!(r.exit_code().is_some());
+        if r.exit_code().is_none() {
+            return Err(ExperimentError::Abnormal {
+                workload: name.to_string(),
+                machine: "STRAIGHT emulator".to_string(),
+                exit: format!("{:?}", r.exit),
+            });
+        }
         let cumulative = (0..=10)
             .map(|k| {
                 let d = 1u32 << k;
@@ -216,27 +367,35 @@ pub fn fig16(dhry_iters: u32, cm_iters: u32) -> Vec<DistanceProfile> {
             max_used: r.stats.max_distance_used(),
         });
     }
-    out
+    Ok(out)
 }
 
 /// Figure 17: relative per-module power of the 2-way models at
 /// several clock frequencies (see `straight-power` for the model).
-#[must_use]
-pub fn fig17(dhry_iters: u32) -> Vec<Figure17Row> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn fig17(dhry_iters: u32) -> Result<Vec<Figure17Row>, ExperimentError> {
+    let workload = "Dhrystone";
     let src = dhrystone(dhry_iters);
-    let ss = run_on(&build(&src, Target::Riscv).expect("build"), machines::ss_2way(), MAX_CYCLES);
-    let st = run_on(
-        &build(&src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }).expect("build"),
+    let ss = run_checked(workload, &build_for(workload, &src, Target::Riscv)?, machines::ss_2way())?;
+    let st = run_checked(
+        workload,
+        &build_for(workload, &src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?,
         machines::straight_2way(),
-        MAX_CYCLES,
-    );
-    figure17(&ss.stats, &st.stats, &[1.0, 2.5, 4.0])
+    )?;
+    Ok(figure17(&ss.stats, &st.stats, &[1.0, 2.5, 4.0]))
 }
 
 /// §VI-B sensitivity: CoreMark cycles at several ISA distance limits
 /// (the paper reports ≈1 % degradation going from 1023 to 31).
-#[must_use]
-pub fn sensitivity(cm_iters: u32, dists: &[u16]) -> Vec<(u16, u64)> {
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn sensitivity(cm_iters: u32, dists: &[u16]) -> Result<Vec<(u16, u64)>, ExperimentError> {
+    let workload = "Coremark";
     let src = coremark(cm_iters);
     dists
         .iter()
@@ -245,17 +404,23 @@ pub fn sensitivity(cm_iters: u32, dists: &[u16]) -> Vec<(u16, u64)> {
             let mut cfg = machines::straight_4way();
             cfg.max_distance = u32::from(d);
             cfg.phys_regs = cfg.phys_regs.max(u32::from(d) + cfg.rob_capacity);
-            let image = build(&src, Target::StraightRePlus { max_distance: d }).expect("build");
-            let r = run_on(&image, cfg, MAX_CYCLES);
-            assert!(r.exit_code.is_some());
-            (d, r.stats.cycles)
+            let image = build_for(workload, &src, Target::StraightRePlus { max_distance: d })?;
+            let r = run_checked(workload, &image, cfg)?;
+            Ok((d, r.stats.cycles))
         })
         .collect()
 }
 
 /// Raw access to a run's statistics for custom analyses.
-#[must_use]
-pub fn stats_for(src: &str, target: Target, cfg: MachineConfig) -> SimStats {
-    let image = build(src, target).expect("build");
-    run_on(&image, cfg, MAX_CYCLES).stats
+///
+/// # Errors
+///
+/// See [`fig11`].
+pub fn stats_for(
+    src: &str,
+    target: Target,
+    cfg: MachineConfig,
+) -> Result<SimStats, ExperimentError> {
+    let image = build_for("custom", src, target)?;
+    Ok(run_checked("custom", &image, cfg)?.stats)
 }

@@ -8,7 +8,7 @@
 //! use straight_core::{build, Target, machines, run_on};
 //!
 //! let image = build("int main() { return 6 * 7; }", Target::StraightRePlus { max_distance: 31 }).unwrap();
-//! let result = run_on(&image, machines::straight_4way(), 1_000_000);
+//! let result = run_on(&image, machines::straight_4way(), 1_000_000).unwrap();
 //! assert_eq!(result.exit_code, Some(42));
 //! ```
 
@@ -21,7 +21,7 @@ pub mod report;
 use straight_asm::{link_riscv, link_straight, Image};
 use straight_compiler::{compile_riscv, compile_straight, StraightOptions};
 use straight_ir::compile_source;
-use straight_sim::pipeline::{simulate, MachineConfig, SimResult};
+use straight_sim::pipeline::{simulate, CoreError, MachineConfig, SimResult};
 
 /// Which binary to produce from MinC source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +89,14 @@ pub fn build(src: &str, target: Target) -> Result<Image, BuildError> {
 }
 
 /// Runs a linked image on a machine model.
-#[must_use]
-pub fn run_on(image: &Image, cfg: MachineConfig, max_cycles: u64) -> SimResult {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the machine cannot execute the image at
+/// all — an ISA mismatch between the image and the machine's
+/// front-end, or an undersized register file. Runtime faults do *not*
+/// error: they surface as a typed trap in [`SimResult::exit`].
+pub fn run_on(image: &Image, cfg: MachineConfig, max_cycles: u64) -> Result<SimResult, CoreError> {
     simulate(image.clone(), cfg, max_cycles)
 }
 

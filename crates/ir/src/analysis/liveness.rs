@@ -58,10 +58,20 @@ impl Liveness {
                     for &v in &live_in[si] {
                         out.insert(v);
                     }
+                    // Remove every phi def of `s` before inserting any
+                    // edge argument: one phi's argument may itself be a
+                    // later phi of `s` (loop-carried rotation such as
+                    // `a' = phi(.., c); c' = phi(.., ..)`), and
+                    // interleaving the removal with the insertion would
+                    // clobber that use.
+                    for &p in &func.block(s).insts {
+                        if func.inst(p).is_phi() {
+                            out.remove(&p);
+                        }
+                    }
                     // ...plus the values its phis select from this pred.
                     for &p in &func.block(s).insts {
                         if let InstData::Phi(args) = func.inst(p) {
-                            out.remove(&p);
                             for (pred, v) in args {
                                 if *pred == b {
                                     out.insert(*v);
@@ -157,6 +167,42 @@ mod tests {
         assert!(live.live_out(body).contains(&inc));
         // phi result is not live-in to its own block.
         assert!(!live.live_in(header).contains(&phi));
+    }
+
+    /// One phi's back-edge argument is another phi of the same block
+    /// (`a' = phi(.., c)` where `c` is itself a phi): the argument must
+    /// stay live out of the predecessor even though the same value is
+    /// also a phi *def* of the successor.
+    #[test]
+    fn phi_rotation_argument_stays_live() {
+        let mut f = Function::new("r", 0, true);
+        let entry = f.entry();
+        let header = f.create_block();
+        let body = f.create_block();
+        let exit = f.create_block();
+        let zero = f.push_inst(entry, InstData::Const(0));
+        let one = f.push_inst(entry, InstData::Const(1));
+        f.block_mut(entry).term = Terminator::Br(header);
+        // header: a = phi [(entry, zero), (body, c)]; c = phi [(entry, one), (body, inc)]
+        let a = f.create_inst(InstData::Phi(vec![]));
+        f.block_mut(header).insts.push(a);
+        let c = f.create_inst(InstData::Phi(vec![]));
+        f.block_mut(header).insts.push(c);
+        let ten = f.push_inst(header, InstData::Const(10));
+        let cond = f.push_inst(header, InstData::Bin { op: BinOp::SLt, a: c, b: ten });
+        f.block_mut(header).term = Terminator::CondBr { cond, then_bb: body, else_bb: exit };
+        let inc = f.push_inst(body, InstData::Bin { op: BinOp::Add, a: c, b: one });
+        f.block_mut(body).term = Terminator::Br(header);
+        *f.inst_mut(a) = InstData::Phi(vec![(entry, zero), (body, c)]);
+        *f.inst_mut(c) = InstData::Phi(vec![(entry, one), (body, inc)]);
+        f.block_mut(exit).term = Terminator::Ret(Some(a));
+
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        // c feeds a's back-edge argument: live out of body despite
+        // being a phi def of header.
+        assert!(live.live_out(body).contains(&c));
+        assert!(live.live_in(body).contains(&c));
     }
 
     #[test]

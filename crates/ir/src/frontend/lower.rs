@@ -350,7 +350,7 @@ impl<'a> Lowerer<'a> {
     fn decl(&mut self, ty: Type, name: &str, array: Option<u32>, init: Option<&Expr>, line: u32) -> LResult<()> {
         if let Some(n) = array {
             let elem = ty.scalar_size();
-            let slot = self.b.func.create_slot(name, elem * n, elem.max(4).min(4));
+            let slot = self.b.func.create_slot(name, elem * n, 4);
             self.bind(name, Binding::Slot { slot, ty, is_array: true });
             if init.is_some() {
                 return sema(line, "array initializers are not supported");

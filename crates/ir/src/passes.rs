@@ -148,10 +148,8 @@ pub fn dce(f: &mut Function) -> bool {
     let mut work: Vec<Value> = Vec::new();
     for b in f.block_ids() {
         for &v in &f.block(b).insts {
-            if f.inst(v).has_side_effect() {
-                if live.insert(v) {
-                    work.push(v);
-                }
+            if f.inst(v).has_side_effect() && live.insert(v) {
+                work.push(v);
             }
         }
         f.block(b).term.for_each_operand(|v| {

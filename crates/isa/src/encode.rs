@@ -273,6 +273,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "JAL offset out of range")]
     fn jal_range_checked() {
-        encode(&Inst::Jal { offset: 1 << 25 });
+        let _ = encode(&Inst::Jal { offset: 1 << 25 });
     }
 }

@@ -35,11 +35,14 @@ mod dist;
 mod encode;
 mod inst;
 mod op;
+pub mod rng;
+pub mod trap;
 
 pub use dist::{Dist, DistError, MAX_DISTANCE};
 pub use encode::{decode, encode, DecodeError};
 pub use inst::{Inst, InstKind, MemWidth};
 pub use op::{AluImmOp, AluOp};
+pub use trap::{Trap, TrapKind};
 
 /// Byte size of one encoded STRAIGHT instruction.
 pub const INST_BYTES: u32 = 4;

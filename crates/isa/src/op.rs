@@ -115,13 +115,7 @@ impl AluOp {
                     (sa / sb) as u32
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a

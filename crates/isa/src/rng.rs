@@ -1,0 +1,98 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workspace runs in offline environments with no third-party
+//! crates, so randomized tests and the fault-injection harness share
+//! this SplitMix64 implementation instead of `rand`/`proptest`.
+//! Sequences are fully determined by the seed, which keeps fault
+//! injection and property-style tests reproducible.
+
+/// SplitMix64: fast, well-distributed, and trivially seedable.
+///
+/// ```
+/// use straight_isa::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// A value in the inclusive range `lo..=hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        debug_assert!(lo <= hi);
+        let span = (i64::from(hi) - i64::from(lo) + 1) as u64;
+        (i64::from(lo) + self.below(span) as i64) as i32
+    }
+
+    /// A random boolean.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(SplitMix64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = SplitMix64::new(123);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let v = r.range_i32(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SplitMix64::new(99);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+}

@@ -1,78 +1,99 @@
-//! Property tests: encode/decode round-trips for every representable
-//! instruction, and decode never panics on arbitrary words.
+//! Property-style tests driven by the in-repo deterministic PRNG
+//! (no third-party crates): encode/decode round-trips for every
+//! representable instruction, and decode never panics on arbitrary
+//! words.
 
-use proptest::prelude::*;
+use straight_isa::rng::SplitMix64;
 use straight_isa::{decode, encode, AluImmOp, AluOp, Dist, Inst, MemWidth};
 
-fn dist() -> impl Strategy<Value = Dist> {
-    (0u32..=1023).prop_map(Dist::of)
+const CASES: u64 = 4096;
+
+fn dist(r: &mut SplitMix64) -> Dist {
+    Dist::of(r.below(1024) as u32)
 }
 
-fn mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::B),
-        Just(MemWidth::Bu),
-        Just(MemWidth::H),
-        Just(MemWidth::Hu),
-        Just(MemWidth::W),
-    ]
+fn mem_width(r: &mut SplitMix64) -> MemWidth {
+    [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W][r.below(5) as usize]
 }
 
-fn store_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W)]
+fn store_width(r: &mut SplitMix64) -> MemWidth {
+    [MemWidth::B, MemWidth::H, MemWidth::W][r.below(3) as usize]
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+fn any_i16(r: &mut SplitMix64) -> i16 {
+    r.next_u32() as u16 as i16
 }
 
-fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
-    (0usize..AluImmOp::ALL.len()).prop_map(|i| AluImmOp::ALL[i])
+fn jump_offset(r: &mut SplitMix64) -> i32 {
+    r.range_i32(-(1 << 25), (1 << 25) - 1)
 }
 
-fn inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        Just(Inst::Nop),
-        Just(Inst::Halt),
-        (alu_op(), dist(), dist()).prop_map(|(op, s1, s2)| Inst::Alu { op, s1, s2 }),
-        (alu_imm_op(), dist(), any::<i16>()).prop_map(|(op, s1, imm)| Inst::AluImm { op, s1, imm }),
-        any::<u16>().prop_map(|imm| Inst::Lui { imm }),
-        (mem_width(), dist(), any::<i16>()).prop_map(|(width, addr, offset)| Inst::Ld { width, addr, offset }),
-        (store_width(), dist(), dist()).prop_map(|(width, val, addr)| Inst::St { width, val, addr }),
-        dist().prop_map(|s| Inst::Rmov { s }),
-        any::<i16>().prop_map(|imm| Inst::SpAdd { imm }),
-        (dist(), any::<i16>()).prop_map(|(s, offset)| Inst::Bez { s, offset }),
-        (dist(), any::<i16>()).prop_map(|(s, offset)| Inst::Bnz { s, offset }),
-        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Inst::J { offset }),
-        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Inst::Jal { offset }),
-        dist().prop_map(|s| Inst::Jr { s }),
-        dist().prop_map(|s| Inst::Jalr { s }),
-        (any::<u16>(), dist()).prop_map(|(code, s)| Inst::Sys { code, s }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(i in inst()) {
-        prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+fn inst(r: &mut SplitMix64) -> Inst {
+    match r.below(16) {
+        0 => Inst::Nop,
+        1 => Inst::Halt,
+        2 => Inst::Alu {
+            op: AluOp::ALL[r.below(AluOp::ALL.len() as u64) as usize],
+            s1: dist(r),
+            s2: dist(r),
+        },
+        3 => Inst::AluImm {
+            op: AluImmOp::ALL[r.below(AluImmOp::ALL.len() as u64) as usize],
+            s1: dist(r),
+            imm: any_i16(r),
+        },
+        4 => Inst::Lui { imm: r.next_u32() as u16 },
+        5 => Inst::Ld { width: mem_width(r), addr: dist(r), offset: any_i16(r) },
+        6 => Inst::St { width: store_width(r), val: dist(r), addr: dist(r) },
+        7 => Inst::Rmov { s: dist(r) },
+        8 => Inst::SpAdd { imm: any_i16(r) },
+        9 => Inst::Bez { s: dist(r), offset: any_i16(r) },
+        10 => Inst::Bnz { s: dist(r), offset: any_i16(r) },
+        11 => Inst::J { offset: jump_offset(r) },
+        12 => Inst::Jal { offset: jump_offset(r) },
+        13 => Inst::Jr { s: dist(r) },
+        14 => Inst::Jalr { s: dist(r) },
+        _ => Inst::Sys { code: r.next_u32() as u16, s: dist(r) },
     }
+}
 
-    #[test]
-    fn decode_total_no_panic(word in any::<u32>()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut r = SplitMix64::new(0x5712_a167_0001);
+    for _ in 0..CASES {
+        let i = inst(&mut r);
+        assert_eq!(decode(encode(&i)).unwrap(), i, "round-trip failed for {i}");
+    }
+}
+
+#[test]
+fn decode_total_no_panic() {
+    let mut r = SplitMix64::new(0x5712_a167_0002);
+    for _ in 0..CASES {
+        let _ = decode(r.next_u32());
+    }
+    // Structured corners: all-ones, all-zeros, sign-bit patterns.
+    for word in [0, u32::MAX, 0x8000_0000, 0x7fff_ffff, 0xaaaa_aaaa, 0x5555_5555] {
         let _ = decode(word);
     }
+}
 
-    #[test]
-    fn decoded_sources_within_bounds(word in any::<u32>()) {
-        if let Ok(i) = decode(word) {
+#[test]
+fn decoded_sources_within_bounds() {
+    let mut r = SplitMix64::new(0x5712_a167_0003);
+    for _ in 0..CASES {
+        if let Ok(i) = decode(r.next_u32()) {
             for s in i.sources().into_iter().flatten() {
-                prop_assert!(s.get() <= 1023);
+                assert!(s.get() <= 1023);
             }
         }
     }
+}
 
-    #[test]
-    fn display_never_empty(i in inst()) {
-        prop_assert!(!i.to_string().is_empty());
+#[test]
+fn display_never_empty() {
+    let mut r = SplitMix64::new(0x5712_a167_0004);
+    for _ in 0..CASES {
+        assert!(!inst(&mut r).to_string().is_empty());
     }
 }

@@ -1,58 +1,88 @@
-//! Property tests for the RV32IM encoder/decoder.
+//! Property-style tests for the RV32IM encoder/decoder, driven by the
+//! in-repo deterministic PRNG (no third-party crates).
 
-use proptest::prelude::*;
+use straight_isa::rng::SplitMix64;
 use straight_riscv::{decode, encode, AluImmOp, AluOp, BranchOp, MemWidth, Reg, RvInst};
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const CASES: u64 = 4096;
+
+fn reg(r: &mut SplitMix64) -> Reg {
+    Reg::new(r.below(32) as u8)
 }
 
-fn inst() -> impl Strategy<Value = RvInst> {
-    prop_oneof![
-        (reg(), any::<u32>()).prop_map(|(rd, imm)| RvInst::Lui { rd, imm: imm & 0xffff_f000 }),
-        (reg(), any::<u32>()).prop_map(|(rd, imm)| RvInst::Auipc { rd, imm: imm & 0xffff_f000 }),
-        (reg(), (-(1i32 << 20) / 2..(1i32 << 19)).prop_map(|o| o * 2)).prop_map(|(rd, offset)| RvInst::Jal { rd, offset }),
-        (reg(), reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| RvInst::Jalr { rd, rs1, offset }),
-        (0usize..6, reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2)).prop_map(|(i, rs1, rs2, offset)| {
-            RvInst::Branch { op: BranchOp::ALL[i], rs1, rs2, offset }
-        }),
-        (0usize..5, reg(), reg(), -2048i32..2048).prop_map(|(i, rd, rs1, offset)| {
-            let width = [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W][i];
-            RvInst::Load { width, rd, rs1, offset }
-        }),
-        (0usize..3, reg(), reg(), -2048i32..2048).prop_map(|(i, rs2, rs1, offset)| {
-            let width = [MemWidth::B, MemWidth::H, MemWidth::W][i];
-            RvInst::Store { width, rs2, rs1, offset }
-        }),
-        (0usize..AluImmOp::ALL.len(), reg(), reg(), -2048i32..2048).prop_map(|(i, rd, rs1, imm)| {
-            let op = AluImmOp::ALL[i];
-            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) { imm & 31 } else { imm };
-            RvInst::OpImm { op, rd, rs1, imm }
-        }),
-        (0usize..AluOp::ALL.len(), reg(), reg(), reg()).prop_map(|(i, rd, rs1, rs2)| RvInst::Op {
-            op: AluOp::ALL[i],
-            rd,
-            rs1,
-            rs2
-        }),
-        Just(RvInst::Ecall),
-        Just(RvInst::Ebreak),
-    ]
+fn imm12(r: &mut SplitMix64) -> i32 {
+    r.range_i32(-2048, 2047)
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(i in inst()) {
-        prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+fn inst(r: &mut SplitMix64) -> RvInst {
+    match r.below(11) {
+        0 => RvInst::Lui { rd: reg(r), imm: r.next_u32() & 0xffff_f000 },
+        1 => RvInst::Auipc { rd: reg(r), imm: r.next_u32() & 0xffff_f000 },
+        2 => RvInst::Jal { rd: reg(r), offset: r.range_i32(-(1 << 19), (1 << 19) - 1) * 2 },
+        3 => RvInst::Jalr { rd: reg(r), rs1: reg(r), offset: imm12(r) },
+        4 => RvInst::Branch {
+            op: BranchOp::ALL[r.below(BranchOp::ALL.len() as u64) as usize],
+            rs1: reg(r),
+            rs2: reg(r),
+            offset: r.range_i32(-2048, 2047) * 2,
+        },
+        5 => RvInst::Load {
+            width: [MemWidth::B, MemWidth::Bu, MemWidth::H, MemWidth::Hu, MemWidth::W]
+                [r.below(5) as usize],
+            rd: reg(r),
+            rs1: reg(r),
+            offset: imm12(r),
+        },
+        6 => RvInst::Store {
+            width: [MemWidth::B, MemWidth::H, MemWidth::W][r.below(3) as usize],
+            rs2: reg(r),
+            rs1: reg(r),
+            offset: imm12(r),
+        },
+        7 => {
+            let op = AluImmOp::ALL[r.below(AluImmOp::ALL.len() as u64) as usize];
+            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) {
+                imm12(r) & 31
+            } else {
+                imm12(r)
+            };
+            RvInst::OpImm { op, rd: reg(r), rs1: reg(r), imm }
+        }
+        8 => RvInst::Op {
+            op: AluOp::ALL[r.below(AluOp::ALL.len() as u64) as usize],
+            rd: reg(r),
+            rs1: reg(r),
+            rs2: reg(r),
+        },
+        9 => RvInst::Ecall,
+        _ => RvInst::Ebreak,
     }
+}
 
-    #[test]
-    fn decode_total_no_panic(word in any::<u32>()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut r = SplitMix64::new(0x5712_a167_1001);
+    for _ in 0..CASES {
+        let i = inst(&mut r);
+        assert_eq!(decode(encode(&i)).unwrap(), i, "round-trip failed for {i}");
+    }
+}
+
+#[test]
+fn decode_total_no_panic() {
+    let mut r = SplitMix64::new(0x5712_a167_1002);
+    for _ in 0..CASES {
+        let _ = decode(r.next_u32());
+    }
+    for word in [0, u32::MAX, 0x8000_0000, 0x7fff_ffff, 0xaaaa_aaaa, 0x5555_5555] {
         let _ = decode(word);
     }
+}
 
-    #[test]
-    fn display_never_empty(i in inst()) {
-        prop_assert!(!i.to_string().is_empty());
+#[test]
+fn display_never_empty() {
+    let mut r = SplitMix64::new(0x5712_a167_1003);
+    for _ in 0..CASES {
+        assert!(!inst(&mut r).to_string().is_empty());
     }
 }

@@ -4,6 +4,10 @@
 //! timing model; they serve as the semantic oracle for the
 //! cycle-accurate cores and produce the retired-instruction statistics
 //! of Figures 15 and 16.
+//!
+//! Every abnormal stop is a typed [`Trap`] carrying the faulting PC
+//! and dynamic instruction index, so differential tests can assert the
+//! emulator and the cycle-accurate core observe the *same* event.
 
 mod riscv;
 mod straight;
@@ -14,8 +18,10 @@ pub use straight::StraightEmu;
 
 use std::collections::BTreeMap;
 
+use straight_isa::Trap;
+
 /// Why emulation stopped.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EmuExit {
     /// The program invoked the exit service or executed `HALT`.
     Done {
@@ -24,8 +30,8 @@ pub enum EmuExit {
     },
     /// The step budget was exhausted.
     StepLimit,
-    /// A fault: bad fetch, bad decode, or wild memory access.
-    Fault(String),
+    /// A typed architectural (or sanitizer) trap.
+    Trap(Trap),
 }
 
 /// Retired-instruction statistics.
@@ -81,6 +87,15 @@ impl EmuResult {
     pub fn exit_code(&self) -> Option<i32> {
         match self.exit {
             EmuExit::Done { code } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// The trap, if execution ended in one.
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        match self.exit {
+            EmuExit::Trap(t) => Some(t),
             _ => None,
         }
     }

@@ -1,6 +1,7 @@
 //! Functional emulator for the RV32IM baseline.
 
 use straight_asm::{Image, MEM_SIZE, STACK_TOP};
+use straight_isa::{Trap, TrapKind};
 use straight_riscv::{decode, MemWidth, Reg, RvInst};
 
 use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
@@ -11,6 +12,7 @@ pub struct RiscvEmu {
     image: Image,
     mem: Vec<u8>,
     regs: [u32; 32],
+    count: u64,
     pc: u32,
     sys: SysState,
     stats: EmuStats,
@@ -25,7 +27,25 @@ impl RiscvEmu {
         let pc = image.entry;
         let mut regs = [0u32; 32];
         regs[Reg::SP.num() as usize] = STACK_TOP;
-        RiscvEmu { image, mem, regs, pc, sys: SysState::default(), stats: EmuStats::default() }
+        RiscvEmu { image, mem, regs, count: 0, pc, sys: SysState::default(), stats: EmuStats::default() }
+    }
+
+    /// Current program counter (the next instruction to execute).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Architectural value of `reg`.
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.r(reg)
+    }
+
+    /// Dynamic instructions executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.count
     }
 
     fn r(&self, reg: Reg) -> u32 {
@@ -38,10 +58,13 @@ impl RiscvEmu {
         }
     }
 
-    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, String> {
+    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, TrapKind> {
         let a = addr as usize;
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(TrapKind::MisalignedLoad { addr, width });
+        }
         if a + width.bytes() as usize > self.mem.len() {
-            return Err(format!("load fault at {addr:#x}"));
+            return Err(TrapKind::WildLoad { addr, width });
         }
         Ok(match width {
             MemWidth::B => self.mem[a] as i8 as i32 as u32,
@@ -54,10 +77,13 @@ impl RiscvEmu {
         })
     }
 
-    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), String> {
+    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), TrapKind> {
         let a = addr as usize;
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(TrapKind::MisalignedStore { addr, width });
+        }
         if a + width.bytes() as usize > self.mem.len() {
-            return Err(format!("store fault at {addr:#x}"));
+            return Err(TrapKind::WildStore { addr, width });
         }
         match width {
             MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
@@ -80,14 +106,19 @@ impl RiscvEmu {
     /// Executes one instruction. Returns `Some(exit)` when the program
     /// stops.
     pub fn step(&mut self) -> Option<EmuExit> {
+        match self.step_trapping() {
+            Ok(exit) => exit,
+            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
+        }
+    }
+
+    fn step_trapping(&mut self) -> Result<Option<EmuExit>, TrapKind> {
         let Some(word) = self.image.fetch(self.pc) else {
-            return Some(EmuExit::Fault(format!("fetch fault at {:#x}", self.pc)));
+            return Err(TrapKind::FetchFault);
         };
-        let inst = match decode(word) {
-            Ok(i) => i,
-            Err(e) => return Some(EmuExit::Fault(format!("decode fault at {:#x}: {e}", self.pc))),
+        let Ok(inst) = decode(word) else {
+            return Err(TrapKind::IllegalInstruction { word });
         };
-        self.stats.bump_kind(Self::kind_name(&inst));
         let mut next_pc = self.pc.wrapping_add(4);
         match inst {
             RvInst::Lui { rd, imm } => self.w(rd, imm),
@@ -108,17 +139,13 @@ impl RiscvEmu {
             }
             RvInst::Load { width, rd, rs1, offset } => {
                 let a = self.r(rs1).wrapping_add(offset as u32);
-                match self.load(width, a) {
-                    Ok(v) => self.w(rd, v),
-                    Err(e) => return Some(EmuExit::Fault(e)),
-                }
+                let v = self.load(width, a)?;
+                self.w(rd, v);
             }
             RvInst::Store { width, rs2, rs1, offset } => {
                 let a = self.r(rs1).wrapping_add(offset as u32);
                 let v = self.r(rs2);
-                if let Err(e) = self.store(width, a, v) {
-                    return Some(EmuExit::Fault(e));
-                }
+                self.store(width, a, v)?;
             }
             RvInst::OpImm { op, rd, rs1, imm } => {
                 let v = op.eval(self.r(rs1), imm);
@@ -133,22 +160,26 @@ impl RiscvEmu {
                 let arg = self.r(Reg::A0);
                 match self.sys.apply(code, arg) {
                     Some(r) => self.w(Reg::A0, r),
-                    None => return Some(EmuExit::Fault(format!("unknown ecall code {code}"))),
+                    None => return Err(TrapKind::UnknownSys { code }),
                 }
             }
             RvInst::Ebreak => {
+                self.stats.bump_kind(Self::kind_name(&inst));
+                self.count += 1;
                 self.pc = next_pc;
-                return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+                return Ok(Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) }));
             }
         }
+        self.stats.bump_kind(Self::kind_name(&inst));
+        self.count += 1;
         self.pc = next_pc;
-        if self.sys.exit_code.is_some() {
-            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap() });
+        if let Some(code) = self.sys.exit_code {
+            return Ok(Some(EmuExit::Done { code }));
         }
-        None
+        Ok(None)
     }
 
-    /// Runs until exit, fault, or the step limit.
+    /// Runs until exit, trap, or the step limit.
     pub fn run(mut self, max_steps: u64) -> EmuResult {
         loop {
             if self.stats.retired >= max_steps {
@@ -162,6 +193,13 @@ impl RiscvEmu {
 
     fn finish(self, exit: EmuExit) -> EmuResult {
         EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    }
+
+    /// Console output captured so far (used by the in-pipeline oracle,
+    /// which steps the emulator incrementally instead of via [`run`]).
+    #[must_use]
+    pub fn stdout(&self) -> &str {
+        &self.sys.stdout
     }
 }
 
@@ -233,5 +271,37 @@ mod tests {
         let r = RiscvEmu::new(image).run(10_000);
         assert_eq!(r.exit_code(), Some(15));
         assert!(r.stats.kinds["jump+branch"] >= 5);
+    }
+
+    #[test]
+    fn wild_store_traps_with_context() {
+        // sw a0, -8(zero): address wraps to the top of the 32-bit
+        // space, far outside simulated memory.
+        let prog = RvProgram {
+            funcs: vec![RvFunc {
+                name: "main".into(),
+                items: vec![
+                    RvItem::plain(RvInst::Store {
+                        width: MemWidth::W,
+                        rs2: Reg::A0,
+                        rs1: Reg::ZERO,
+                        offset: -8,
+                    }),
+                    RvItem::plain(RvInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
+                ],
+                labels: vec![],
+            }],
+            data: vec![],
+        };
+        let image = link_riscv(&prog).unwrap();
+        let r = RiscvEmu::new(image).run(1000);
+        match r.exit {
+            EmuExit::Trap(t) => {
+                assert_eq!(t.kind, TrapKind::WildStore { addr: (-8i32) as u32, width: MemWidth::W });
+                // _start's JAL has executed; the store is instruction 1.
+                assert_eq!(t.index, 1);
+            }
+            other => panic!("expected a wild-store trap, got {other:?}"),
+        }
     }
 }

@@ -4,9 +4,17 @@
 //! `MAX_DISTANCE` results (the paper's key-value register file seen
 //! architecturally). Distance `d` reads the result of the `d`-th
 //! previously executed instruction.
+//!
+//! The emulator doubles as the hazard-semantics reference: reading a
+//! distance that points before the start of execution is a typed
+//! [`TrapKind::DistanceOutOfRange`] trap in every build profile (the
+//! referenced producer never existed, so the read would otherwise
+//! return ring garbage), and the opt-in sanitizer additionally checks
+//! each operand distance against the bound the binary was compiled
+//! for and the stack pointer against the stack region.
 
 use straight_asm::{Image, MEM_SIZE, STACK_TOP};
-use straight_isa::{decode, Dist, Inst, InstKind, MemWidth, MAX_DISTANCE};
+use straight_isa::{decode, Dist, Inst, InstKind, MemWidth, Trap, TrapKind, MAX_DISTANCE};
 
 use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
 
@@ -23,10 +31,20 @@ pub struct StraightEmu {
     count: u64,
     pc: u32,
     sp: u32,
+    /// Lowest address the sanitizer accepts for SP (end of the data
+    /// segment — everything above it up to [`STACK_TOP`] is stack).
+    stack_floor: u32,
     sys: SysState,
     stats: EmuStats,
     /// Collect the per-operand distance histogram (Figure 16).
     pub profile_distances: bool,
+    /// Sanitizer: trap with [`TrapKind::DistanceAboveBound`] on any
+    /// operand distance above this bound (the distance limit the
+    /// binary was compiled for). `None` disables the check.
+    pub distance_bound: Option<u16>,
+    /// Sanitizer: trap with [`TrapKind::SpMisuse`] when `SPADD` moves
+    /// the stack pointer out of the stack region.
+    pub check_sp: bool,
 }
 
 impl StraightEmu {
@@ -36,6 +54,7 @@ impl StraightEmu {
         let mut mem = vec![0u8; MEM_SIZE as usize];
         image.load_into(&mut mem);
         let pc = image.entry;
+        let stack_floor = image.data_base.saturating_add(image.data.len() as u32);
         StraightEmu {
             image,
             mem,
@@ -43,25 +62,71 @@ impl StraightEmu {
             count: 0,
             pc,
             sp: STACK_TOP,
+            stack_floor,
             sys: SysState::default(),
             stats: EmuStats { dist_hist: vec![0; MAX_DISTANCE as usize + 1], ..EmuStats::default() },
             profile_distances: false,
+            distance_bound: None,
+            check_sp: false,
         }
     }
 
-    fn read_dist(&self, d: Dist) -> u32 {
+    /// Current program counter (the next instruction to execute).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Current stack pointer.
+    #[must_use]
+    pub fn sp(&self) -> u32 {
+        self.sp
+    }
+
+    /// Dynamic instructions executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.count
+    }
+
+    /// Result of the most recently executed instruction (the value at
+    /// distance 1). Zero before any instruction has executed.
+    #[must_use]
+    pub fn last_result(&self) -> u32 {
+        if self.count == 0 {
+            0
+        } else {
+            self.ring[((self.count - 1) % RING as u64) as usize]
+        }
+    }
+
+    fn read_dist(&self, d: Dist) -> Result<u32, TrapKind> {
         if d.is_zero() {
-            return 0;
+            return Ok(0);
         }
         let back = u64::from(d.get());
-        debug_assert!(back <= self.count, "distance {back} exceeds executed count {}", self.count);
-        self.ring[((self.count - back) % RING as u64) as usize]
+        // A distance reaching past the start of execution references a
+        // producer that never existed; the ring slot holds garbage (or
+        // a stale wrap-around value), so this must trap in every build
+        // profile rather than silently mis-read.
+        if back > self.count {
+            return Err(TrapKind::DistanceOutOfRange { dist: d.get(), executed: self.count });
+        }
+        if let Some(bound) = self.distance_bound {
+            if d.get() > bound {
+                return Err(TrapKind::DistanceAboveBound { dist: d.get(), bound });
+            }
+        }
+        Ok(self.ring[((self.count - back) % RING as u64) as usize])
     }
 
-    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, String> {
+    fn load(&self, width: MemWidth, addr: u32) -> Result<u32, TrapKind> {
         let a = addr as usize;
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(TrapKind::MisalignedLoad { addr, width });
+        }
         if a + width.bytes() as usize > self.mem.len() {
-            return Err(format!("load fault at {addr:#x}"));
+            return Err(TrapKind::WildLoad { addr, width });
         }
         Ok(match width {
             MemWidth::B => self.mem[a] as i8 as i32 as u32,
@@ -74,10 +139,13 @@ impl StraightEmu {
         })
     }
 
-    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), String> {
+    fn store(&mut self, width: MemWidth, addr: u32, val: u32) -> Result<(), TrapKind> {
         let a = addr as usize;
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(TrapKind::MisalignedStore { addr, width });
+        }
         if a + width.bytes() as usize > self.mem.len() {
-            return Err(format!("store fault at {addr:#x}"));
+            return Err(TrapKind::WildStore { addr, width });
         }
         match width {
             MemWidth::B | MemWidth::Bu => self.mem[a] = val as u8,
@@ -110,51 +178,55 @@ impl StraightEmu {
     /// Executes one instruction. Returns `Some(exit)` when the program
     /// stops.
     pub fn step(&mut self) -> Option<EmuExit> {
+        match self.step_trapping() {
+            Ok(exit) => exit,
+            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
+        }
+    }
+
+    fn step_trapping(&mut self) -> Result<Option<EmuExit>, TrapKind> {
         let Some(word) = self.image.fetch(self.pc) else {
-            return Some(EmuExit::Fault(format!("fetch fault at {:#x}", self.pc)));
+            return Err(TrapKind::FetchFault);
         };
-        let inst = match decode(word) {
-            Ok(i) => i,
-            Err(e) => return Some(EmuExit::Fault(format!("decode fault at {:#x}: {e}", self.pc))),
+        let Ok(inst) = decode(word) else {
+            return Err(TrapKind::IllegalInstruction { word });
         };
         if self.profile_distances {
             self.profile(&inst);
         }
-        self.stats.bump_kind(Self::kind_name(inst.kind()));
         let mut next_pc = self.pc.wrapping_add(4);
         let result: u32 = match inst {
             Inst::Nop | Inst::Halt => 0,
-            Inst::Alu { op, s1, s2 } => op.eval(self.read_dist(s1), self.read_dist(s2)),
-            Inst::AluImm { op, s1, imm } => op.eval_straight(self.read_dist(s1), imm),
+            Inst::Alu { op, s1, s2 } => op.eval(self.read_dist(s1)?, self.read_dist(s2)?),
+            Inst::AluImm { op, s1, imm } => op.eval_straight(self.read_dist(s1)?, imm),
             Inst::Lui { imm } => u32::from(imm) << 16,
             Inst::Ld { width, addr, offset } => {
-                let a = self.read_dist(addr).wrapping_add(offset as i32 as u32);
-                match self.load(width, a) {
-                    Ok(v) => v,
-                    Err(e) => return Some(EmuExit::Fault(e)),
-                }
+                let a = self.read_dist(addr)?.wrapping_add(offset as i32 as u32);
+                self.load(width, a)?
             }
             Inst::St { width, val, addr } => {
-                let v = self.read_dist(val);
-                let a = self.read_dist(addr);
-                if let Err(e) = self.store(width, a, v) {
-                    return Some(EmuExit::Fault(e));
-                }
+                let v = self.read_dist(val)?;
+                let a = self.read_dist(addr)?;
+                self.store(width, a, v)?;
                 v
             }
-            Inst::Rmov { s } => self.read_dist(s),
+            Inst::Rmov { s } => self.read_dist(s)?,
             Inst::SpAdd { imm } => {
-                self.sp = self.sp.wrapping_add(imm as i32 as u32);
+                let sp = self.sp.wrapping_add(imm as i32 as u32);
+                if self.check_sp && !(self.stack_floor..=STACK_TOP).contains(&sp) {
+                    return Err(TrapKind::SpMisuse { sp });
+                }
+                self.sp = sp;
                 self.sp
             }
             Inst::Bez { s, offset } => {
-                if self.read_dist(s) == 0 {
+                if self.read_dist(s)? == 0 {
                     next_pc = self.pc.wrapping_add((offset as i32 as u32).wrapping_mul(4));
                 }
                 0
             }
             Inst::Bnz { s, offset } => {
-                if self.read_dist(s) != 0 {
+                if self.read_dist(s)? != 0 {
                     next_pc = self.pc.wrapping_add((offset as i32 as u32).wrapping_mul(4));
                 }
                 0
@@ -169,7 +241,7 @@ impl StraightEmu {
                 link
             }
             Inst::Jr { s } | Inst::Jalr { s } => {
-                let target = self.read_dist(s);
+                let target = self.read_dist(s)?;
                 next_pc = target;
                 if matches!(inst, Inst::Jalr { .. }) {
                     self.pc.wrapping_add(4)
@@ -178,26 +250,29 @@ impl StraightEmu {
                 }
             }
             Inst::Sys { code, s } => {
-                let arg = self.read_dist(s);
+                let arg = self.read_dist(s)?;
                 match self.sys.apply(code, arg) {
                     Some(r) => r,
-                    None => return Some(EmuExit::Fault(format!("unknown SYS code {code}"))),
+                    None => return Err(TrapKind::UnknownSys { code }),
                 }
             }
         };
+        // Statistics count only instructions that complete without
+        // trapping, keeping the retired count equal to the trap index.
+        self.stats.bump_kind(Self::kind_name(inst.kind()));
         self.ring[(self.count % RING as u64) as usize] = result;
         self.count += 1;
         self.pc = next_pc;
         if matches!(inst, Inst::Halt) {
-            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+            return Ok(Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) }));
         }
-        if self.sys.exit_code.is_some() {
-            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap() });
+        if let Some(code) = self.sys.exit_code {
+            return Ok(Some(EmuExit::Done { code }));
         }
-        None
+        Ok(None)
     }
 
-    /// Runs until exit, fault, or the step limit.
+    /// Runs until exit, trap, or the step limit.
     pub fn run(mut self, max_steps: u64) -> EmuResult {
         loop {
             if self.stats.retired >= max_steps {
@@ -211,6 +286,13 @@ impl StraightEmu {
 
     fn finish(self, exit: EmuExit) -> EmuResult {
         EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    }
+
+    /// Console output captured so far (used by the in-pipeline oracle,
+    /// which steps the emulator incrementally instead of via [`run`]).
+    #[must_use]
+    pub fn stdout(&self) -> &str {
+        &self.sys.stdout
     }
 }
 
@@ -305,5 +387,88 @@ mod tests {
                 J spin",
         );
         assert_eq!(r.exit, EmuExit::StepLimit);
+    }
+
+    #[test]
+    fn distance_past_start_of_execution_traps() {
+        // The second instruction reads distance 5, but only one
+        // instruction has executed: the producer never existed.
+        let r = run_asm(
+            ".text
+             func main:
+                ADDi [0] 1
+                ADD [1] [5]
+                HALT",
+        );
+        // The _start stub's JAL and the ADDi have executed: count 2.
+        match r.exit {
+            EmuExit::Trap(t) => {
+                assert_eq!(t.kind, TrapKind::DistanceOutOfRange { dist: 5, executed: 2 });
+                assert_eq!(t.index, 2);
+            }
+            other => panic!("expected a distance trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_flags_distance_above_compiled_bound() {
+        let prog = parse_straight_asm(
+            ".text
+             func main:
+                ADDi [0] 1
+                NOP
+                NOP
+                NOP
+                ADD [4] [1]
+                HALT",
+        )
+        .unwrap();
+        let image = link_straight(&prog).unwrap();
+        // Without the sanitizer the program completes...
+        let ok = StraightEmu::new(image.clone()).run(1000);
+        assert_eq!(ok.exit_code(), Some(0));
+        // ...with a bound of 3 the distance-4 read is flagged.
+        let mut emu = StraightEmu::new(image);
+        emu.distance_bound = Some(3);
+        let r = emu.run(1000);
+        assert_eq!(
+            r.trap().map(|t| t.kind),
+            Some(TrapKind::DistanceAboveBound { dist: 4, bound: 3 })
+        );
+    }
+
+    #[test]
+    fn sanitizer_flags_sp_escape() {
+        let prog = parse_straight_asm(
+            ".text
+             func main:
+                SPADD 16
+                HALT",
+        )
+        .unwrap();
+        let image = link_straight(&prog).unwrap();
+        let mut emu = StraightEmu::new(image);
+        emu.check_sp = true;
+        let r = emu.run(1000);
+        assert!(
+            matches!(r.trap().map(|t| t.kind), Some(TrapKind::SpMisuse { .. })),
+            "{:?}",
+            r.exit
+        );
+    }
+
+    #[test]
+    fn misaligned_load_traps() {
+        let r = run_asm(
+            ".text
+             func main:
+                ADDi [0] 2
+                LD [1] 1        ; word load at address 3
+                HALT",
+        );
+        assert_eq!(
+            r.trap().map(|t| t.kind),
+            Some(TrapKind::MisalignedLoad { addr: 3, width: MemWidth::W })
+        );
     }
 }

@@ -1,0 +1,39 @@
+//! Deterministic fault injection for the robustness harness.
+//!
+//! A [`FaultKind`] names one microarchitectural disturbance; tests
+//! schedule them at fixed cycles via
+//! [`Core::schedule_fault`](crate::pipeline::Core::schedule_fault) and
+//! assert that each injected fault is either *masked* (the program
+//! still completes with the oracle-identical result), *recovered*
+//! (absorbed by the machine's own speculation-recovery machinery), or
+//! *detected* (the sanitizer or watchdog raises a typed trap) — never
+//! a silent divergence from the functional emulator.
+
+/// One injectable microarchitectural fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of a physical register (a soft error in the PRF /
+    /// STRAIGHT result ring). Detected by the sanitizer's retire-time
+    /// value comparison when the corrupted value is live; masked when
+    /// it is dead.
+    PrfBitFlip {
+        /// Physical register index (reduced modulo the file size).
+        reg: u16,
+        /// Bit position (reduced modulo 32).
+        bit: u8,
+    },
+    /// Invert the next conditional-branch direction prediction
+    /// (corrupted predictor state). Always recovered by normal
+    /// misprediction recovery — the paper's Figure 4 machinery.
+    ForceMispredict,
+    /// Push garbage return addresses onto the return-address stack.
+    /// Recovered by indirect-jump misprediction recovery.
+    RasCorrupt {
+        /// Number of garbage entries to push.
+        slots: u32,
+    },
+    /// Drop every in-flight completion: issued instructions never
+    /// write back, so their ROB entries stay un-done forever. Detected
+    /// by the forward-progress watchdog.
+    LoseCompletion,
+}

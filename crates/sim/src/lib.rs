@@ -14,12 +14,17 @@
 //!   renaming superscalar baseline (`SS`) with RAM-based RMT and
 //!   ROB-walking recovery, and the STRAIGHT core with RP-based
 //!   operand determination and single-read recovery (Sections III and
-//!   V-A of the paper).
+//!   V-A of the paper);
+//! * [`inject`] — deterministic microarchitectural fault injection
+//!   for exercising the hazard sanitizer and the forward-progress
+//!   watchdog.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod emu;
+pub mod inject;
 pub mod mem;
 pub mod pipeline;
 pub mod predict;

@@ -68,6 +68,18 @@ pub struct MachineConfig {
     /// `phys_regs` must be ≥ `max_distance + rob_capacity`
     /// (Section III-B's MAX_RP rule).
     pub max_distance: u32,
+    /// Forward-progress watchdog: abort the simulation when no
+    /// instruction commits for this many consecutive cycles. Any
+    /// genuine program makes commit progress orders of magnitude
+    /// faster than this (the worst structural stall is a full-window
+    /// chain of L3 misses), so firing always means the core — or an
+    /// injected fault — deadlocked.
+    pub watchdog_limit: u64,
+    /// Opt-in hazard sanitizer: retire-time cross-validation of every
+    /// committed instruction against a shadow functional emulator
+    /// (control flow and result values), plus STRAIGHT RP-vs-ROB
+    /// consistency checks.
+    pub sanitizer: bool,
 }
 
 impl MachineConfig {
@@ -91,6 +103,8 @@ impl MachineConfig {
             hierarchy: HierarchyCfg::four_way(),
             ideal_recovery: false,
             max_distance: 31,
+            watchdog_limit: 5_000,
+            sanitizer: false,
         }
     }
 
@@ -125,6 +139,8 @@ impl MachineConfig {
             hierarchy: HierarchyCfg::two_way(),
             ideal_recovery: false,
             max_distance: 31,
+            watchdog_limit: 5_000,
+            sanitizer: false,
         }
     }
 
@@ -153,6 +169,23 @@ impl MachineConfig {
     pub fn with_ideal_recovery(mut self) -> MachineConfig {
         self.ideal_recovery = true;
         self.name.push_str("+noPenalty");
+        self
+    }
+
+    /// Enables the retire-time hazard sanitizer (shadow-emulator
+    /// cross-validation and STRAIGHT RP checks).
+    #[must_use]
+    pub fn with_sanitizer(mut self) -> MachineConfig {
+        self.sanitizer = true;
+        self.name.push_str("+sanitizer");
+        self
+    }
+
+    /// Overrides the forward-progress watchdog limit (commit-free
+    /// cycles before the simulation aborts).
+    #[must_use]
+    pub fn with_watchdog(mut self, limit: u64) -> MachineConfig {
+        self.watchdog_limit = limit;
         self
     }
 
@@ -197,5 +230,15 @@ mod tests {
         let c = MachineConfig::ss_2way().with_tage().with_ideal_recovery();
         assert!(c.name.contains("TAGE"));
         assert!(c.ideal_recovery);
+    }
+
+    #[test]
+    fn robustness_modifiers() {
+        let c = MachineConfig::straight_2way().with_sanitizer().with_watchdog(123);
+        assert!(c.sanitizer);
+        assert!(c.name.contains("sanitizer"));
+        assert_eq!(c.watchdog_limit, 123);
+        assert!(!MachineConfig::ss_4way().sanitizer);
+        assert_eq!(MachineConfig::ss_4way().watchdog_limit, 5_000);
     }
 }

@@ -12,18 +12,32 @@
 //! the RMT by walking squashed ROB entries at front-end width per
 //! cycle and stalls rename until the walk completes; STRAIGHT restores
 //! RP/SP from a single ROB entry in one cycle.
+//!
+//! Faults are precise: fetch/decode faults, out-of-range operand
+//! distances, and wild/misaligned memory accesses travel through the
+//! pipeline as typed [`TrapKind`]s attached to their instruction and
+//! are raised only when that instruction reaches the ROB head —
+//! wrong-path faults are squashed like any other speculation. A
+//! forward-progress watchdog aborts (with a structured
+//! [`WatchdogReport`]) if commit stops, and the opt-in hazard
+//! sanitizer cross-validates every retired instruction against a
+//! shadow functional emulator.
 
 use std::collections::VecDeque;
+use std::fmt;
 
-use straight_asm::{Image, MEM_SIZE, STACK_TOP};
-use straight_isa::MemWidth;
+use straight_asm::{Image, ImageIsa, MEM_SIZE, STACK_TOP};
+use straight_isa::{MemWidth, Trap, TrapKind};
+use straight_riscv::Reg;
 
 use crate::emu::sys::SysState;
+use crate::emu::{EmuExit, RiscvEmu, StraightEmu};
+use crate::inject::FaultKind;
 use crate::mem::Hierarchy;
 use crate::predict::{build, DirectionPredictor, Ras, RasCheckpoint, StoreSets};
 
 use super::config::{IsaKind, MachineConfig};
-use super::stats::{SimResult, SimStats};
+use super::stats::{SimExit, SimResult, SimStats, WatchdogReport};
 use super::uop::{
     rename_riscv, rename_straight, ControlInfo, ExecUnit, FuncOp, RawInst, RmtState, RpState, UOp,
 };
@@ -31,10 +45,46 @@ use super::uop::{
 /// Default cycle budget for [`simulate`].
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
 
+/// A configuration/image mismatch detected while constructing a
+/// [`Core`] — the machine cannot meaningfully execute at all, so this
+/// is an error at build time rather than a [`Trap`] at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The image's ISA does not match the machine's front-end model.
+    IsaMismatch {
+        /// The machine's front-end model.
+        machine: IsaKind,
+        /// The ISA the image was linked for.
+        image: ImageIsa,
+    },
+    /// The physical register file cannot hold the architectural state
+    /// (RV32 needs all 32 logical mappings plus at least one free
+    /// register to rename into).
+    TooFewPhysRegs {
+        /// The configured register-file size.
+        phys_regs: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IsaMismatch { machine, image } => {
+                write!(f, "machine front-end {machine:?} cannot execute a {image} image")
+            }
+            CoreError::TooFewPhysRegs { phys_regs } => {
+                write!(f, "{phys_regs} physical registers (need at least 33)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RState {
     /// Dispatched, waiting in the scheduler (or at the ROB head for
-    /// `SYS`/`HALT`).
+    /// `SYS`/`HALT`/trap micro-ops).
     Waiting,
     /// Issued to a functional unit.
     Issued,
@@ -51,6 +101,10 @@ struct RobEntry {
     pred_taken: bool,
     actual_taken: bool,
     ras_cp: RasCheckpoint,
+    /// A typed fault observed while executing this entry (wild or
+    /// misaligned memory access); raised when the entry reaches the
+    /// ROB head, squashed with the entry otherwise.
+    trap: Option<TrapKind>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +147,33 @@ struct FrontEntry {
     ras_cp: RasCheckpoint,
 }
 
+/// The hazard sanitizer's oracle: a shadow functional emulator stepped
+/// once per retired instruction.
+enum Shadow {
+    S(Box<StraightEmu>),
+    R(Box<RiscvEmu>),
+}
+
+fn check_load(width: MemWidth, addr: u32, mem_len: usize) -> Option<TrapKind> {
+    if !addr.is_multiple_of(width.bytes()) {
+        Some(TrapKind::MisalignedLoad { addr, width })
+    } else if addr as usize + width.bytes() as usize > mem_len {
+        Some(TrapKind::WildLoad { addr, width })
+    } else {
+        None
+    }
+}
+
+fn check_store(width: MemWidth, addr: u32, mem_len: usize) -> Option<TrapKind> {
+    if !addr.is_multiple_of(width.bytes()) {
+        Some(TrapKind::MisalignedStore { addr, width })
+    } else if addr as usize + width.bytes() as usize > mem_len {
+        Some(TrapKind::WildStore { addr, width })
+    } else {
+        None
+    }
+}
+
 /// The cycle-accurate core.
 pub struct Core {
     cfg: MachineConfig,
@@ -115,27 +196,50 @@ pub struct Core {
     front_q: VecDeque<FrontEntry>,
     fetch_pc: u32,
     fetch_stall_until: u64,
+    /// Fetch hit a fault (left the image or an undecodable word) and
+    /// parked until a recovery redirects it; the fault itself travels
+    /// through the pipeline as a trap micro-op.
+    fetch_faulted: bool,
     rename_stall_until: u64,
     div_busy_until: Vec<u64>,
     cycle: u64,
+    last_commit_cycle: u64,
     sys: SysState,
     stats: SimStats,
     halted: Option<i32>,
+    /// A raised trap (architectural, sanitizer, or watchdog); ends the
+    /// simulation.
+    fatal: Option<Trap>,
+    watchdog_report: Option<WatchdogReport>,
+    shadow: Option<Shadow>,
+    shadow_done: bool,
+    pending_faults: Vec<(u64, FaultKind)>,
+    faults_applied: u32,
+    force_flip_branch: bool,
     /// Debug: (load pc, store pc) of each memory-order violation.
     pub violation_log: Vec<(u32, u32)>,
 }
 
 impl Core {
-    /// Builds a core for a linked image.
+    /// Builds a core for a linked image, validating that the machine
+    /// can actually execute it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the image's ISA does not match the configuration
-    /// (checked only indirectly via decode faults at run time) or if
-    /// the physical register file is too small for the configuration.
-    #[must_use]
-    pub fn new(image: Image, cfg: MachineConfig) -> Core {
-        assert!(cfg.phys_regs >= 33, "need at least 33 physical registers");
+    /// Returns [`CoreError`] when the image's ISA does not match the
+    /// machine's front-end or the register file is too small for the
+    /// architectural state.
+    pub fn new(image: Image, cfg: MachineConfig) -> Result<Core, CoreError> {
+        let compatible = matches!(
+            (cfg.isa, image.isa),
+            (IsaKind::Straight, ImageIsa::Straight) | (IsaKind::Ss, ImageIsa::Riscv)
+        );
+        if !compatible {
+            return Err(CoreError::IsaMismatch { machine: cfg.isa, image: image.isa });
+        }
+        if cfg.phys_regs < 33 {
+            return Err(CoreError::TooFewPhysRegs { phys_regs: cfg.phys_regs });
+        }
         let mut mem = vec![0u8; MEM_SIZE as usize];
         image.load_into(&mut mem);
         let phys = cfg.phys_regs as usize;
@@ -146,7 +250,15 @@ impl Core {
         prf[rmt_state.rmt[2] as usize] = STACK_TOP;
         rmt_state.freelist.make_contiguous();
         let fetch_pc = image.entry;
-        Core {
+        let shadow = if cfg.sanitizer {
+            Some(match cfg.isa {
+                IsaKind::Straight => Shadow::S(Box::new(StraightEmu::new(image.clone()))),
+                IsaKind::Ss => Shadow::R(Box::new(RiscvEmu::new(image.clone()))),
+            })
+        } else {
+            None
+        };
+        Ok(Core {
             bp: build(cfg.predictor),
             hier: Hierarchy::new(cfg.hierarchy),
             div_busy_until: vec![0; cfg.units.div as usize],
@@ -168,13 +280,22 @@ impl Core {
             front_q: VecDeque::new(),
             fetch_pc,
             fetch_stall_until: 0,
+            fetch_faulted: false,
             rename_stall_until: 0,
             cycle: 0,
+            last_commit_cycle: 0,
             sys: SysState::default(),
             stats: SimStats::default(),
             halted: None,
+            fatal: None,
+            watchdog_report: None,
+            shadow,
+            shadow_done: false,
+            pending_faults: Vec::new(),
+            faults_applied: 0,
+            force_flip_branch: false,
             violation_log: Vec::new(),
-        }
+        })
     }
 
     // -- helpers ----------------------------------------------------
@@ -241,43 +362,76 @@ impl Core {
         a_addr < b_end && b_addr < a_end
     }
 
+    /// Raises a fatal trap with the current architectural context.
+    /// The index is the retired-instruction count, which matches the
+    /// functional emulators' dynamic instruction index at the same
+    /// point, so differential tests can compare full [`Trap`]s.
+    fn raise(&mut self, kind: TrapKind, pc: u32) {
+        if self.fatal.is_none() {
+            self.fatal =
+                Some(Trap { kind, pc, index: self.stats.retired, cycle: Some(self.cycle) });
+        }
+    }
+
     // -- commit ------------------------------------------------------
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { return };
-            let seq = head.seq;
             match head.state {
                 RState::Done => {
-                    let entry = self.rob.pop_front().expect("head exists");
-                    self.retire(entry);
-                    if self.halted.is_some() {
+                    // Execution-time faults (wild/misaligned accesses)
+                    // become precise here: the instruction reached the
+                    // head un-squashed, so it really happens.
+                    if let Some(kind) = head.trap {
+                        let pc = head.uop.pc;
+                        self.raise(kind, pc);
                         return;
                     }
-                    let _ = seq;
+                    let Some(entry) = self.rob.pop_front() else { return };
+                    self.retire(entry);
+                    if self.halted.is_some() || self.fatal.is_some() {
+                        return;
+                    }
+                }
+                RState::Waiting if head.uop.is_trap() => {
+                    // Fetch/decode/distance faults dispatched as trap
+                    // micro-ops fire once they reach the head.
+                    if let FuncOp::Trap(kind) = head.uop.func {
+                        let pc = head.uop.pc;
+                        self.raise(kind, pc);
+                    }
+                    return;
                 }
                 RState::Waiting if head.uop.is_sys() || head.uop.is_halt() => {
                     // Environment calls and HALT execute
                     // non-speculatively at the ROB head.
                     if head.uop.is_halt() {
-                        let e = self.rob.front_mut().expect("head");
-                        e.state = RState::Done;
+                        if let Some(e) = self.rob.front_mut() {
+                            e.state = RState::Done;
+                        }
                     } else if self.srcs_ready(&head.uop) {
                         let uop = head.uop.clone();
                         let arg = self.src_value(uop.srcs[0]);
                         let code = match uop.func {
                             FuncOp::Sys { code: Some(c) } => c,
-                            FuncOp::Sys { code: None } => self.src_value(uop.srcs[1]) as u16,
-                            _ => unreachable!(),
+                            _ => self.src_value(uop.srcs[1]) as u16,
                         };
-                        let result = self.sys.apply(code, arg).unwrap_or(0);
+                        let result = match self.sys.apply(code, arg) {
+                            Some(r) => r,
+                            None => {
+                                self.raise(TrapKind::UnknownSys { code }, uop.pc);
+                                return;
+                            }
+                        };
                         if let Some(d) = uop.dst {
                             self.prf[d as usize] = result;
                             self.prf_ready[d as usize] = true;
                             self.stats.events.prf_writes += 1;
                         }
-                        let e = self.rob.front_mut().expect("head");
-                        e.state = RState::Done;
+                        if let Some(e) = self.rob.front_mut() {
+                            e.state = RState::Done;
+                        }
                     }
                     return; // retires next cycle
                 }
@@ -286,7 +440,88 @@ impl Core {
         }
     }
 
+    /// Cross-validates one committing instruction against the shadow
+    /// oracle emulator (and, for STRAIGHT, the architectural RP).
+    /// Returns the sanitizer trap to raise if the machine diverged.
+    fn sanitize_retire(&mut self, entry: &RobEntry) -> Option<TrapKind> {
+        let uop = &entry.uop;
+        // RP-vs-ROB consistency: the committed destination must be
+        // exactly the architectural RP (the RP after the previously
+        // retired instruction). Catches any desync between the rename
+        // adders and the ROB's recovery bookkeeping.
+        if self.cfg.isa == IsaKind::Straight {
+            let expected = self.arch_rp.rp as u16;
+            if let Some(got) = uop.dst {
+                if got != expected {
+                    return Some(TrapKind::RpDesync { expected, got });
+                }
+            }
+        }
+        if self.shadow_done {
+            return None;
+        }
+        let committed = uop.dst.map(|d| self.prf[d as usize]);
+        match &mut self.shadow {
+            Some(Shadow::S(emu)) => {
+                if emu.pc() != uop.pc {
+                    return Some(TrapKind::OraclePcMismatch { expected: emu.pc() });
+                }
+                match emu.step() {
+                    // The oracle observed an architectural trap the
+                    // core sailed past.
+                    Some(EmuExit::Trap(t)) => return Some(t.kind),
+                    Some(_) => self.shadow_done = true,
+                    None => {}
+                }
+                if !uop.is_halt() {
+                    if let Some(got) = committed {
+                        let expected = emu.last_result();
+                        if got != expected {
+                            return Some(TrapKind::OracleValueMismatch { expected, got });
+                        }
+                    }
+                }
+                if uop.is_sys() && emu.stdout() != self.sys.stdout {
+                    return Some(TrapKind::OracleOutputDivergence {
+                        core_len: self.sys.stdout.len() as u32,
+                        oracle_len: emu.stdout().len() as u32,
+                    });
+                }
+            }
+            Some(Shadow::R(emu)) => {
+                if emu.pc() != uop.pc {
+                    return Some(TrapKind::OraclePcMismatch { expected: emu.pc() });
+                }
+                match emu.step() {
+                    Some(EmuExit::Trap(t)) => return Some(t.kind),
+                    Some(_) => self.shadow_done = true,
+                    None => {}
+                }
+                if let (Some(got), Some(l)) = (committed, uop.logical_dst) {
+                    let expected = emu.reg(Reg::new(l));
+                    if got != expected {
+                        return Some(TrapKind::OracleValueMismatch { expected, got });
+                    }
+                }
+                if uop.is_sys() && emu.stdout() != self.sys.stdout {
+                    return Some(TrapKind::OracleOutputDivergence {
+                        core_len: self.sys.stdout.len() as u32,
+                        oracle_len: emu.stdout().len() as u32,
+                    });
+                }
+            }
+            None => {}
+        }
+        None
+    }
+
     fn retire(&mut self, entry: RobEntry) {
+        if self.shadow.is_some() {
+            if let Some(kind) = self.sanitize_retire(&entry) {
+                self.raise(kind, entry.uop.pc);
+                return;
+            }
+        }
         let uop = &entry.uop;
         self.stats.bump_kind(uop.kind);
         self.stats.events.rob_commits += 1;
@@ -353,24 +588,31 @@ impl Core {
             let s1 = self.src_value(uop.srcs[1]);
             let mut actual_next = uop.pc.wrapping_add(4);
             let mut actual_taken = false;
+            let mut trap: Option<TrapKind> = None;
             let result: u32 = match uop.func {
                 FuncOp::Alu(op) => op.eval(s0, s1),
                 FuncOp::AluImmRv(op, imm) => op.eval(s0, imm),
                 FuncOp::AluImmS(op, imm) => op.eval_straight(s0, imm),
                 FuncOp::Const(v) => v,
                 FuncOp::Copy => s0,
-                FuncOp::Load { width, .. } => match f.load_src {
-                    Some(LoadSrc::Fwd(v)) => v,
-                    _ => {
-                        let addr = self
-                            .lsq
-                            .iter()
-                            .find(|e| e.seq == f.seq)
-                            .and_then(|e| e.addr)
-                            .unwrap_or(0);
-                        self.mem_read(width, addr)
+                FuncOp::Load { width, .. } => {
+                    let addr = self
+                        .lsq
+                        .iter()
+                        .find(|e| e.seq == f.seq)
+                        .and_then(|e| e.addr)
+                        .unwrap_or(0);
+                    match check_load(width, addr, self.mem.len()) {
+                        Some(kind) => {
+                            trap = Some(kind);
+                            0
+                        }
+                        None => match f.load_src {
+                            Some(LoadSrc::Fwd(v)) => v,
+                            _ => self.mem_read(width, addr),
+                        },
                     }
-                },
+                }
                 FuncOp::Store { .. } => s1, // STRAIGHT: ST result is the stored value
                 FuncOp::Branch { cond, target } => {
                     actual_taken = cond.eval(s0, s1);
@@ -394,7 +636,9 @@ impl Core {
                         target
                     }
                 }
-                FuncOp::Sys { .. } | FuncOp::Halt => unreachable!("executed at commit"),
+                FuncOp::Sys { .. } | FuncOp::Halt | FuncOp::Trap(_) => {
+                    unreachable!("executed at commit")
+                }
                 FuncOp::Nop => 0,
             };
             if let Some(d) = uop.dst {
@@ -405,6 +649,9 @@ impl Core {
             }
             self.rob[idx].state = RState::Done;
             self.rob[idx].actual_taken = actual_taken;
+            if trap.is_some() {
+                self.rob[idx].trap = trap;
+            }
             if uop.is_control() {
                 if uop.is_cond_branch() {
                     self.stats.branches += 1;
@@ -501,7 +748,7 @@ impl Core {
                         continue; // data not ready yet; stay in the IQ
                     }
                     self.record_store_data(seq, &uop);
-                    let idx = self.rob_index(seq).expect("present");
+                    let Some(idx) = self.rob_index(seq) else { continue };
                     self.rob[idx].state = RState::Issued;
                     self.inflight.push(Inflight { seq, done_at: self.cycle + 1, load_src: None });
                     self.iq.retain(|&s| s != seq);
@@ -526,7 +773,7 @@ impl Core {
             budget_total -= 1;
             self.stats.events.fu_ops += 1;
             self.stats.events.prf_reads += uop.srcs.iter().flatten().count() as u64;
-            let idx = self.rob_index(seq).expect("still present");
+            let Some(idx) = self.rob_index(seq) else { continue };
             self.rob[idx].state = RState::Issued;
             self.inflight.push(Inflight { seq, done_at: self.cycle + u64::from(latency), load_src });
             self.iq.retain(|&s| s != seq);
@@ -596,6 +843,13 @@ impl Core {
         if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
             e.addr = Some(addr);
         }
+        // A wild or misaligned store address is recorded on the ROB
+        // entry and raised precisely if the store reaches the head.
+        if let Some(kind) = check_store(width, addr, self.mem.len()) {
+            if let Some(i) = self.rob_index(seq) {
+                self.rob[i].trap = Some(kind);
+            }
+        }
         self.stats.events.lsq_searches += 1;
         // A younger load that already executed reading this address
         // got stale data.
@@ -648,11 +902,11 @@ impl Core {
                 // previous mappings and refreeing destinations.
                 for e in squashed.iter().rev() {
                     self.stats.events.rob_walk_reads += 1;
-                    if let (Some(l), Some(prev)) = (e.uop.logical_dst, e.uop.prev_phys) {
-                        self.rmt_state.rmt[l as usize] = e.uop.dst.expect("dst allocated");
-                        // Undo: current mapping is e.dst; restore prev.
+                    if let (Some(l), Some(prev), Some(d)) =
+                        (e.uop.logical_dst, e.uop.prev_phys, e.uop.dst)
+                    {
                         self.rmt_state.rmt[l as usize] = prev;
-                        self.rmt_state.freelist.push_back(e.uop.dst.expect("dst"));
+                        self.rmt_state.freelist.push_back(d);
                         self.stats.events.freelist_ops += 1;
                     }
                 }
@@ -693,6 +947,7 @@ impl Core {
             self.ras.restore(cp);
         }
         self.fetch_pc = new_pc;
+        self.fetch_faulted = false;
         self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + 1);
     }
 
@@ -706,7 +961,7 @@ impl Core {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            let Some(front) = self.front_q.front() else { return };
+            let Some(front) = self.front_q.front().cloned() else { return };
             if front.ready_at > self.cycle {
                 return;
             }
@@ -721,6 +976,7 @@ impl Core {
                 RawInst::R(i) => {
                     (matches!(i, straight_riscv::RvInst::Load { .. }), matches!(i, straight_riscv::RvInst::Store { .. }))
                 }
+                RawInst::Fault(_) => (false, false),
             };
             if is_load && self.lsq.iter().filter(|e| !e.is_store).count() >= self.cfg.lsq_ld as usize {
                 self.stats.backpressure_stall_cycles += 1;
@@ -731,12 +987,34 @@ impl Core {
                 return;
             }
             // Rename.
-            let front = self.front_q.front().expect("checked").clone();
             let uop = match (self.cfg.isa, front.raw) {
+                (_, RawInst::Fault(kind)) => {
+                    UOp::trap(front.pc, kind, self.rp_state.rp, self.rp_state.sp)
+                }
                 (IsaKind::Straight, RawInst::S(inst)) => {
-                    self.stats.events.rp_adds +=
-                        1 + inst.sources().iter().flatten().count() as u64;
-                    rename_straight(inst, front.pc, &mut self.rp_state, self.cfg.phys_regs)
+                    // Hazard check at the RP adders: a distance
+                    // reaching past the start of execution references
+                    // a producer that never existed (`next_seq` is the
+                    // dynamic index this instruction will get). Trap
+                    // precisely instead of reading ring garbage.
+                    let oob = inst
+                        .sources()
+                        .into_iter()
+                        .flatten()
+                        .find(|d| u64::from(d.get()) > self.next_seq);
+                    match oob {
+                        Some(d) => UOp::trap(
+                            front.pc,
+                            TrapKind::DistanceOutOfRange { dist: d.get(), executed: self.next_seq },
+                            self.rp_state.rp,
+                            self.rp_state.sp,
+                        ),
+                        None => {
+                            self.stats.events.rp_adds +=
+                                1 + inst.sources().iter().flatten().count() as u64;
+                            rename_straight(inst, front.pc, &mut self.rp_state, self.cfg.phys_regs)
+                        }
+                    }
                 }
                 (IsaKind::Ss, RawInst::R(inst)) => {
                     let nsrc = inst.sources().iter().flatten().count() as u64;
@@ -753,7 +1031,12 @@ impl Core {
                         }
                     }
                 }
-                (k, r) => panic!("ISA mismatch: machine {k:?} fed {r:?}"),
+                // Core::new validates the image's ISA tag against the
+                // machine and fetch decodes with the machine's own
+                // decoder, so a cross-ISA instruction cannot appear.
+                (IsaKind::Straight, RawInst::R(_)) | (IsaKind::Ss, RawInst::S(_)) => {
+                    unreachable!("Core::new validates the image ISA")
+                }
             };
             self.front_q.pop_front();
             self.stats.events.decoded += 1;
@@ -762,7 +1045,7 @@ impl Core {
             }
             let seq = self.next_seq;
             self.next_seq += 1;
-            let goes_to_iq = !(uop.is_sys() || uop.is_halt());
+            let goes_to_iq = !(uop.is_sys() || uop.is_halt() || uop.is_trap());
             if uop.is_load() || uop.is_store() {
                 self.lsq.push(LsqEntry {
                     seq,
@@ -786,6 +1069,7 @@ impl Core {
                 pred_taken: front.pred_taken,
                 actual_taken: false,
                 ras_cp: front.ras_cp,
+                trap: None,
             });
             self.stats.events.rob_writes += 1;
             if goes_to_iq {
@@ -798,7 +1082,7 @@ impl Core {
     // -- fetch --------------------------------------------------------
 
     fn fetch(&mut self) {
-        if self.halted.is_some() || self.cycle < self.fetch_stall_until {
+        if self.halted.is_some() || self.fetch_faulted || self.cycle < self.fetch_stall_until {
             return;
         }
         let capacity = (self.cfg.fetch_width * (self.cfg.frontend_latency + 2)) as usize;
@@ -819,22 +1103,34 @@ impl Core {
             if self.front_q.len() >= capacity {
                 break;
             }
-            let Some(word) = self.image.fetch(pc) else { break };
-            let raw = match self.cfg.isa {
-                IsaKind::Straight => match straight_isa::decode(word) {
-                    Ok(i) => RawInst::S(i),
-                    Err(_) => break, // wrong-path garbage
-                },
-                IsaKind::Ss => match straight_riscv::decode(word) {
-                    Ok(i) => RawInst::R(i),
-                    Err(_) => break,
+            // A fetch that leaves the code segment or an undecodable
+            // word enters the pipe as a fault entry; fetch then parks
+            // until a recovery redirects it (on the correct path the
+            // fault commits and ends the simulation).
+            let raw = match self.image.fetch(pc) {
+                None => RawInst::Fault(TrapKind::FetchFault),
+                Some(word) => match self.cfg.isa {
+                    IsaKind::Straight => match straight_isa::decode(word) {
+                        Ok(i) => RawInst::S(i),
+                        Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
+                    },
+                    IsaKind::Ss => match straight_riscv::decode(word) {
+                        Ok(i) => RawInst::R(i),
+                        Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
+                    },
                 },
             };
+            let faulted = matches!(raw, RawInst::Fault(_));
             let ras_cp = self.ras.checkpoint();
             let (predicted_next, pred_taken) = match raw.control_info(pc) {
                 ControlInfo::None => (pc.wrapping_add(4), false),
                 ControlInfo::CondBranch { target } => {
-                    let taken = self.bp.predict(pc);
+                    let mut taken = self.bp.predict(pc);
+                    if self.force_flip_branch {
+                        // Injected fault: invert this prediction.
+                        taken = !taken;
+                        self.force_flip_branch = false;
+                    }
                     (if taken { target } else { pc.wrapping_add(4) }, taken)
                 }
                 ControlInfo::DirectJump { target, is_call } => {
@@ -860,13 +1156,96 @@ impl Core {
                 ras_cp,
             });
             self.stats.events.fetched += 1;
+            if faulted {
+                self.fetch_faulted = true;
+                break;
+            }
             let sequential = predicted_next == pc.wrapping_add(4);
             pc = predicted_next;
             if !sequential {
                 break; // redirect: next group starts at the target
             }
         }
-        self.fetch_pc = pc;
+        if !self.fetch_faulted {
+            self.fetch_pc = pc;
+        }
+    }
+
+    // -- fault injection ----------------------------------------------
+
+    /// Schedules a deterministic fault to be injected at the start of
+    /// `at_cycle` (see [`FaultKind`] for the menu).
+    pub fn schedule_fault(&mut self, at_cycle: u64, kind: FaultKind) {
+        self.pending_faults.push((at_cycle, kind));
+    }
+
+    /// Number of scheduled faults that have been applied so far.
+    #[must_use]
+    pub fn faults_applied(&self) -> u32 {
+        self.faults_applied
+    }
+
+    fn apply_due_faults(&mut self) {
+        if self.pending_faults.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            if self.pending_faults[i].0 <= self.cycle {
+                let (_, kind) = self.pending_faults.remove(i);
+                self.apply_fault(kind);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.faults_applied += 1;
+        match kind {
+            FaultKind::PrfBitFlip { reg, bit } => {
+                let r = reg as usize % self.prf.len();
+                self.prf[r] ^= 1u32 << (bit % 32);
+            }
+            FaultKind::ForceMispredict => self.force_flip_branch = true,
+            FaultKind::RasCorrupt { slots } => {
+                for i in 0..slots {
+                    self.ras.push(0xdead_0000u32.wrapping_add(i * 4));
+                }
+            }
+            FaultKind::LoseCompletion => self.inflight.clear(),
+        }
+    }
+
+    // -- watchdog -----------------------------------------------------
+
+    fn watchdog_fire(&mut self) {
+        let stalled = self.cycle - self.last_commit_cycle;
+        let head = self.rob.front();
+        let report = WatchdogReport {
+            stalled_cycles: stalled,
+            cycle: self.cycle,
+            retired: self.stats.retired,
+            rob_head: head.map(|e| {
+                let state = match e.state {
+                    RState::Waiting => "waiting",
+                    RState::Issued => "issued",
+                    RState::Done => "done",
+                };
+                (e.seq, e.uop.pc, state)
+            }),
+            rob_len: self.rob.len(),
+            iq_len: self.iq.len(),
+            inflight_len: self.inflight.len(),
+            lsq_len: self.lsq.len(),
+            front_len: self.front_q.len(),
+            fetch_pc: self.fetch_pc,
+            fetch_stall_until: self.fetch_stall_until,
+            rename_stall_until: self.rename_stall_until,
+        };
+        let pc = head.map_or(self.fetch_pc, |e| e.uop.pc);
+        self.watchdog_report = Some(report);
+        self.raise(TrapKind::Watchdog { stalled_cycles: stalled }, pc);
     }
 
     // -- driver -------------------------------------------------------
@@ -904,8 +1283,10 @@ impl Core {
 
     /// Advances one cycle.
     pub fn step(&mut self) {
+        self.apply_due_faults();
+        let retired_before = self.stats.retired;
         self.commit();
-        if self.halted.is_some() {
+        if self.halted.is_some() || self.fatal.is_some() {
             return;
         }
         self.complete();
@@ -914,31 +1295,62 @@ impl Core {
         self.fetch();
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.stats.retired != retired_before {
+            self.last_commit_cycle = self.cycle;
+        } else if self.cycle - self.last_commit_cycle > self.cfg.watchdog_limit {
+            self.watchdog_fire();
+        }
     }
 
-    /// Runs in place to completion (or the cycle budget), leaving the
-    /// core inspectable.
+    fn exit(&self) -> SimExit {
+        if let Some(code) = self.halted {
+            SimExit::Completed { code }
+        } else if let Some(t) = self.fatal {
+            SimExit::Trap(t)
+        } else {
+            SimExit::CycleLimit
+        }
+    }
+
+    /// Runs in place to completion (or trap, watchdog, or the cycle
+    /// budget), leaving the core inspectable.
     pub fn run_in_place(&mut self, max_cycles: u64) -> SimResult {
-        while self.halted.is_none() && self.cycle < max_cycles {
+        while self.halted.is_none() && self.fatal.is_none() && self.cycle < max_cycles {
             self.step();
         }
         self.stats.mem = self.hier.stats();
-        SimResult { exit_code: self.halted, stdout: self.sys.stdout.clone(), stats: self.stats.clone() }
+        SimResult {
+            exit: self.exit(),
+            exit_code: self.halted,
+            watchdog: self.watchdog_report.clone(),
+            stdout: self.sys.stdout.clone(),
+            stats: self.stats.clone(),
+        }
     }
 
-    /// Runs to completion (or the cycle budget).
+    /// Runs to completion (or trap, watchdog, or the cycle budget).
     #[must_use]
     pub fn run(mut self, max_cycles: u64) -> SimResult {
-        while self.halted.is_none() && self.cycle < max_cycles {
+        while self.halted.is_none() && self.fatal.is_none() && self.cycle < max_cycles {
             self.step();
         }
         self.stats.mem = self.hier.stats();
-        SimResult { exit_code: self.halted, stdout: self.sys.stdout, stats: self.stats }
+        SimResult {
+            exit: self.exit(),
+            exit_code: self.halted,
+            watchdog: self.watchdog_report,
+            stdout: self.sys.stdout,
+            stats: self.stats,
+        }
     }
 }
 
 /// Simulates a linked image on the given machine.
-#[must_use]
-pub fn simulate(image: Image, cfg: MachineConfig, max_cycles: u64) -> SimResult {
-    Core::new(image, cfg).run(max_cycles)
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the machine cannot execute the image at
+/// all (ISA mismatch, undersized register file).
+pub fn simulate(image: Image, cfg: MachineConfig, max_cycles: u64) -> Result<SimResult, CoreError> {
+    Ok(Core::new(image, cfg)?.run(max_cycles))
 }

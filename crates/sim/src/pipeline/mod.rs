@@ -8,6 +8,6 @@ mod stats;
 mod uop;
 
 pub use config::{IsaKind, MachineConfig, UnitCfg};
-pub use core::{simulate, Core, DEFAULT_MAX_CYCLES};
-pub use stats::{PowerEvents, SimResult, SimStats};
+pub use core::{simulate, Core, CoreError, DEFAULT_MAX_CYCLES};
+pub use stats::{PowerEvents, SimExit, SimResult, SimStats, WatchdogReport};
 pub use uop::{ControlInfo, ExecUnit, FuncOp, RawInst, UOp};

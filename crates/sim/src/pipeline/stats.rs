@@ -2,6 +2,9 @@
 //! power model consumes (Figure 17).
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+use straight_isa::Trap;
 
 use crate::mem::MemStats;
 
@@ -91,15 +94,105 @@ impl SimStats {
     }
 }
 
+/// Why a simulation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimExit {
+    /// The program ran to completion.
+    Completed {
+        /// Exit code.
+        code: i32,
+    },
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// A typed trap — architectural, sanitizer-detected, or the
+    /// forward-progress watchdog ([`straight_isa::TrapKind::Watchdog`],
+    /// in which case [`SimResult::watchdog`] carries the full
+    /// diagnostic).
+    Trap(Trap),
+}
+
+/// Structured diagnostic dumped when the forward-progress watchdog
+/// fires: enough pipeline state to see *where* progress stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Commit-free cycles observed when the watchdog fired.
+    pub stalled_cycles: u64,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Instructions retired before the stall.
+    pub retired: u64,
+    /// ROB head: (sequence number, PC, a short state description), if
+    /// the ROB is non-empty.
+    pub rob_head: Option<(u64, u32, &'static str)>,
+    /// ROB occupancy.
+    pub rob_len: usize,
+    /// Scheduler occupancy.
+    pub iq_len: usize,
+    /// In-flight (issued, not yet completed) count.
+    pub inflight_len: usize,
+    /// Load/store-queue occupancy.
+    pub lsq_len: usize,
+    /// Front-end queue occupancy.
+    pub front_len: usize,
+    /// Next fetch PC.
+    pub fetch_pc: u32,
+    /// Cycle until which fetch is stalled.
+    pub fetch_stall_until: u64,
+    /// Cycle until which rename is stalled.
+    pub rename_stall_until: u64,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog: no commit for {} cycles (cycle {}, {} retired)",
+            self.stalled_cycles, self.cycle, self.retired
+        )?;
+        match self.rob_head {
+            Some((seq, pc, state)) => {
+                writeln!(f, "  rob head: seq {seq} pc {pc:#x} [{state}], {} entries", self.rob_len)?;
+            }
+            None => writeln!(f, "  rob: empty")?,
+        }
+        writeln!(
+            f,
+            "  iq {} / inflight {} / lsq {} / front {}",
+            self.iq_len, self.inflight_len, self.lsq_len, self.front_len
+        )?;
+        write!(
+            f,
+            "  fetch_pc {:#x}, fetch stalled until {}, rename stalled until {}",
+            self.fetch_pc, self.fetch_stall_until, self.rename_stall_until
+        )
+    }
+}
+
 /// Result of simulating a program to completion.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Exit code, if the program completed.
+    /// Why simulation stopped.
+    pub exit: SimExit,
+    /// Exit code, if the program completed (`exit` in convenient
+    /// form for the common case).
     pub exit_code: Option<i32>,
+    /// Watchdog diagnostic, when `exit` is a watchdog trap.
+    pub watchdog: Option<WatchdogReport>,
     /// Console output.
     pub stdout: String,
     /// Statistics.
     pub stats: SimStats,
+}
+
+impl SimResult {
+    /// The trap, if simulation ended in one.
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        match self.exit {
+            SimExit::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 
-use straight_isa::{AluImmOp, AluOp, Dist, Inst, InstKind, MemWidth};
+use straight_isa::{AluImmOp, AluOp, Dist, Inst, InstKind, MemWidth, TrapKind};
 use straight_riscv::{BranchOp, Reg, RvInst};
 
 /// A raw fetched instruction of either ISA.
@@ -16,6 +16,12 @@ pub enum RawInst {
     S(Inst),
     /// RV32IM instruction.
     R(RvInst),
+    /// Fetch produced no decodable instruction (the PC left the code
+    /// segment or the word is illegal). The fault flows through the
+    /// pipeline like a normal instruction and is raised precisely at
+    /// the ROB head — on the wrong path it is squashed like anything
+    /// else.
+    Fault(TrapKind),
 }
 
 /// What fetch needs to know about an instruction's control behaviour.
@@ -79,6 +85,7 @@ impl RawInst {
                 },
                 _ => ControlInfo::None,
             },
+            RawInst::Fault(_) => ControlInfo::None,
         }
     }
 }
@@ -166,6 +173,9 @@ pub enum FuncOp {
     Halt,
     /// No operation.
     Nop,
+    /// A typed trap raised precisely at the ROB head (fetch/decode
+    /// faults, out-of-range operand distances).
+    Trap(TrapKind),
 }
 
 /// Functional-unit classes.
@@ -247,6 +257,32 @@ impl UOp {
     #[must_use]
     pub fn is_halt(&self) -> bool {
         matches!(self.func, FuncOp::Halt)
+    }
+
+    /// True for trap micro-ops (raised at the ROB head).
+    #[must_use]
+    pub fn is_trap(&self) -> bool {
+        matches!(self.func, FuncOp::Trap(_))
+    }
+
+    /// A micro-op that carries a typed trap to the ROB head. It never
+    /// issues; commit raises the trap when (and only when) it reaches
+    /// the head un-squashed.
+    #[must_use]
+    pub fn trap(pc: u32, kind: TrapKind, rp_after: u32, sp_after: u32) -> UOp {
+        UOp {
+            pc,
+            func: FuncOp::Trap(kind),
+            unit: ExecUnit::Alu,
+            latency: 1,
+            srcs: [None, None],
+            dst: None,
+            kind: "other",
+            logical_dst: None,
+            prev_phys: None,
+            rp_after,
+            sp_after,
+        }
     }
 }
 

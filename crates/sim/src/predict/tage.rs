@@ -233,7 +233,7 @@ mod tests {
         let mut correct = 0;
         let mut total = 0;
         for i in 0..24 * 400 {
-            let outcome = !(i % 24 == 23);
+            let outcome = i % 24 != 23;
             let p = t.predict(0x800);
             if i >= 24 * 200 {
                 total += 1;

@@ -19,7 +19,7 @@ fn main() {
         (Target::StraightRePlus { max_distance: 31 }, machines::straight_4way()),
     ] {
         let image = build(src, target).expect("build");
-        let r = run_on(&image, cfg.clone(), 100_000_000);
+        let r = run_on(&image, cfg.clone(), 100_000_000).expect("machine accepts the image");
         println!(
             "{:<14} -> stdout={:?} exit={:?} cycles={} retired={} IPC={:.2}",
             cfg.name,

@@ -25,12 +25,13 @@ fn main() {
             return 0;
         }
     ";
-    let ss = run_on(&build(src, Target::Riscv).unwrap(), machines::ss_4way(), u64::MAX);
+    let ss = run_on(&build(src, Target::Riscv).unwrap(), machines::ss_4way(), u64::MAX).unwrap();
     let st = run_on(
         &build(src, Target::StraightRePlus { max_distance: 31 }).unwrap(),
         machines::straight_4way(),
         u64::MAX,
-    );
+    )
+    .unwrap();
     assert_eq!(ss.stdout, st.stdout, "both machines must agree");
     for (name, r) in [("SS-4way", &ss), ("STRAIGHT-4way", &st)] {
         println!(

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo gate: build, full test suite, and a warning-free clippy pass
+# (crates/sim additionally denies unwrap/expect/panic via [lints] in
+# its Cargo.toml — faults must travel as typed Traps, not panics).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

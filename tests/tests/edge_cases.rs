@@ -129,13 +129,14 @@ fn simulator_handles_tiny_iq_pressure() {
                }";
     let module = build_ir(src);
     let expected = run_interp(&module);
-    let r = simulate(build_riscv(&module), MachineConfig::ss_2way(), 10_000_000);
+    let r = simulate(build_riscv(&module), MachineConfig::ss_2way(), 10_000_000).unwrap();
     assert_eq!(r.stdout, expected.stdout);
     let s = simulate(
         build_straight(&module, &StraightOptions::default().with_max_distance(31)),
         MachineConfig::straight_2way(),
         10_000_000,
-    );
+    )
+    .unwrap();
     assert_eq!(s.stdout, expected.stdout);
 }
 

@@ -16,7 +16,7 @@ fn check_all_machines(src: &str) {
     let rv_image = build_riscv(&module);
     for cfg in [MachineConfig::ss_2way(), MachineConfig::ss_4way()] {
         let name = cfg.name.clone();
-        let r = simulate(rv_image.clone(), cfg, MAX_CYCLES);
+        let r = simulate(rv_image.clone(), cfg, MAX_CYCLES).unwrap();
         assert_eq!(r.exit_code, Some(expected.exit_code), "{name}: exit code");
         assert_eq!(r.stdout, expected.stdout, "{name}: stdout");
         assert!(r.stats.retired > 0 && r.stats.cycles > 0, "{name}: no progress");
@@ -26,7 +26,7 @@ fn check_all_machines(src: &str) {
     let s_image = build_straight(&module, &opts);
     for cfg in [MachineConfig::straight_2way(), MachineConfig::straight_4way()] {
         let name = cfg.name.clone();
-        let r = simulate(s_image.clone(), cfg, MAX_CYCLES);
+        let r = simulate(s_image.clone(), cfg, MAX_CYCLES).unwrap();
         assert_eq!(r.exit_code, Some(expected.exit_code), "{name}: exit code");
         assert_eq!(r.stdout, expected.stdout, "{name}: stdout");
         assert!(r.stats.retired > 0 && r.stats.cycles > 0, "{name}: no progress");
@@ -120,8 +120,8 @@ fn tage_machines_match_too() {
     let opts = StraightOptions::default().with_max_distance(31);
     let s_image = build_straight(&module, &opts);
     let rv_image = build_riscv(&module);
-    let r1 = simulate(rv_image, MachineConfig::ss_4way().with_tage(), MAX_CYCLES);
-    let r2 = simulate(s_image, MachineConfig::straight_4way().with_tage(), MAX_CYCLES);
+    let r1 = simulate(rv_image, MachineConfig::ss_4way().with_tage(), MAX_CYCLES).unwrap();
+    let r2 = simulate(s_image, MachineConfig::straight_4way().with_tage(), MAX_CYCLES).unwrap();
     assert_eq!(r1.stdout, expected.stdout);
     assert_eq!(r2.stdout, expected.stdout);
 }
@@ -141,8 +141,8 @@ fn ideal_recovery_is_not_slower() {
     );
     let expected = run_interp(&module);
     let rv_image = build_riscv(&module);
-    let base = simulate(rv_image.clone(), MachineConfig::ss_4way(), MAX_CYCLES);
-    let ideal = simulate(rv_image, MachineConfig::ss_4way().with_ideal_recovery(), MAX_CYCLES);
+    let base = simulate(rv_image.clone(), MachineConfig::ss_4way(), MAX_CYCLES).unwrap();
+    let ideal = simulate(rv_image, MachineConfig::ss_4way().with_ideal_recovery(), MAX_CYCLES).unwrap();
     assert_eq!(base.stdout, expected.stdout);
     assert_eq!(ideal.stdout, expected.stdout);
     assert!(
@@ -169,9 +169,9 @@ fn straight_recovers_faster_than_ss_on_branchy_code() {
              return 0;
          }";
     let module = build_ir(src);
-    let rv = simulate(build_riscv(&module), MachineConfig::ss_4way(), MAX_CYCLES);
+    let rv = simulate(build_riscv(&module), MachineConfig::ss_4way(), MAX_CYCLES).unwrap();
     let opts = StraightOptions::default().with_max_distance(31);
-    let st = simulate(build_straight(&module, &opts), MachineConfig::straight_4way(), MAX_CYCLES);
+    let st = simulate(build_straight(&module, &opts), MachineConfig::straight_4way(), MAX_CYCLES).unwrap();
     assert_eq!(rv.stdout, st.stdout);
     assert!(rv.stats.branch_mispredicts > 100, "{}", rv.stats.branch_mispredicts);
     // Mispredict penalty should be visibly lower for STRAIGHT.

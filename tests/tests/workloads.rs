@@ -38,13 +38,14 @@ fn kernels_differential() {
 fn dhrystone_on_cycle_accurate_machines() {
     let module = build_ir(&dhrystone(3));
     let expected = run_interp(&module);
-    let rv = simulate(build_riscv(&module), MachineConfig::ss_4way(), 50_000_000);
+    let rv = simulate(build_riscv(&module), MachineConfig::ss_4way(), 50_000_000).unwrap();
     assert_eq!(rv.stdout, expected.stdout, "SS-4way");
     let st = simulate(
         build_straight(&module, &StraightOptions::default().with_max_distance(31)),
         MachineConfig::straight_4way(),
         50_000_000,
-    );
+    )
+    .unwrap();
     assert_eq!(st.stdout, expected.stdout, "STRAIGHT-4way");
 }
 
@@ -52,13 +53,14 @@ fn dhrystone_on_cycle_accurate_machines() {
 fn coremark_on_cycle_accurate_machines() {
     let module = build_ir(&coremark(1));
     let expected = run_interp(&module);
-    let rv = simulate(build_riscv(&module), MachineConfig::ss_2way(), 50_000_000);
+    let rv = simulate(build_riscv(&module), MachineConfig::ss_2way(), 50_000_000).unwrap();
     assert_eq!(rv.stdout, expected.stdout, "SS-2way");
     let st = simulate(
         build_straight(&module, &StraightOptions::default().with_max_distance(31)),
         MachineConfig::straight_2way(),
         50_000_000,
-    );
+    )
+    .unwrap();
     assert_eq!(st.stdout, expected.stdout, "STRAIGHT-2way");
 }
 
