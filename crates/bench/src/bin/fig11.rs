@@ -1,18 +1,6 @@
-//! Figure 11: relative performance of the 4-way models on Dhrystone
-//! and CoreMark (SS vs STRAIGHT RAW vs STRAIGHT RE+).
+//! Figure 11, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig11` for the full CLI).
 
-use straight_bench::{cm_iters, dhry_iters};
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig11(dhry_iters(), cm_iters()) {
-        Ok(groups) => print!(
-            "{}",
-            report::render_perf("Figure 11: 4-way relative performance (vs SS-4way)", &groups)
-        ),
-        Err(e) => {
-            eprintln!("fig11 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig11")
 }

@@ -1,17 +1,6 @@
-//! Figure 12: relative performance of the 2-way models.
+//! Figure 12, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig12` for the full CLI).
 
-use straight_bench::{cm_iters, dhry_iters};
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig12(dhry_iters(), cm_iters()) {
-        Ok(groups) => print!(
-            "{}",
-            report::render_perf("Figure 12: 2-way relative performance (vs SS-2way)", &groups)
-        ),
-        Err(e) => {
-            eprintln!("fig12 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig12")
 }

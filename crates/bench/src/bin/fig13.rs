@@ -1,18 +1,6 @@
-//! Figure 13: the effect of the misprediction penalty (SS, SS with an
-//! idealized penalty, STRAIGHT RE+; CoreMark; normalized to SS-2way).
+//! Figure 13, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig13` for the full CLI).
 
-use straight_bench::cm_iters;
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig13(cm_iters()) {
-        Ok(groups) => print!(
-            "{}",
-            report::render_perf("Figure 13: misprediction-penalty effect (vs SS-2way)", &groups)
-        ),
-        Err(e) => {
-            eprintln!("fig13 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig13")
 }

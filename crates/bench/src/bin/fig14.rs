@@ -1,16 +1,6 @@
-//! Figure 14: CoreMark comparison with the TAGE predictor.
+//! Figure 14, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig14` for the full CLI).
 
-use straight_bench::cm_iters;
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig14(cm_iters()) {
-        Ok(groups) => {
-            print!("{}", report::render_perf("Figure 14: with TAGE branch predictor (vs SS)", &groups));
-        }
-        Err(e) => {
-            eprintln!("fig14 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig14")
 }

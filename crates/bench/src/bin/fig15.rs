@@ -1,14 +1,6 @@
-//! Figure 15: retired-instruction mix on CoreMark.
+//! Figure 15, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig15` for the full CLI).
 
-use straight_bench::cm_iters;
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig15(cm_iters()) {
-        Ok(rows) => print!("{}", report::render_mix(&rows)),
-        Err(e) => {
-            eprintln!("fig15 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig15")
 }

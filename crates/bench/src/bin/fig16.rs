@@ -1,14 +1,6 @@
-//! Figure 16: cumulative source-operand distance distribution.
+//! Figure 16, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig16` for the full CLI).
 
-use straight_bench::{cm_iters, dhry_iters};
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig16(dhry_iters(), cm_iters()) {
-        Ok(profiles) => print!("{}", report::render_distances(&profiles)),
-        Err(e) => {
-            eprintln!("fig16 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig16")
 }

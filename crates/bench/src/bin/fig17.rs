@@ -1,14 +1,6 @@
-//! Figure 17: relative per-module power at several clock frequencies.
+//! Figure 17, via the unified `straight-lab` runner (thin delegate;
+//! see `straight-lab --figure fig17` for the full CLI).
 
-use straight_bench::dhry_iters;
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::fig17(dhry_iters()) {
-        Ok(rows) => print!("{}", report::render_power(&rows)),
-        Err(e) => {
-            eprintln!("fig17 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("fig17")
 }

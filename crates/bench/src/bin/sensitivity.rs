@@ -1,15 +1,6 @@
-//! §VI-B sensitivity: CoreMark cycles vs the ISA maximum distance.
-//! The paper reports ~1 % degradation shrinking 1023 → 31.
+//! §VI-B sensitivity sweep, via the unified `straight-lab` runner
+//! (thin delegate; see `straight-lab --figure sensitivity`).
 
-use straight_bench::cm_iters;
-use straight_core::{experiment, report};
-
-fn main() {
-    match experiment::sensitivity(cm_iters(), &[1023, 127, 63, 31]) {
-        Ok(rows) => print!("{}", report::render_sensitivity(&rows)),
-        Err(e) => {
-            eprintln!("sensitivity failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("sensitivity")
 }

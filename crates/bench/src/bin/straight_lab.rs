@@ -1,0 +1,200 @@
+//! `straight-lab` — the unified parallel experiment runner.
+//!
+//! One binary regenerates the paper's whole evaluation: it enumerates
+//! the (figure × workload × machine config × ISA profile) grid,
+//! executes cells in parallel, writes machine-readable
+//! `BENCH_<name>.json` records, and re-renders the paper-shaped text
+//! reports from those records. `docs/REPRODUCING.md` maps every paper
+//! figure to its invocation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use straight_core::experiment::{self, RunParams};
+use straight_core::lab::{default_jobs, run_lab, validate_file, LabConfig};
+
+const USAGE: &str = "\
+straight-lab — unified parallel experiment runner for the STRAIGHT reproduction
+
+USAGE:
+    straight-lab [OPTIONS]
+
+SELECTION (at least one):
+    --all                Run the full grid (fig11..fig17, sensitivity, table1)
+    --figure NAME        Run one experiment; repeatable, accepts comma lists
+    --list               List the experiment grid and exit
+    --validate FILE      Parse and schema-check a BENCH_*.json file; repeatable
+
+OPTIONS:
+    --jobs N             Worker-thread cap (default: all cores)
+    --quick              Reduced iteration counts for smoke runs (dhry 50, cm 1)
+    --out DIR            Where to write BENCH_<name>.json (default: .)
+    --no-write           Render reports without writing JSON records
+    --quiet              Suppress the text reports (records still written)
+    --help               This text
+
+ENVIRONMENT:
+    STRAIGHT_DHRY_ITERS / STRAIGHT_CM_ITERS   iteration counts (default 200 / 3)
+    STRAIGHT_GIT_REV                          overrides recorded git revision
+";
+
+struct Options {
+    all: bool,
+    figures: Vec<String>,
+    list: bool,
+    validate: Vec<PathBuf>,
+    jobs: usize,
+    quick: bool,
+    out: PathBuf,
+    no_write: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        all: false,
+        figures: Vec::new(),
+        list: false,
+        validate: Vec::new(),
+        jobs: default_jobs(),
+        quick: false,
+        out: PathBuf::from("."),
+        no_write: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--figure" | "-f" => {
+                let value = value_for("--figure")?;
+                opts.figures.extend(value.split(',').map(|s| s.trim().to_string()));
+            }
+            "--list" => opts.list = true,
+            "--validate" => opts.validate.push(PathBuf::from(value_for("--validate")?)),
+            "--jobs" | "-j" => {
+                let value = value_for("--jobs")?;
+                opts.jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs: `{value}` is not a positive integer"))?;
+            }
+            "--quick" => opts.quick = true,
+            "--out" | "-o" => opts.out = PathBuf::from(value_for("--out")?),
+            "--no-write" => opts.no_write = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !opts.all && !opts.list && opts.figures.is_empty() && opts.validate.is_empty() {
+        return Err("nothing to do: pass --all, --figure, --list, or --validate".to_string());
+    }
+    Ok(opts)
+}
+
+fn list_grid() {
+    println!("{:<12} {:<14} {:>5}  TITLE", "NAME", "PAPER", "CELLS");
+    for spec in experiment::all() {
+        println!(
+            "{:<12} {:<14} {:>5}  {}",
+            spec.name,
+            spec.paper_ref,
+            spec.cells().len(),
+            spec.title
+        );
+    }
+}
+
+fn validate(paths: &[PathBuf]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        match validate_file(path) {
+            Ok(result) => println!(
+                "OK {}: {} ({} cells, git {})",
+                path.display(),
+                result.experiment,
+                result.cells.len(),
+                result.git_rev
+            ),
+            Err(e) => {
+                eprintln!("INVALID {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("straight-lab: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        list_grid();
+        if !opts.all && opts.figures.is_empty() && opts.validate.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    if !opts.validate.is_empty() {
+        let code = validate(&opts.validate);
+        if code != ExitCode::SUCCESS || (!opts.all && opts.figures.is_empty()) {
+            return code;
+        }
+    }
+
+    let experiments: Vec<String> = if opts.all {
+        experiment::all().iter().map(|e| e.name.to_string()).collect()
+    } else {
+        opts.figures.clone()
+    };
+    let params = if opts.quick {
+        RunParams::quick()
+    } else {
+        straight_bench::params_from_env()
+    };
+    let config = LabConfig {
+        experiments,
+        params,
+        jobs: opts.jobs,
+        out_dir: if opts.no_write { None } else { Some(opts.out.clone()) },
+    };
+
+    match run_lab(&config) {
+        Ok(runs) => {
+            for run in &runs {
+                if !opts.quiet {
+                    print!("{}", run.rendered);
+                }
+                if let Some(path) = &run.path {
+                    eprintln!(
+                        "straight-lab: wrote {} ({} cells, {:.0} ms compute)",
+                        path.display(),
+                        run.result.cells.len(),
+                        run.result.wall_ms
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("straight-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

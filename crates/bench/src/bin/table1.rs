@@ -1,29 +1,7 @@
-//! Table I: the evaluated machine models.
+//! Table I (the evaluated machine models), via the unified
+//! `straight-lab` runner (thin delegate; see `straight-lab --figure
+//! table1`).
 
-use straight_core::machines;
-
-fn main() {
-    println!("== Table I: evaluated models ==");
-    for cfg in
-        [machines::ss_2way(), machines::straight_2way(), machines::ss_4way(), machines::straight_4way()]
-    {
-        println!("[{}]", cfg.name);
-        println!("  isa             {:?}", cfg.isa);
-        println!("  fetch width     {}", cfg.fetch_width);
-        println!("  front-end depth {}", cfg.frontend_latency);
-        println!("  ROB capacity    {}", cfg.rob_capacity);
-        println!("  scheduler       {}-way, {} entries", cfg.issue_width, cfg.iq_entries);
-        println!("  register file   {}", cfg.phys_regs);
-        println!("  LSQ             LD {} / ST {}", cfg.lsq_ld, cfg.lsq_st);
-        println!(
-            "  exec units      ALU {}, MUL {}, DIV {}, BC {}, Mem {}",
-            cfg.units.alu, cfg.units.mul, cfg.units.div, cfg.units.bc, cfg.units.mem
-        );
-        println!("  commit width    {}", cfg.commit_width);
-        println!("  predictor       {:?}", cfg.predictor);
-        println!("  L3              {}", if cfg.hierarchy.l3.is_some() { "2 MiB" } else { "none" });
-        if cfg.isa == straight_sim::pipeline::IsaKind::Straight {
-            println!("  max distance    {}", cfg.max_distance);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    straight_bench::run_figure("table1")
 }

@@ -1,9 +1,23 @@
 //! # straight-bench
 //!
-//! Harness binaries regenerating every table and figure of the
-//! STRAIGHT paper (run with `cargo run -p straight-bench --release
-//! --bin figNN`) plus Criterion microbenchmarks of the simulator and
-//! toolchain.
+//! The benchmark front-end of the STRAIGHT reproduction — the top of
+//! the evaluation stack (`workloads` → `core` → here):
+//!
+//! * **`straight-lab`** — the unified experiment runner. It enumerates
+//!   the full grid (Figures 11–17, the §VI-B sensitivity sweep,
+//!   Table I), executes cells in parallel with a `--jobs` cap, caches
+//!   compiled workload images across figures, writes machine-readable
+//!   `BENCH_<name>.json` records (cycles, IPC, full `SimStats`,
+//!   power-model events, configuration fingerprint, git revision, wall
+//!   time), and re-renders the paper-shaped text reports from those
+//!   records. See `docs/REPRODUCING.md` for the figure-by-figure
+//!   guide.
+//! * **`fig11` … `fig17`, `sensitivity`, `table1`** — one-figure
+//!   conveniences kept for muscle memory; each is a thin delegate to
+//!   the same runner ([`run_figure`]), so there is exactly one
+//!   build/run/error path.
+//! * **Microbenchmarks** (`cargo bench -p straight-bench`, hand-rolled
+//!   harness) of the simulator and toolchain hot paths.
 //!
 //! Iteration counts default to values that complete in seconds on a
 //! laptop; set `STRAIGHT_DHRY_ITERS` / `STRAIGHT_CM_ITERS` to larger
@@ -11,6 +25,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+use straight_core::experiment::RunParams;
+use straight_core::lab::{default_jobs, run_lab, LabConfig};
 
 /// Dhrystone iteration count (`STRAIGHT_DHRY_ITERS`, default 200).
 #[must_use]
@@ -22,4 +41,36 @@ pub fn dhry_iters() -> u32 {
 #[must_use]
 pub fn cm_iters() -> u32 {
     std::env::var("STRAIGHT_CM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Run parameters from the environment (the historical behavior of
+/// the per-figure binaries).
+#[must_use]
+pub fn params_from_env() -> RunParams {
+    RunParams { dhry_iters: dhry_iters(), cm_iters: cm_iters(), ..RunParams::default() }
+}
+
+/// Runs a single named experiment through the lab runner and prints
+/// its text report — the shared implementation of every per-figure
+/// binary, and the one place their errors are reported.
+#[must_use]
+pub fn run_figure(name: &str) -> ExitCode {
+    let config = LabConfig {
+        experiments: vec![name.to_string()],
+        params: params_from_env(),
+        jobs: default_jobs(),
+        out_dir: None,
+    };
+    match run_lab(&config) {
+        Ok(runs) => {
+            for run in runs {
+                print!("{}", run.rendered);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{name} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

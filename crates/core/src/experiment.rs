@@ -1,7 +1,15 @@
-//! Drivers for the paper's experiments: one function per table/figure.
+//! The paper's evaluation as a uniform experiment grid.
 //!
-//! Each returns plain data; the `straight-bench` binaries print them
-//! in the paper's format and EXPERIMENTS.md records the outcomes.
+//! Every figure/table of the evaluation (Figures 11–17, the §VI-B
+//! sensitivity study, Table I) is a named [`ExperimentSpec`] that
+//! enumerates [`CellSpec`]s — one cell per (workload × core config ×
+//! ISA profile) point. Cells are independent, so the
+//! [`lab`](crate::lab) runner executes them in parallel; each produces
+//! a serializable [`CellRecord`], and a whole experiment's records form
+//! an [`ExperimentResult`] that round-trips through JSON
+//! (`BENCH_<name>.json`). The paper-shaped text reports are re-rendered
+//! *from the records* (see [`ExperimentSpec::render`]), so a saved
+//! JSON file can regenerate its figure exactly.
 //!
 //! Every failure mode — a workload that fails to build for one
 //! target, a machine that rejects an image, a run that ends in a trap
@@ -11,11 +19,12 @@
 
 use std::collections::BTreeMap;
 
-use straight_power::{figure17, Figure17Row};
-use straight_sim::emu::StraightEmu;
+use straight_json::{fnv1a64, read_field, FromJson, Json, JsonError, ToJson};
+use straight_power::figure17;
 use straight_sim::pipeline::{CoreError, MachineConfig, SimResult, SimStats};
 use straight_workloads::{coremark, dhrystone};
 
+use crate::report;
 use crate::{build, machines, run_on, BuildError, Target};
 
 /// Cycle budget for experiment runs.
@@ -23,6 +32,16 @@ pub const MAX_CYCLES: u64 = 20_000_000_000;
 
 /// The Table-I distance limit used by the evaluated models.
 pub const EVAL_MAX_DISTANCE: u16 = 31;
+
+/// Schema version stamped into every [`ExperimentResult`]; bump when
+/// the record shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The distance limits swept by the §VI-B sensitivity study.
+pub const SENSITIVITY_DISTANCES: [u16; 4] = [1023, 127, 63, 31];
+
+/// The relative clock frequencies of Figure 17.
+pub const FIG17_FREQS: [f64; 3] = [1.0, 2.5, 4.0];
 
 /// A failure while driving an experiment, with enough context to know
 /// which workload/target/machine combination broke.
@@ -62,7 +81,15 @@ pub enum ExperimentError {
         /// Workload name.
         workload: String,
         /// The variant that disagrees with the baseline.
-        variant: &'static str,
+        variant: String,
+    },
+    /// An [`ExperimentResult`] is missing cells its figure needs (a
+    /// truncated or foreign record file).
+    Malformed {
+        /// Experiment name.
+        experiment: String,
+        /// What is missing or inconsistent.
+        msg: String,
     },
 }
 
@@ -81,13 +108,16 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::Divergence { workload, variant } => {
                 write!(f, "{workload}: {variant} output diverged from the baseline")
             }
+            ExperimentError::Malformed { experiment, msg } => {
+                write!(f, "{experiment}: malformed result: {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for ExperimentError {}
 
-fn target_name(target: Target) -> &'static str {
+pub(crate) fn target_name(target: Target) -> &'static str {
     match target {
         Target::Riscv => "RV32IM",
         Target::StraightRaw { .. } => "STRAIGHT(RAW)",
@@ -95,7 +125,7 @@ fn target_name(target: Target) -> &'static str {
     }
 }
 
-fn build_for(
+pub(crate) fn build_for(
     workload: &str,
     src: &str,
     target: Target,
@@ -108,7 +138,7 @@ fn build_for(
 }
 
 /// Runs an image and requires normal completion.
-fn run_checked(
+pub(crate) fn run_checked(
     workload: &str,
     image: &straight_asm::Image,
     cfg: MachineConfig,
@@ -129,298 +159,856 @@ fn run_checked(
     Ok(result)
 }
 
-/// One bar of a performance figure.
+/// Iteration counts (and the cycle budget) one grid run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunParams {
+    /// Dhrystone iteration count.
+    pub dhry_iters: u32,
+    /// CoreMark iteration count.
+    pub cm_iters: u32,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> RunParams {
+        RunParams { dhry_iters: 200, cm_iters: 3, max_cycles: MAX_CYCLES }
+    }
+}
+
+impl RunParams {
+    /// Reduced counts for smoke runs (`straight-lab --quick`).
+    #[must_use]
+    pub fn quick() -> RunParams {
+        RunParams { dhry_iters: 50, cm_iters: 1, ..RunParams::default() }
+    }
+}
+
+impl ToJson for RunParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dhry_iters", self.dhry_iters.to_json()),
+            ("cm_iters", self.cm_iters.to_json()),
+            ("max_cycles", self.max_cycles.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunParams {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RunParams {
+            dhry_iters: read_field(value, "dhry_iters")?,
+            cm_iters: read_field(value, "cm_iters")?,
+            max_cycles: read_field(value, "max_cycles")?,
+        })
+    }
+}
+
+/// The two paper workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The Dhrystone-like benchmark.
+    Dhrystone,
+    /// The CoreMark-like benchmark.
+    Coremark,
+}
+
+impl WorkloadKind {
+    /// Display name (matches the figures' group labels).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Dhrystone => "Dhrystone",
+            WorkloadKind::Coremark => "Coremark",
+        }
+    }
+
+    /// MinC source at the parameters' iteration count.
+    #[must_use]
+    pub fn source(self, params: &RunParams) -> String {
+        match self {
+            WorkloadKind::Dhrystone => dhrystone(params.dhry_iters),
+            WorkloadKind::Coremark => coremark(params.cm_iters),
+        }
+    }
+
+    /// The iteration count this workload uses from `params`.
+    #[must_use]
+    pub fn iters(self, params: &RunParams) -> u32 {
+        match self {
+            WorkloadKind::Dhrystone => params.dhry_iters,
+            WorkloadKind::Coremark => params.cm_iters,
+        }
+    }
+}
+
+/// What a cell measures.
 #[derive(Debug, Clone)]
-pub struct PerfRow {
-    /// Bar label ("SS", "STRAIGHT(RAW)", "STRAIGHT(RE+)").
+pub enum CellKind {
+    /// A cycle-accurate run on a machine model.
+    Pipeline {
+        /// Compilation target / ISA profile.
+        target: Target,
+        /// Machine model.
+        machine: MachineConfig,
+    },
+    /// A functional-emulator run collecting the retired-instruction
+    /// mix (Figure 15).
+    EmuMix {
+        /// Compilation target / ISA profile.
+        target: Target,
+    },
+    /// A functional-emulator run profiling source-operand distances
+    /// (Figure 16).
+    EmuDistance {
+        /// Compilation target / ISA profile.
+        target: Target,
+    },
+    /// No execution: the cell records a machine configuration
+    /// fingerprint (Table I).
+    ConfigDump {
+        /// Machine model.
+        machine: MachineConfig,
+    },
+}
+
+/// One point of the experiment grid.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Owning experiment's name ("fig11", ...).
+    pub experiment: &'static str,
+    /// Figure group (usually the workload or scale: "Dhrystone",
+    /// "2-way", ...).
+    pub group: String,
+    /// Bar label within the group ("SS", "STRAIGHT(RE+)", ...).
     pub label: String,
-    /// Execution cycles.
-    pub cycles: u64,
-    /// Retired instructions.
-    pub retired: u64,
-    /// Performance relative to the figure's baseline (1/cycles,
-    /// normalized).
-    pub relative: f64,
+    /// Workload, when the cell executes one.
+    pub workload: Option<WorkloadKind>,
+    /// Figure-specific scalar parameter (the distance limit for the
+    /// sensitivity sweep).
+    pub param: Option<u64>,
+    /// What to measure.
+    pub kind: CellKind,
 }
 
-/// One workload's bar group.
-#[derive(Debug, Clone)]
-pub struct PerfGroup {
-    /// Workload name.
-    pub workload: String,
-    /// Bars, baseline first.
-    pub rows: Vec<PerfRow>,
-}
-
-/// Runs one workload on SS / STRAIGHT-RAW / STRAIGHT-RE+ with the
-/// given machine pair, producing a Figure 11/12-style bar group.
-fn perf_group(
-    workload: &str,
-    src: &str,
-    ss_cfg: MachineConfig,
-    st_cfg: MachineConfig,
-) -> Result<PerfGroup, ExperimentError> {
-    let ss = run_checked(workload, &build_for(workload, src, Target::Riscv)?, ss_cfg)?;
-    let raw = run_checked(
-        workload,
-        &build_for(workload, src, Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE })?,
-        st_cfg.clone(),
-    )?;
-    let re = run_checked(
-        workload,
-        &build_for(workload, src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?,
-        st_cfg,
-    )?;
-    if ss.stdout != raw.stdout {
-        return Err(ExperimentError::Divergence {
-            workload: workload.to_string(),
-            variant: "STRAIGHT(RAW)",
-        });
+impl CellSpec {
+    /// Stable identifier: `experiment/group/label`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}/{}/{}", self.experiment, self.group, self.label)
     }
-    if ss.stdout != re.stdout {
-        return Err(ExperimentError::Divergence {
-            workload: workload.to_string(),
-            variant: "STRAIGHT(RE+)",
-        });
+
+    /// The cell's compilation target, when it executes code.
+    #[must_use]
+    pub fn target(&self) -> Option<Target> {
+        match &self.kind {
+            CellKind::Pipeline { target, .. }
+            | CellKind::EmuMix { target }
+            | CellKind::EmuDistance { target } => Some(*target),
+            CellKind::ConfigDump { .. } => None,
+        }
     }
-    let base = ss.stats.cycles as f64;
-    let mk = |label: &str, r: &SimResult| PerfRow {
-        label: label.to_string(),
-        cycles: r.stats.cycles,
-        retired: r.stats.retired,
-        relative: base / r.stats.cycles as f64,
-    };
-    Ok(PerfGroup {
-        workload: workload.to_string(),
-        rows: vec![mk("SS", &ss), mk("STRAIGHT(RAW)", &raw), mk("STRAIGHT(RE+)", &re)],
-    })
-}
 
-/// Figure 11: 4-way relative performance on Dhrystone and CoreMark.
-///
-/// # Errors
-///
-/// Propagates any build, machine, or divergence failure with the
-/// offending workload/target named.
-pub fn fig11(dhry_iters: u32, cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
-    Ok(vec![
-        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_4way(), machines::straight_4way())?,
-        perf_group("Coremark", &coremark(cm_iters), machines::ss_4way(), machines::straight_4way())?,
-    ])
-}
-
-/// Figure 12: the same comparison on the 2-way models.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig12(dhry_iters: u32, cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
-    Ok(vec![
-        perf_group("Dhrystone", &dhrystone(dhry_iters), machines::ss_2way(), machines::straight_2way())?,
-        perf_group("Coremark", &coremark(cm_iters), machines::ss_2way(), machines::straight_2way())?,
-    ])
-}
-
-/// Figure 13: the effect of the misprediction penalty — SS, SS with
-/// an idealized (zero) penalty, and STRAIGHT RE+, for both scales on
-/// CoreMark, normalized to SS-2way.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig13(cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
-    let workload = "Coremark";
-    let src = coremark(cm_iters);
-    let rv = build_for(workload, &src, Target::Riscv)?;
-    let st =
-        build_for(workload, &src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?;
-    let base = run_checked(workload, &rv, machines::ss_2way())?.stats.cycles as f64;
-    let mut out = Vec::new();
-    for (scale, ss_cfg, st_cfg) in [
-        ("2-way", machines::ss_2way(), machines::straight_2way()),
-        ("4-way", machines::ss_4way(), machines::straight_4way()),
-    ] {
-        let ss = run_checked(workload, &rv, ss_cfg.clone())?;
-        let nop = run_checked(workload, &rv, ss_cfg.with_ideal_recovery())?;
-        let re = run_checked(workload, &st, st_cfg)?;
-        let mk = |label: &str, r: &SimResult| PerfRow {
-            label: label.to_string(),
-            cycles: r.stats.cycles,
-            retired: r.stats.retired,
-            relative: base / r.stats.cycles as f64,
-        };
-        out.push(PerfGroup {
-            workload: scale.to_string(),
-            rows: vec![mk("SS", &ss), mk("SS no penalty", &nop), mk("STRAIGHT(RE+)", &re)],
-        });
+    /// The cell's machine model, when it runs on one.
+    #[must_use]
+    pub fn machine(&self) -> Option<&MachineConfig> {
+        match &self.kind {
+            CellKind::Pipeline { machine, .. } | CellKind::ConfigDump { machine } => Some(machine),
+            _ => None,
+        }
     }
-    Ok(out)
+
+    /// Configuration fingerprint: a stable 64-bit hash over everything
+    /// that determines the cell's numbers (machine config, target,
+    /// iteration count, cycle budget).
+    #[must_use]
+    pub fn fingerprint(&self, params: &RunParams) -> String {
+        let iters = self.workload.map(|w| w.iters(params));
+        let machine = self.machine().map(|m| format!("{m:?}"));
+        let text = format!(
+            "{:?}|{:?}|{:?}|{:?}|{}",
+            self.target(),
+            machine,
+            iters,
+            self.workload.map(WorkloadKind::name),
+            params.max_cycles,
+        );
+        format!("{:016x}", fnv1a64(text.as_bytes()))
+    }
 }
 
-/// Figure 14: Figure 11/12's CoreMark comparison with the TAGE
-/// predictor instead of gshare.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig14(cm_iters: u32) -> Result<Vec<PerfGroup>, ExperimentError> {
-    let src = coremark(cm_iters);
-    Ok(vec![
-        perf_group(
-            "Coremark 2-way",
-            &src,
-            machines::ss_2way().with_tage(),
-            machines::straight_2way().with_tage(),
-        )?,
-        perf_group(
-            "Coremark 4-way",
-            &src,
-            machines::ss_4way().with_tage(),
-            machines::straight_4way().with_tage(),
-        )?,
-    ])
-}
-
-/// One bar of the retired-instruction-mix figure.
-#[derive(Debug, Clone)]
-pub struct MixRow {
+/// One executed cell, in fully serializable form. Optional fields are
+/// `null` for cell kinds they don't apply to, keeping one schema for
+/// the whole grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// `experiment/group/label`.
+    pub id: String,
+    /// Owning experiment.
+    pub experiment: String,
+    /// Figure group.
+    pub group: String,
     /// Bar label.
     pub label: String,
-    /// Retired count per category.
-    pub kinds: BTreeMap<&'static str, u64>,
-    /// Total retired.
-    pub total: u64,
-}
-
-/// Figure 15: retired-instruction mix on CoreMark for SS, STRAIGHT
-/// RAW, and STRAIGHT RE+, in emulator (architectural) terms.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig15(cm_iters: u32) -> Result<Vec<MixRow>, ExperimentError> {
-    let workload = "Coremark";
-    let src = coremark(cm_iters);
-    let mut rows = Vec::new();
-    for (label, target) in [
-        ("SS", Target::Riscv),
-        ("STRAIGHT(RAW)", Target::StraightRaw { max_distance: EVAL_MAX_DISTANCE }),
-        ("STRAIGHT(RE+)", Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE }),
-    ] {
-        let image = build_for(workload, &src, target)?;
-        let result = match target {
-            Target::Riscv => straight_sim::emu::RiscvEmu::new(image).run(u64::MAX),
-            _ => StraightEmu::new(image).run(u64::MAX),
-        };
-        if result.exit_code().is_none() {
-            return Err(ExperimentError::Abnormal {
-                workload: workload.to_string(),
-                machine: format!("{label} emulator"),
-                exit: format!("{:?}", result.exit),
-            });
-        }
-        rows.push(MixRow { label: label.to_string(), total: result.stats.retired, kinds: result.stats.kinds });
-    }
-    Ok(rows)
-}
-
-/// Figure 16 data: cumulative source-distance fraction per workload,
-/// measured on code compiled with the uppermost limit (1023).
-#[derive(Debug, Clone)]
-pub struct DistanceProfile {
     /// Workload name.
-    pub workload: String,
-    /// Cumulative fraction at distances 1, 2, 4, ..., 1024.
-    pub cumulative: Vec<(u32, f64)>,
-    /// Largest distance observed in the generated code.
-    pub max_used: usize,
+    pub workload: Option<String>,
+    /// Target description ("RV32IM", "STRAIGHT(RE+)", ...).
+    pub target: Option<String>,
+    /// Machine configuration name.
+    pub machine: Option<String>,
+    /// Configuration fingerprint (see [`CellSpec::fingerprint`]).
+    pub config_fingerprint: String,
+    /// Figure-specific parameter (sensitivity distance limit).
+    pub param: Option<u64>,
+    /// Execution cycles (0 for emulator/config cells).
+    pub cycles: u64,
+    /// Retired (architectural for emulator cells) instructions.
+    pub retired: u64,
+    /// Instructions per cycle (0 when cycles is 0).
+    pub ipc: f64,
+    /// Full pipeline statistics, for pipeline cells.
+    pub stats: Option<SimStats>,
+    /// Retired-kind histogram, for emulator-mix cells.
+    pub kinds: Option<BTreeMap<String, u64>>,
+    /// Cumulative distance fractions, for distance cells.
+    pub distances: Option<Vec<(u32, f64)>>,
+    /// Largest source distance observed, for distance cells.
+    pub max_distance_used: Option<u64>,
+    /// FNV-1a digest of the program's stdout (functional checksum).
+    pub stdout_digest: Option<String>,
+    /// Wall-clock time of the cell, milliseconds.
+    pub wall_ms: f64,
 }
 
-/// Figure 16: source-operand distance distribution.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig16(dhry_iters: u32, cm_iters: u32) -> Result<Vec<DistanceProfile>, ExperimentError> {
-    let mut out = Vec::new();
-    for (name, src) in [("Dhrystone", dhrystone(dhry_iters)), ("Coremark", coremark(cm_iters))] {
-        let image = build_for(name, &src, Target::StraightRePlus { max_distance: 1023 })?;
-        let mut emu = StraightEmu::new(image);
-        emu.profile_distances = true;
-        let r = emu.run(u64::MAX);
-        if r.exit_code().is_none() {
-            return Err(ExperimentError::Abnormal {
-                workload: name.to_string(),
-                machine: "STRAIGHT emulator".to_string(),
-                exit: format!("{:?}", r.exit),
-            });
+impl ToJson for CellRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("experiment", self.experiment.to_json()),
+            ("group", self.group.to_json()),
+            ("label", self.label.to_json()),
+            ("workload", self.workload.to_json()),
+            ("target", self.target.to_json()),
+            ("machine", self.machine.to_json()),
+            ("config_fingerprint", self.config_fingerprint.to_json()),
+            ("param", self.param.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("retired", self.retired.to_json()),
+            ("ipc", self.ipc.to_json()),
+            ("stats", self.stats.as_ref().map(ToJson::to_json).unwrap_or(Json::Null)),
+            ("kinds", self.kinds.to_json()),
+            ("distances", self.distances.to_json()),
+            ("max_distance_used", self.max_distance_used.to_json()),
+            ("stdout_digest", self.stdout_digest.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(CellRecord {
+            id: read_field(value, "id")?,
+            experiment: read_field(value, "experiment")?,
+            group: read_field(value, "group")?,
+            label: read_field(value, "label")?,
+            workload: read_field(value, "workload")?,
+            target: read_field(value, "target")?,
+            machine: read_field(value, "machine")?,
+            config_fingerprint: read_field(value, "config_fingerprint")?,
+            param: read_field(value, "param")?,
+            cycles: read_field(value, "cycles")?,
+            retired: read_field(value, "retired")?,
+            ipc: read_field(value, "ipc")?,
+            stats: read_field(value, "stats")?,
+            kinds: read_field(value, "kinds")?,
+            distances: read_field(value, "distances")?,
+            max_distance_used: read_field(value, "max_distance_used")?,
+            stdout_digest: read_field(value, "stdout_digest")?,
+            wall_ms: read_field(value, "wall_ms")?,
+        })
+    }
+}
+
+/// A full experiment's machine-readable result: provenance plus one
+/// [`CellRecord`] per grid point. This is the content of a
+/// `BENCH_<name>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Record schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment name ("fig11", ...).
+    pub experiment: String,
+    /// Human title (the report header).
+    pub title: String,
+    /// Which paper figure/table/section this reproduces.
+    pub paper_ref: String,
+    /// `git rev-parse HEAD` at run time ("unknown" outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Iteration counts used.
+    pub params: RunParams,
+    /// Aggregate compute time across the experiment's cells,
+    /// milliseconds (cells may have run in parallel).
+    pub wall_ms: f64,
+    /// One record per cell, in grid order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ExperimentResult {
+    /// A copy with volatile (timing) fields zeroed: two runs of the
+    /// same grid at the same revision compare equal on this.
+    #[must_use]
+    pub fn normalized(&self) -> ExperimentResult {
+        let mut out = self.clone();
+        out.wall_ms = 0.0;
+        for cell in &mut out.cells {
+            cell.wall_ms = 0.0;
         }
-        let cumulative = (0..=10)
-            .map(|k| {
-                let d = 1u32 << k;
-                (d, r.stats.cumulative_fraction(d as usize))
+        out
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", self.schema_version.to_json()),
+            ("experiment", self.experiment.to_json()),
+            ("title", self.title.to_json()),
+            ("paper_ref", self.paper_ref.to_json()),
+            ("git_rev", self.git_rev.to_json()),
+            ("params", self.params.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ExperimentResult {
+            schema_version: read_field(value, "schema_version")?,
+            experiment: read_field(value, "experiment")?,
+            title: read_field(value, "title")?,
+            paper_ref: read_field(value, "paper_ref")?,
+            git_rev: read_field(value, "git_rev")?,
+            params: read_field(value, "params")?,
+            wall_ms: read_field(value, "wall_ms")?,
+            cells: read_field(value, "cells")?,
+        })
+    }
+}
+
+/// How an experiment's records turn back into its paper-shaped text
+/// report.
+#[derive(Debug, Clone, Copy)]
+pub enum FigureKind {
+    /// Grouped performance bars (Figures 11–14). The baseline is the
+    /// first cell of each group, or one global `(group, label)` cell
+    /// (Figure 13 normalizes everything to SS-2way).
+    Perf {
+        /// Global normalization cell, when not per-group.
+        global_baseline: Option<(&'static str, &'static str)>,
+    },
+    /// Retired-instruction mix (Figure 15).
+    Mix,
+    /// Source-distance distribution (Figure 16).
+    Distance,
+    /// Per-module power (Figure 17).
+    Power,
+    /// Distance-limit sensitivity table (§VI-B).
+    Sensitivity,
+    /// Table I configuration dump.
+    Table,
+}
+
+/// One named experiment of the grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Grid name ("fig11", ..., "sensitivity", "table1").
+    pub name: &'static str,
+    /// Report title (exactly the header the legacy binaries printed).
+    pub title: &'static str,
+    /// Paper reference ("Figure 11", "Table I", "§VI-B").
+    pub paper_ref: &'static str,
+    /// Rendering/assembly mode.
+    pub kind: FigureKind,
+}
+
+/// The full grid, in run order.
+#[must_use]
+pub fn all() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            name: "fig11",
+            title: "Figure 11: 4-way relative performance (vs SS-4way)",
+            paper_ref: "Figure 11",
+            kind: FigureKind::Perf { global_baseline: None },
+        },
+        ExperimentSpec {
+            name: "fig12",
+            title: "Figure 12: 2-way relative performance (vs SS-2way)",
+            paper_ref: "Figure 12",
+            kind: FigureKind::Perf { global_baseline: None },
+        },
+        ExperimentSpec {
+            name: "fig13",
+            title: "Figure 13: misprediction-penalty effect (vs SS-2way)",
+            paper_ref: "Figure 13",
+            kind: FigureKind::Perf { global_baseline: Some(("2-way", "SS")) },
+        },
+        ExperimentSpec {
+            name: "fig14",
+            title: "Figure 14: with TAGE branch predictor (vs SS)",
+            paper_ref: "Figure 14",
+            kind: FigureKind::Perf { global_baseline: None },
+        },
+        ExperimentSpec {
+            name: "fig15",
+            title: "Figure 15: retired instruction mix (normalized to SS)",
+            paper_ref: "Figure 15",
+            kind: FigureKind::Mix,
+        },
+        ExperimentSpec {
+            name: "fig16",
+            title: "Figure 16: cumulative fraction of source distances",
+            paper_ref: "Figure 16",
+            kind: FigureKind::Distance,
+        },
+        ExperimentSpec {
+            name: "fig17",
+            title: "Figure 17: relative power (normalized to SS at 1.0x, per module)",
+            paper_ref: "Figure 17",
+            kind: FigureKind::Power,
+        },
+        ExperimentSpec {
+            name: "sensitivity",
+            title: "Sensitivity: max source distance vs CoreMark cycles",
+            paper_ref: "Section VI-B",
+            kind: FigureKind::Sensitivity,
+        },
+        ExperimentSpec {
+            name: "table1",
+            title: "Table I: evaluated models",
+            paper_ref: "Table I",
+            kind: FigureKind::Table,
+        },
+    ]
+}
+
+/// Looks an experiment up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<ExperimentSpec> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+fn raw(d: u16) -> Target {
+    Target::StraightRaw { max_distance: d }
+}
+
+fn re_plus(d: u16) -> Target {
+    Target::StraightRePlus { max_distance: d }
+}
+
+/// The three-bar (SS / RAW / RE+) group the performance figures share.
+fn perf_cells(
+    experiment: &'static str,
+    workload: WorkloadKind,
+    group: &str,
+    ss_cfg: MachineConfig,
+    st_cfg: MachineConfig,
+) -> Vec<CellSpec> {
+    vec![
+        CellSpec {
+            experiment,
+            group: group.to_string(),
+            label: "SS".to_string(),
+            workload: Some(workload),
+            param: None,
+            kind: CellKind::Pipeline { target: Target::Riscv, machine: ss_cfg },
+        },
+        CellSpec {
+            experiment,
+            group: group.to_string(),
+            label: "STRAIGHT(RAW)".to_string(),
+            workload: Some(workload),
+            param: None,
+            kind: CellKind::Pipeline {
+                target: raw(EVAL_MAX_DISTANCE),
+                machine: st_cfg.clone(),
+            },
+        },
+        CellSpec {
+            experiment,
+            group: group.to_string(),
+            label: "STRAIGHT(RE+)".to_string(),
+            workload: Some(workload),
+            param: None,
+            kind: CellKind::Pipeline { target: re_plus(EVAL_MAX_DISTANCE), machine: st_cfg },
+        },
+    ]
+}
+
+impl ExperimentSpec {
+    /// Enumerates the experiment's cells, in figure order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        match self.name {
+            "fig11" => {
+                let mut cells = perf_cells(
+                    "fig11",
+                    WorkloadKind::Dhrystone,
+                    "Dhrystone",
+                    machines::ss_4way(),
+                    machines::straight_4way(),
+                );
+                cells.extend(perf_cells(
+                    "fig11",
+                    WorkloadKind::Coremark,
+                    "Coremark",
+                    machines::ss_4way(),
+                    machines::straight_4way(),
+                ));
+                cells
+            }
+            "fig12" => {
+                let mut cells = perf_cells(
+                    "fig12",
+                    WorkloadKind::Dhrystone,
+                    "Dhrystone",
+                    machines::ss_2way(),
+                    machines::straight_2way(),
+                );
+                cells.extend(perf_cells(
+                    "fig12",
+                    WorkloadKind::Coremark,
+                    "Coremark",
+                    machines::ss_2way(),
+                    machines::straight_2way(),
+                ));
+                cells
+            }
+            "fig13" => {
+                let mut cells = Vec::new();
+                for (scale, ss_cfg, st_cfg) in [
+                    ("2-way", machines::ss_2way(), machines::straight_2way()),
+                    ("4-way", machines::ss_4way(), machines::straight_4way()),
+                ] {
+                    for (label, target, machine) in [
+                        ("SS", Target::Riscv, ss_cfg.clone()),
+                        ("SS no penalty", Target::Riscv, ss_cfg.with_ideal_recovery()),
+                        ("STRAIGHT(RE+)", re_plus(EVAL_MAX_DISTANCE), st_cfg),
+                    ] {
+                        cells.push(CellSpec {
+                            experiment: "fig13",
+                            group: scale.to_string(),
+                            label: label.to_string(),
+                            workload: Some(WorkloadKind::Coremark),
+                            param: None,
+                            kind: CellKind::Pipeline { target, machine },
+                        });
+                    }
+                }
+                cells
+            }
+            "fig14" => {
+                let mut cells = perf_cells(
+                    "fig14",
+                    WorkloadKind::Coremark,
+                    "Coremark 2-way",
+                    machines::ss_2way().with_tage(),
+                    machines::straight_2way().with_tage(),
+                );
+                cells.extend(perf_cells(
+                    "fig14",
+                    WorkloadKind::Coremark,
+                    "Coremark 4-way",
+                    machines::ss_4way().with_tage(),
+                    machines::straight_4way().with_tage(),
+                ));
+                cells
+            }
+            "fig15" => [
+                ("SS", Target::Riscv),
+                ("STRAIGHT(RAW)", raw(EVAL_MAX_DISTANCE)),
+                ("STRAIGHT(RE+)", re_plus(EVAL_MAX_DISTANCE)),
+            ]
+            .into_iter()
+            .map(|(label, target)| CellSpec {
+                experiment: "fig15",
+                group: "Coremark".to_string(),
+                label: label.to_string(),
+                workload: Some(WorkloadKind::Coremark),
+                param: None,
+                kind: CellKind::EmuMix { target },
             })
-            .collect();
-        out.push(DistanceProfile {
-            workload: name.to_string(),
-            cumulative,
-            max_used: r.stats.max_distance_used(),
+            .collect(),
+            "fig16" => [WorkloadKind::Dhrystone, WorkloadKind::Coremark]
+                .into_iter()
+                .map(|workload| CellSpec {
+                    experiment: "fig16",
+                    group: workload.name().to_string(),
+                    label: "STRAIGHT(RE+)".to_string(),
+                    workload: Some(workload),
+                    param: Some(1023),
+                    kind: CellKind::EmuDistance { target: re_plus(1023) },
+                })
+                .collect(),
+            "fig17" => vec![
+                CellSpec {
+                    experiment: "fig17",
+                    group: "Dhrystone".to_string(),
+                    label: "SS".to_string(),
+                    workload: Some(WorkloadKind::Dhrystone),
+                    param: None,
+                    kind: CellKind::Pipeline { target: Target::Riscv, machine: machines::ss_2way() },
+                },
+                CellSpec {
+                    experiment: "fig17",
+                    group: "Dhrystone".to_string(),
+                    label: "STRAIGHT(RE+)".to_string(),
+                    workload: Some(WorkloadKind::Dhrystone),
+                    param: None,
+                    kind: CellKind::Pipeline {
+                        target: re_plus(EVAL_MAX_DISTANCE),
+                        machine: machines::straight_2way(),
+                    },
+                },
+            ],
+            "sensitivity" => SENSITIVITY_DISTANCES
+                .into_iter()
+                .map(|d| {
+                    // The machine must provision MAX_RP = distance + ROB.
+                    let mut cfg = machines::straight_4way();
+                    cfg.max_distance = u32::from(d);
+                    cfg.phys_regs = cfg.phys_regs.max(u32::from(d) + cfg.rob_capacity);
+                    CellSpec {
+                        experiment: "sensitivity",
+                        group: "Coremark".to_string(),
+                        label: format!("d={d}"),
+                        workload: Some(WorkloadKind::Coremark),
+                        param: Some(u64::from(d)),
+                        kind: CellKind::Pipeline { target: re_plus(d), machine: cfg },
+                    }
+                })
+                .collect(),
+            "table1" => [
+                machines::ss_2way(),
+                machines::straight_2way(),
+                machines::ss_4way(),
+                machines::straight_4way(),
+            ]
+            .into_iter()
+            .map(|machine| CellSpec {
+                experiment: "table1",
+                group: "models".to_string(),
+                label: machine.name.clone(),
+                workload: None,
+                param: None,
+                kind: CellKind::ConfigDump { machine },
+            })
+            .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Re-renders the paper-shaped text report from an experiment's
+    /// records. Byte-identical to what the legacy per-figure binaries
+    /// printed.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Divergence`] when a performance group's
+    /// variants disagree on program output, and
+    /// [`ExperimentError::Malformed`] when required cells are missing.
+    pub fn render(&self, result: &ExperimentResult) -> Result<String, ExperimentError> {
+        match self.kind {
+            FigureKind::Perf { global_baseline } => {
+                let groups = assemble_perf(self, result, global_baseline)?;
+                Ok(report::render_perf(self.title, &groups))
+            }
+            FigureKind::Mix => Ok(report::render_mix(&assemble_mix(self, result)?)),
+            FigureKind::Distance => {
+                Ok(report::render_distances(&assemble_distances(self, result)?))
+            }
+            FigureKind::Power => {
+                let (ss, st) = stats_pair(self, result, "SS", "STRAIGHT(RE+)")?;
+                Ok(report::render_power(&figure17(&ss, &st, &FIG17_FREQS)))
+            }
+            FigureKind::Sensitivity => {
+                let rows: Vec<(u16, u64)> = result
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        let d = c.param.ok_or_else(|| malformed(self, "cell without param"))?;
+                        Ok((d as u16, c.cycles))
+                    })
+                    .collect::<Result<_, ExperimentError>>()?;
+                Ok(report::render_sensitivity(&rows))
+            }
+            FigureKind::Table => Ok(report::render_table1(&[
+                machines::ss_2way(),
+                machines::straight_2way(),
+                machines::ss_4way(),
+                machines::straight_4way(),
+            ])),
+        }
+    }
+}
+
+fn malformed(spec: &ExperimentSpec, msg: impl Into<String>) -> ExperimentError {
+    ExperimentError::Malformed { experiment: spec.name.to_string(), msg: msg.into() }
+}
+
+/// Groups cells in first-seen order, preserving in-group order.
+fn grouped(cells: &[CellRecord]) -> Vec<(&str, Vec<&CellRecord>)> {
+    let mut out: Vec<(&str, Vec<&CellRecord>)> = Vec::new();
+    for cell in cells {
+        match out.iter_mut().find(|(g, _)| *g == cell.group) {
+            Some((_, members)) => members.push(cell),
+            None => out.push((&cell.group, vec![cell])),
+        }
+    }
+    out
+}
+
+fn assemble_perf(
+    spec: &ExperimentSpec,
+    result: &ExperimentResult,
+    global_baseline: Option<(&str, &str)>,
+) -> Result<Vec<report::PerfGroup>, ExperimentError> {
+    let groups = grouped(&result.cells);
+    if groups.is_empty() {
+        return Err(malformed(spec, "no cells"));
+    }
+    let global_base = match global_baseline {
+        Some((g, l)) => Some(
+            result
+                .cells
+                .iter()
+                .find(|c| c.group == g && c.label == l)
+                .ok_or_else(|| malformed(spec, format!("missing baseline cell {g}/{l}")))?
+                .cycles as f64,
+        ),
+        None => None,
+    };
+    let mut out = Vec::new();
+    for (group, members) in groups {
+        let first = members.first().ok_or_else(|| malformed(spec, "empty group"))?;
+        // Functional cross-check: every variant of the group must have
+        // printed the same output as the baseline.
+        for member in &members {
+            if member.stdout_digest != first.stdout_digest {
+                return Err(ExperimentError::Divergence {
+                    workload: group.to_string(),
+                    variant: member.label.clone(),
+                });
+            }
+        }
+        let base = global_base.unwrap_or(first.cycles as f64);
+        out.push(report::PerfGroup {
+            workload: group.to_string(),
+            rows: members
+                .iter()
+                .map(|c| report::PerfRow {
+                    label: c.label.clone(),
+                    cycles: c.cycles,
+                    retired: c.retired,
+                    relative: base / c.cycles as f64,
+                })
+                .collect(),
         });
     }
     Ok(out)
 }
 
-/// Figure 17: relative per-module power of the 2-way models at
-/// several clock frequencies (see `straight-power` for the model).
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn fig17(dhry_iters: u32) -> Result<Vec<Figure17Row>, ExperimentError> {
-    let workload = "Dhrystone";
-    let src = dhrystone(dhry_iters);
-    let ss = run_checked(workload, &build_for(workload, &src, Target::Riscv)?, machines::ss_2way())?;
-    let st = run_checked(
-        workload,
-        &build_for(workload, &src, Target::StraightRePlus { max_distance: EVAL_MAX_DISTANCE })?,
-        machines::straight_2way(),
-    )?;
-    Ok(figure17(&ss.stats, &st.stats, &[1.0, 2.5, 4.0]))
-}
-
-/// §VI-B sensitivity: CoreMark cycles at several ISA distance limits
-/// (the paper reports ≈1 % degradation going from 1023 to 31).
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn sensitivity(cm_iters: u32, dists: &[u16]) -> Result<Vec<(u16, u64)>, ExperimentError> {
-    let workload = "Coremark";
-    let src = coremark(cm_iters);
-    dists
+fn assemble_mix(
+    spec: &ExperimentSpec,
+    result: &ExperimentResult,
+) -> Result<Vec<report::MixRow>, ExperimentError> {
+    result
+        .cells
         .iter()
-        .map(|&d| {
-            // The machine must provision MAX_RP = distance + ROB.
-            let mut cfg = machines::straight_4way();
-            cfg.max_distance = u32::from(d);
-            cfg.phys_regs = cfg.phys_regs.max(u32::from(d) + cfg.rob_capacity);
-            let image = build_for(workload, &src, Target::StraightRePlus { max_distance: d })?;
-            let r = run_checked(workload, &image, cfg)?;
-            Ok((d, r.stats.cycles))
+        .map(|c| {
+            let kinds = c.kinds.clone().ok_or_else(|| malformed(spec, "cell without kinds"))?;
+            Ok(report::MixRow { label: c.label.clone(), kinds, total: c.retired })
         })
         .collect()
 }
 
-/// Raw access to a run's statistics for custom analyses.
-///
-/// # Errors
-///
-/// See [`fig11`].
-pub fn stats_for(
-    src: &str,
-    target: Target,
-    cfg: MachineConfig,
-) -> Result<SimStats, ExperimentError> {
-    let image = build_for("custom", src, target)?;
-    Ok(run_checked("custom", &image, cfg)?.stats)
+fn assemble_distances(
+    spec: &ExperimentSpec,
+    result: &ExperimentResult,
+) -> Result<Vec<report::DistanceProfile>, ExperimentError> {
+    result
+        .cells
+        .iter()
+        .map(|c| {
+            let cumulative =
+                c.distances.clone().ok_or_else(|| malformed(spec, "cell without distances"))?;
+            let max_used =
+                c.max_distance_used.ok_or_else(|| malformed(spec, "cell without max distance"))?;
+            Ok(report::DistanceProfile {
+                workload: c.group.clone(),
+                cumulative,
+                max_used: max_used as usize,
+            })
+        })
+        .collect()
+}
+
+/// The full [`SimStats`] of two labeled cells (the Figure 17 pair).
+fn stats_pair(
+    spec: &ExperimentSpec,
+    result: &ExperimentResult,
+    a: &str,
+    b: &str,
+) -> Result<(SimStats, SimStats), ExperimentError> {
+    let get = |label: &str| {
+        result
+            .cells
+            .iter()
+            .find(|c| c.label == label)
+            .and_then(|c| c.stats.clone())
+            .ok_or_else(|| malformed(spec, format!("missing stats for `{label}`")))
+    };
+    Ok((get(a)?, get(b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_evaluation() {
+        let names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            ["fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sensitivity", "table1"]
+        );
+        let total: usize = all().iter().map(|e| e.cells().len()).sum();
+        assert_eq!(total, 39);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs_and_params() {
+        let spec = find("fig11").unwrap();
+        let cells = spec.cells();
+        let p = RunParams::default();
+        let fp: Vec<String> = cells.iter().map(|c| c.fingerprint(&p)).collect();
+        let mut unique = fp.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), fp.len(), "all fig11 cells have distinct fingerprints");
+        let quick = cells[0].fingerprint(&RunParams::quick());
+        assert_ne!(quick, fp[0], "iteration count is part of the fingerprint");
+    }
+
+    #[test]
+    fn cell_ids_are_stable() {
+        let spec = find("sensitivity").unwrap();
+        let ids: Vec<String> = spec.cells().iter().map(CellSpec::id).collect();
+        assert_eq!(ids[0], "sensitivity/Coremark/d=1023");
+        assert_eq!(ids[3], "sensitivity/Coremark/d=31");
+    }
 }

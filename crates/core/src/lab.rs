@@ -1,0 +1,468 @@
+//! The parallel experiment runner behind the `straight-lab` binary.
+//!
+//! [`run_lab`] flattens the selected [`ExperimentSpec`]s into one list
+//! of cells and executes them on a fixed-size worker pool (`jobs`
+//! threads; plain `std::thread::scope` — the container has no rayon).
+//! Two caches make the full grid cheap:
+//!
+//! * an **image cache** — each (workload, target, iteration-count)
+//!   triple is compiled and linked once, so Dhrystone/CoreMark are
+//!   built once per ISA profile instead of once per figure;
+//! * a **run cache** — cells with identical configuration
+//!   fingerprints (e.g. Figure 17's Dhrystone/SS-2way run, which
+//!   Figure 12 also needs) simulate once and share the result.
+//!
+//! Each cell yields a [`CellRecord`]; per experiment they are wrapped
+//! in an [`ExperimentResult`] carrying provenance (git revision,
+//! parameters, wall time) and written to `BENCH_<name>.json`. The
+//! paper-shaped text report is re-rendered from those records.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use straight_asm::Image;
+use straight_json::{fnv1a64, FromJson, Json, ToJson};
+use straight_sim::emu::{RiscvEmu, StraightEmu};
+use straight_sim::pipeline::SimResult;
+
+use crate::experiment::{
+    self, build_for, run_checked, target_name, CellKind, CellRecord, CellSpec, ExperimentError,
+    ExperimentResult, ExperimentSpec, RunParams, WorkloadKind, SCHEMA_VERSION,
+};
+use crate::Target;
+
+/// What to run and how.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Experiment names, in run order (validated against
+    /// [`experiment::all`]).
+    pub experiments: Vec<String>,
+    /// Iteration counts and cycle budget.
+    pub params: RunParams,
+    /// Worker-thread cap (clamped to at least 1).
+    pub jobs: usize,
+    /// Where to write `BENCH_<name>.json`; `None` skips writing.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl LabConfig {
+    /// A config running `experiments` with default parameters, as many
+    /// jobs as the machine has cores, and no file output.
+    #[must_use]
+    pub fn new(experiments: Vec<String>) -> LabConfig {
+        LabConfig { experiments, params: RunParams::default(), jobs: default_jobs(), out_dir: None }
+    }
+}
+
+/// The machine's available parallelism (1 when unknown).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A failure of the runner as a whole.
+#[derive(Debug)]
+pub enum LabError {
+    /// A requested experiment name is not in the grid.
+    UnknownExperiment(String),
+    /// A cell failed to build or run.
+    Cell {
+        /// Cell id (`experiment/group/label`).
+        cell: String,
+        /// The underlying failure.
+        source: Arc<ExperimentError>,
+    },
+    /// Records could not be assembled into the figure (divergence or
+    /// missing cells).
+    Assemble {
+        /// Experiment name.
+        experiment: String,
+        /// The underlying failure.
+        source: ExperimentError,
+    },
+    /// A `BENCH_*.json` file could not be written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for LabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabError::UnknownExperiment(name) => {
+                write!(f, "unknown experiment `{name}` (see --list)")
+            }
+            LabError::Cell { cell, source } => write!(f, "cell {cell}: {source}"),
+            LabError::Assemble { experiment, source } => write!(f, "{experiment}: {source}"),
+            LabError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for LabError {}
+
+/// One completed experiment: the machine-readable result, its
+/// re-rendered text report, and where the JSON landed (if written).
+#[derive(Debug, Clone)]
+pub struct LabRun {
+    /// The serializable result (the `BENCH_<name>.json` content).
+    pub result: ExperimentResult,
+    /// The paper-shaped text report.
+    pub rendered: String,
+    /// Path of the written JSON file.
+    pub path: Option<PathBuf>,
+}
+
+/// The checked-out git revision, for record provenance. Honors
+/// `STRAIGHT_GIT_REV` (useful in CI), then asks `git rev-parse HEAD`,
+/// then falls back to `"unknown"`.
+#[must_use]
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("STRAIGHT_GIT_REV") {
+        return rev;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+type ImageKey = (WorkloadKind, Target, u32);
+type ImageSlot = Arc<OnceLock<Result<Arc<Image>, Arc<ExperimentError>>>>;
+type RunSlot = Arc<OnceLock<Result<Arc<SimResult>, Arc<ExperimentError>>>>;
+
+/// Shared state of one grid run: both caches.
+#[derive(Default)]
+struct Caches {
+    images: Mutex<HashMap<ImageKey, ImageSlot>>,
+    runs: Mutex<HashMap<String, RunSlot>>,
+}
+
+impl Caches {
+    fn image_slot(&self, key: ImageKey) -> ImageSlot {
+        let mut map = self.images.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(key).or_default().clone()
+    }
+
+    fn run_slot(&self, fingerprint: &str) -> RunSlot {
+        let mut map = self.runs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(fingerprint.to_string()).or_default().clone()
+    }
+}
+
+fn hex_digest(text: &str) -> String {
+    format!("{:016x}", fnv1a64(text.as_bytes()))
+}
+
+/// Compiles (or fetches) the image for a cell's workload/target.
+fn image_for(
+    caches: &Caches,
+    workload: WorkloadKind,
+    target: Target,
+    params: &RunParams,
+) -> Result<Arc<Image>, Arc<ExperimentError>> {
+    let slot = caches.image_slot((workload, target, workload.iters(params)));
+    slot.get_or_init(|| {
+        build_for(workload.name(), &workload.source(params), target)
+            .map(Arc::new)
+            .map_err(Arc::new)
+    })
+    .clone()
+}
+
+/// Executes one cell, producing its record.
+fn exec_cell(
+    spec: &CellSpec,
+    params: &RunParams,
+    caches: &Caches,
+) -> Result<CellRecord, Arc<ExperimentError>> {
+    let started = Instant::now();
+    let fingerprint = spec.fingerprint(params);
+    let mut record = CellRecord {
+        id: spec.id(),
+        experiment: spec.experiment.to_string(),
+        group: spec.group.clone(),
+        label: spec.label.clone(),
+        workload: spec.workload.map(|w| w.name().to_string()),
+        target: spec.target().map(|t| target_name(t).to_string()),
+        machine: spec.machine().map(|m| m.name.clone()),
+        config_fingerprint: fingerprint.clone(),
+        param: spec.param,
+        cycles: 0,
+        retired: 0,
+        ipc: 0.0,
+        stats: None,
+        kinds: None,
+        distances: None,
+        max_distance_used: None,
+        stdout_digest: None,
+        wall_ms: 0.0,
+    };
+    match &spec.kind {
+        CellKind::Pipeline { target, machine } => {
+            let workload = spec.workload.ok_or_else(|| {
+                Arc::new(ExperimentError::Malformed {
+                    experiment: spec.experiment.to_string(),
+                    msg: "pipeline cell without a workload".to_string(),
+                })
+            })?;
+            let image = image_for(caches, workload, *target, params)?;
+            // Identical (workload, target, machine, iters) cells — the
+            // same point appearing in several figures — simulate once.
+            let slot = caches.run_slot(&fingerprint);
+            let result = slot
+                .get_or_init(|| {
+                    run_checked(workload.name(), &image, machine.clone())
+                        .map(Arc::new)
+                        .map_err(Arc::new)
+                })
+                .clone()?;
+            record.cycles = result.stats.cycles;
+            record.retired = result.stats.retired;
+            record.ipc = result.stats.ipc();
+            record.stats = Some(result.stats.clone());
+            record.stdout_digest = Some(hex_digest(&result.stdout));
+        }
+        CellKind::EmuMix { target } => {
+            let workload = spec.workload.ok_or_else(|| {
+                Arc::new(ExperimentError::Malformed {
+                    experiment: spec.experiment.to_string(),
+                    msg: "emulator cell without a workload".to_string(),
+                })
+            })?;
+            let image = image_for(caches, workload, *target, params)?;
+            let result = match target {
+                Target::Riscv => RiscvEmu::new((*image).clone()).run(u64::MAX),
+                _ => StraightEmu::new((*image).clone()).run(u64::MAX),
+            };
+            if result.exit_code().is_none() {
+                return Err(Arc::new(ExperimentError::Abnormal {
+                    workload: workload.name().to_string(),
+                    machine: format!("{} emulator", spec.label),
+                    exit: format!("{:?}", result.exit),
+                }));
+            }
+            record.retired = result.stats.retired;
+            record.kinds = Some(
+                result.stats.kinds.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            );
+            record.stdout_digest = Some(hex_digest(&result.stdout));
+        }
+        CellKind::EmuDistance { target } => {
+            let workload = spec.workload.ok_or_else(|| {
+                Arc::new(ExperimentError::Malformed {
+                    experiment: spec.experiment.to_string(),
+                    msg: "emulator cell without a workload".to_string(),
+                })
+            })?;
+            let image = image_for(caches, workload, *target, params)?;
+            let mut emu = StraightEmu::new((*image).clone());
+            emu.profile_distances = true;
+            let result = emu.run(u64::MAX);
+            if result.exit_code().is_none() {
+                return Err(Arc::new(ExperimentError::Abnormal {
+                    workload: workload.name().to_string(),
+                    machine: "STRAIGHT emulator".to_string(),
+                    exit: format!("{:?}", result.exit),
+                }));
+            }
+            record.retired = result.stats.retired;
+            record.distances = Some(
+                (0..=10)
+                    .map(|k| {
+                        let d = 1u32 << k;
+                        (d, result.stats.cumulative_fraction(d as usize))
+                    })
+                    .collect(),
+            );
+            record.max_distance_used = Some(result.stats.max_distance_used() as u64);
+            record.stdout_digest = Some(hex_digest(&result.stdout));
+        }
+        CellKind::ConfigDump { .. } => {}
+    }
+    record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok(record)
+}
+
+/// Resolves the requested names against the grid.
+fn resolve(names: &[String]) -> Result<Vec<ExperimentSpec>, LabError> {
+    names
+        .iter()
+        .map(|name| {
+            experiment::find(name).ok_or_else(|| LabError::UnknownExperiment(name.clone()))
+        })
+        .collect()
+}
+
+/// Runs the selected experiments' cells in parallel and assembles one
+/// [`LabRun`] per experiment.
+///
+/// # Errors
+///
+/// The first cell/assembly/write failure, as a [`LabError`]. A failing
+/// cell does not cancel in-flight cells, but no files are written for
+/// the failing experiment.
+pub fn run_lab(config: &LabConfig) -> Result<Vec<LabRun>, LabError> {
+    let specs = resolve(&config.experiments)?;
+    let git_rev = git_rev();
+
+    // Flatten: (experiment index, cell) in deterministic grid order.
+    let work: Vec<(usize, CellSpec)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, spec)| spec.cells().into_iter().map(move |c| (i, c)))
+        .collect();
+
+    type CellSlot = Mutex<Option<Result<CellRecord, Arc<ExperimentError>>>>;
+    let caches = Caches::default();
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<CellSlot> = work.iter().map(|_| Mutex::new(None)).collect();
+    let workers = config.jobs.clamp(1, work.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((_, cell)) = work.get(index) else { break };
+                let outcome = exec_cell(cell, &config.params, &caches);
+                *results[index].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(outcome);
+            });
+        }
+    });
+
+    // Collect per experiment, preserving grid order.
+    let mut per_exp: Vec<Vec<CellRecord>> = specs.iter().map(|_| Vec::new()).collect();
+    for ((exp_index, cell), slot) in work.iter().zip(&results) {
+        let outcome = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .unwrap_or_else(|| {
+                Err(Arc::new(ExperimentError::Malformed {
+                    experiment: cell.experiment.to_string(),
+                    msg: "cell was never executed".to_string(),
+                }))
+            });
+        match outcome {
+            Ok(record) => per_exp[*exp_index].push(record),
+            Err(source) => return Err(LabError::Cell { cell: cell.id(), source }),
+        }
+    }
+
+    let mut runs = Vec::new();
+    for (spec, cells) in specs.iter().zip(per_exp) {
+        let result = ExperimentResult {
+            schema_version: SCHEMA_VERSION,
+            experiment: spec.name.to_string(),
+            title: spec.title.to_string(),
+            paper_ref: spec.paper_ref.to_string(),
+            git_rev: git_rev.clone(),
+            params: config.params,
+            wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
+            cells,
+        };
+        let rendered = spec.render(&result).map_err(|source| LabError::Assemble {
+            experiment: spec.name.to_string(),
+            source,
+        })?;
+        let path = match &config.out_dir {
+            Some(dir) => Some(write_result(dir, &result)?),
+            None => None,
+        };
+        runs.push(LabRun { result, rendered, path });
+    }
+    Ok(runs)
+}
+
+/// Writes one experiment's records to `<dir>/BENCH_<name>.json`.
+///
+/// # Errors
+///
+/// [`LabError::Io`] when the directory cannot be created or the file
+/// cannot be written.
+pub fn write_result(dir: &Path, result: &ExperimentResult) -> Result<PathBuf, LabError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|source| LabError::Io { path: dir.to_path_buf(), source })?;
+    let path = dir.join(format!("BENCH_{}.json", result.experiment));
+    std::fs::write(&path, result.to_json().render_pretty())
+        .map_err(|source| LabError::Io { path: path.clone(), source })?;
+    Ok(path)
+}
+
+/// Parses and shape-checks a `BENCH_<name>.json` file, returning the
+/// typed result.
+///
+/// # Errors
+///
+/// [`LabError::Io`] when unreadable; [`LabError::Assemble`] when the
+/// JSON is invalid or does not match the record schema.
+pub fn validate_file(path: &Path) -> Result<ExperimentResult, LabError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| LabError::Io { path: path.to_path_buf(), source })?;
+    let parsed = Json::parse(&text).map_err(|e| LabError::Assemble {
+        experiment: path.display().to_string(),
+        source: ExperimentError::Malformed {
+            experiment: path.display().to_string(),
+            msg: e.to_string(),
+        },
+    })?;
+    let result = ExperimentResult::from_json(&parsed).map_err(|e| LabError::Assemble {
+        experiment: path.display().to_string(),
+        source: ExperimentError::Malformed {
+            experiment: path.display().to_string(),
+            msg: e.to_string(),
+        },
+    })?;
+    if result.schema_version != SCHEMA_VERSION {
+        return Err(LabError::Assemble {
+            experiment: result.experiment.clone(),
+            source: ExperimentError::Malformed {
+                experiment: result.experiment.clone(),
+                msg: format!(
+                    "schema version {} (this binary reads {})",
+                    result.schema_version, SCHEMA_VERSION
+                ),
+            },
+        });
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        let err = run_lab(&LabConfig::new(vec!["fig99".to_string()]));
+        assert!(matches!(err, Err(LabError::UnknownExperiment(_))));
+    }
+
+    #[test]
+    fn table1_runs_without_simulation() {
+        let runs = run_lab(&LabConfig::new(vec!["table1".to_string()])).unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.result.cells.len(), 4);
+        assert!(run.rendered.contains("== Table I: evaluated models =="));
+        assert!(run.result.cells.iter().all(|c| c.stats.is_none() && c.cycles == 0));
+        // Fingerprints must distinguish the four models.
+        let mut fps: Vec<&str> =
+            run.result.cells.iter().map(|c| c.config_fingerprint.as_str()).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 4);
+    }
+}

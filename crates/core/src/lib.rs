@@ -1,8 +1,19 @@
 //! # straight-core
 //!
-//! The high-level facade of the STRAIGHT reproduction: compile MinC
-//! for either machine, run the Table-I machine models, and drive the
-//! paper's experiments (Figures 11–17, the §VI-B sensitivity study).
+//! The high-level facade of the STRAIGHT reproduction — the layer the
+//! evaluation stack stands on:
+//!
+//! * [`build`] / [`Target`] — compile MinC for either machine;
+//! * [`machines`] — the Table-I machine models;
+//! * [`experiment`] — the evaluation as a uniform grid of named
+//!   [`experiment::ExperimentSpec`]s (Figures 11–17, the §VI-B
+//!   sensitivity study, Table I), each cell producing a serializable
+//!   [`experiment::CellRecord`];
+//! * [`lab`] — the parallel grid runner (image/run caching, worker
+//!   pool, `BENCH_<name>.json` output) behind the `straight-lab`
+//!   binary;
+//! * [`report`] — paper-shaped text rendering, re-derived from the
+//!   records.
 //!
 //! ```
 //! use straight_core::{build, Target, machines, run_on};
@@ -16,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod lab;
 pub mod report;
 
 use straight_asm::{link_riscv, link_straight, Image};
@@ -24,7 +36,7 @@ use straight_ir::compile_source;
 use straight_sim::pipeline::{simulate, CoreError, MachineConfig, SimResult};
 
 /// Which binary to produce from MinC source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Target {
     /// RV32IM via the conventional back-end (the `SS` baseline).
     Riscv,

@@ -1,10 +1,60 @@
 //! Plain-text rendering of experiment results, in the shape of the
-//! paper's figures.
+//! paper's figures. The input types are assembled from
+//! [`CellRecord`](crate::experiment::CellRecord)s by
+//! [`ExperimentSpec::render`](crate::experiment::ExperimentSpec::render),
+//! so a saved `BENCH_<name>.json` regenerates its figure exactly.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::experiment::{DistanceProfile, MixRow, PerfGroup};
 use straight_power::Figure17Row;
+use straight_sim::pipeline::MachineConfig;
+
+/// One bar of a performance figure.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Bar label ("SS", "STRAIGHT(RAW)", "STRAIGHT(RE+)").
+    pub label: String,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Performance relative to the figure's baseline (1/cycles,
+    /// normalized).
+    pub relative: f64,
+}
+
+/// One workload's bar group.
+#[derive(Debug, Clone)]
+pub struct PerfGroup {
+    /// Workload name.
+    pub workload: String,
+    /// Bars, baseline first.
+    pub rows: Vec<PerfRow>,
+}
+
+/// One bar of the retired-instruction-mix figure.
+#[derive(Debug, Clone)]
+pub struct MixRow {
+    /// Bar label.
+    pub label: String,
+    /// Retired count per category.
+    pub kinds: BTreeMap<String, u64>,
+    /// Total retired.
+    pub total: u64,
+}
+
+/// Figure 16 data: cumulative source-distance fraction per workload,
+/// measured on code compiled with the uppermost limit (1023).
+#[derive(Debug, Clone)]
+pub struct DistanceProfile {
+    /// Workload name.
+    pub workload: String,
+    /// Cumulative fraction at distances 1, 2, 4, ..., 1024.
+    pub cumulative: Vec<(u32, f64)>,
+    /// Largest distance observed in the generated code.
+    pub max_used: usize,
+}
 
 /// Renders a performance-bar figure (Figures 11–14).
 #[must_use]
@@ -99,10 +149,38 @@ pub fn render_sensitivity(rows: &[(u16, u64)]) -> String {
     out
 }
 
+/// Renders Table I (the evaluated machine models).
+#[must_use]
+pub fn render_table1(configs: &[MachineConfig]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table I: evaluated models ==");
+    for cfg in configs {
+        let _ = writeln!(out, "[{}]", cfg.name);
+        let _ = writeln!(out, "  isa             {:?}", cfg.isa);
+        let _ = writeln!(out, "  fetch width     {}", cfg.fetch_width);
+        let _ = writeln!(out, "  front-end depth {}", cfg.frontend_latency);
+        let _ = writeln!(out, "  ROB capacity    {}", cfg.rob_capacity);
+        let _ = writeln!(out, "  scheduler       {}-way, {} entries", cfg.issue_width, cfg.iq_entries);
+        let _ = writeln!(out, "  register file   {}", cfg.phys_regs);
+        let _ = writeln!(out, "  LSQ             LD {} / ST {}", cfg.lsq_ld, cfg.lsq_st);
+        let _ = writeln!(
+            out,
+            "  exec units      ALU {}, MUL {}, DIV {}, BC {}, Mem {}",
+            cfg.units.alu, cfg.units.mul, cfg.units.div, cfg.units.bc, cfg.units.mem
+        );
+        let _ = writeln!(out, "  commit width    {}", cfg.commit_width);
+        let _ = writeln!(out, "  predictor       {:?}", cfg.predictor);
+        let _ = writeln!(out, "  L3              {}", if cfg.hierarchy.l3.is_some() { "2 MiB" } else { "none" });
+        if cfg.isa == straight_sim::pipeline::IsaKind::Straight {
+            let _ = writeln!(out, "  max distance    {}", cfg.max_distance);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::PerfRow;
 
     #[test]
     fn perf_rendering_contains_rows() {
@@ -124,5 +202,19 @@ mod tests {
         let s = render_sensitivity(&[(1023, 1000), (31, 1010)]);
         assert!(s.contains("max_distance= 1023"));
         assert!(s.contains("+1.00 %"));
+    }
+
+    #[test]
+    fn table1_lists_all_models() {
+        let s = render_table1(&[
+            crate::machines::ss_2way(),
+            crate::machines::straight_2way(),
+            crate::machines::ss_4way(),
+            crate::machines::straight_4way(),
+        ]);
+        for name in ["SS-2way", "STRAIGHT-2way", "SS-4way", "STRAIGHT-4way"] {
+            assert!(s.contains(&format!("[{name}]")));
+        }
+        assert!(s.contains("max distance"));
     }
 }

@@ -11,8 +11,9 @@
 //! turns into distances (Section IV of the paper).
 //!
 //! The crate also hosts the analyses the compilation algorithm needs —
-//! CFG utilities, dominators, [`liveness`] (used for distance fixing),
-//! natural [`loops`] (used by the RE+ redundancy elimination) — plus
+//! CFG utilities, dominators, [`analysis::Liveness`] (used for distance
+//! fixing), natural [`analysis::Loops`] (used by the RE+ redundancy
+//! elimination) — plus
 //! optimization passes and a reference [`interp`]reter used for
 //! differential testing of the back-ends.
 //!

@@ -196,7 +196,7 @@ impl RiscvEmu {
     }
 
     /// Console output captured so far (used by the in-pipeline oracle,
-    /// which steps the emulator incrementally instead of via [`run`]).
+    /// which steps the emulator incrementally instead of via [`RiscvEmu::run`]).
     #[must_use]
     pub fn stdout(&self) -> &str {
         &self.sys.stdout

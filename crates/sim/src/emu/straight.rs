@@ -289,7 +289,7 @@ impl StraightEmu {
     }
 
     /// Console output captured so far (used by the in-pipeline oracle,
-    /// which steps the emulator incrementally instead of via [`run`]).
+    /// which steps the emulator incrementally instead of via [`StraightEmu::run`]).
     #[must_use]
     pub fn stdout(&self) -> &str {
         &self.sys.stdout

@@ -45,7 +45,7 @@ impl HierarchyCfg {
 }
 
 /// Aggregate memory-system statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1I accesses / misses.
     pub l1i: (u64, u64),
@@ -58,6 +58,10 @@ pub struct MemStats {
     /// Prefetches issued.
     pub prefetches: u64,
 }
+
+// Each cache level serializes as a two-element `[accesses, misses]`
+// array.
+crate::json_record!(MemStats { l1i, l1d, l2, l3, prefetches });
 
 /// Simple next-line stream detector: tracks a few recent miss
 /// streams; two consecutive line misses arm a stream that prefetches

@@ -9,5 +9,5 @@ mod uop;
 
 pub use config::{IsaKind, MachineConfig, UnitCfg};
 pub use core::{simulate, Core, CoreError, DEFAULT_MAX_CYCLES};
-pub use stats::{PowerEvents, SimExit, SimResult, SimStats, WatchdogReport};
+pub use stats::{intern_kind, PowerEvents, SimExit, SimResult, SimStats, WatchdogReport, KIND_NAMES};
 pub use uop::{ControlInfo, ExecUnit, FuncOp, RawInst, UOp};

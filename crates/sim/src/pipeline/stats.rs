@@ -5,12 +5,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use straight_isa::Trap;
+use straight_json::{read_field, FromJson, Json, JsonError, ToJson};
 
+use crate::json_record;
 use crate::mem::MemStats;
 
 /// Activity events for the power model: every counter corresponds to
 /// a physical structure access in one of the modeled modules.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct PowerEvents {
     // Rename logic (the module STRAIGHT removes).
@@ -34,8 +36,26 @@ pub struct PowerEvents {
     pub lsq_searches: u64,
 }
 
+json_record!(PowerEvents {
+    rmt_reads,
+    rmt_writes,
+    freelist_ops,
+    rob_walk_reads,
+    rp_adds,
+    prf_reads,
+    prf_writes,
+    fetched,
+    decoded,
+    iq_wakeups,
+    iq_inserts,
+    fu_ops,
+    rob_writes,
+    rob_commits,
+    lsq_searches,
+});
+
 /// Full statistics of one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -91,6 +111,69 @@ impl SimStats {
     pub fn bump_kind(&mut self, kind: &'static str) {
         *self.retired_kinds.entry(kind).or_insert(0) += 1;
         self.retired += 1;
+    }
+}
+
+/// The closed vocabulary of retired-instruction categories (the
+/// Figure 15 legend). [`SimStats`] keys its per-kind counters with
+/// these `&'static str`s, so deserialization interns incoming keys
+/// against this list.
+pub const KIND_NAMES: [&str; 7] = ["jump+branch", "alu", "ld", "st", "rmov", "nop", "other"];
+
+/// Interns a category name against [`KIND_NAMES`].
+#[must_use]
+pub fn intern_kind(name: &str) -> Option<&'static str> {
+    KIND_NAMES.iter().find(|&&k| k == name).copied()
+}
+
+impl ToJson for SimStats {
+    fn to_json(&self) -> Json {
+        let kinds =
+            Json::Obj(self.retired_kinds.iter().map(|(k, v)| ((*k).to_string(), v.to_json())).collect());
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("retired", self.retired.to_json()),
+            ("ipc", self.ipc().to_json()),
+            ("retired_kinds", kinds),
+            ("branches", self.branches.to_json()),
+            ("branch_mispredicts", self.branch_mispredicts.to_json()),
+            ("indirect_mispredicts", self.indirect_mispredicts.to_json()),
+            ("memory_violations", self.memory_violations.to_json()),
+            ("squashed", self.squashed.to_json()),
+            ("recovery_stall_cycles", self.recovery_stall_cycles.to_json()),
+            ("freelist_stall_cycles", self.freelist_stall_cycles.to_json()),
+            ("backpressure_stall_cycles", self.backpressure_stall_cycles.to_json()),
+            ("events", self.events.to_json()),
+            ("mem", self.mem.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kinds_value: BTreeMap<String, u64> = read_field(value, "retired_kinds")?;
+        let mut retired_kinds = BTreeMap::new();
+        for (name, count) in kinds_value {
+            let interned = intern_kind(&name).ok_or_else(|| {
+                JsonError::Shape(format!("unknown retired-instruction kind `{name}`"))
+            })?;
+            retired_kinds.insert(interned, count);
+        }
+        Ok(SimStats {
+            cycles: read_field(value, "cycles")?,
+            retired: read_field(value, "retired")?,
+            retired_kinds,
+            branches: read_field(value, "branches")?,
+            branch_mispredicts: read_field(value, "branch_mispredicts")?,
+            indirect_mispredicts: read_field(value, "indirect_mispredicts")?,
+            memory_violations: read_field(value, "memory_violations")?,
+            squashed: read_field(value, "squashed")?,
+            recovery_stall_cycles: read_field(value, "recovery_stall_cycles")?,
+            freelist_stall_cycles: read_field(value, "freelist_stall_cycles")?,
+            backpressure_stall_cycles: read_field(value, "backpressure_stall_cycles")?,
+            events: read_field(value, "events")?,
+            mem: read_field(value, "mem")?,
+        })
     }
 }
 

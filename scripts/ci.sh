@@ -1,7 +1,9 @@
 #!/bin/sh
-# Repo gate: build, full test suite, and a warning-free clippy pass
+# Repo gate: build, full test suite, a warning-free clippy pass, a
+# warning-free rustdoc pass, and a straight-lab smoke run producing a
+# parseable machine-readable record.
 # (crates/sim additionally denies unwrap/expect/panic via [lints] in
-# its Cargo.toml — faults must travel as typed Traps, not panics).
+# its Cargo.toml — faults must travel as typed Traps, not panics.)
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,3 +11,12 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Smoke: the unified runner must produce a BENCH_fig11.json that its
+# own validator accepts (parse + schema check + FromJson round-trip).
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+target/release/straight-lab --figure fig11 --quick --quiet --out "$SMOKE_DIR"
+test -s "$SMOKE_DIR/BENCH_fig11.json"
+target/release/straight-lab --validate "$SMOKE_DIR/BENCH_fig11.json"
