@@ -31,6 +31,8 @@ OPTIONS:
     --out DIR            Where to write BENCH_<name>.json (default: .)
     --no-write           Render reports without writing JSON records
     --quiet              Suppress the text reports (records still written)
+    --profile            Print a host-side throughput table (per pipeline
+                         cell: simulated cycles, sim wall time, kcycles/s)
     --help               This text
 
 ENVIRONMENT:
@@ -48,6 +50,7 @@ struct Options {
     out: PathBuf,
     no_write: bool,
     quiet: bool,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("."),
         no_write: false,
         quiet: false,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
             "--out" | "-o" => opts.out = PathBuf::from(value_for("--out")?),
             "--no-write" => opts.no_write = true,
             "--quiet" | "-q" => opts.quiet = true,
+            "--profile" => opts.profile = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -135,6 +140,46 @@ fn validate(paths: &[PathBuf]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Prints the host-side profiler summary: one row per pipeline cell
+/// with the simulation's wall time and throughput, then totals over
+/// the *unique* simulations (cells sharing a config fingerprint share
+/// one cached run, so their times are the same measurement).
+fn print_profile(runs: &[straight_core::lab::LabRun]) {
+    println!();
+    println!("{:<44} {:>12} {:>10} {:>10}", "PROFILE (pipeline cells)", "CYCLES", "SIM ms", "KCYC/S");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total_cycles = 0u64;
+    let mut total_ms = 0.0f64;
+    for cell in runs.iter().flat_map(|r| &r.result.cells) {
+        let Some(sim_ms) = cell.sim_wall_ms else { continue };
+        let kcps = cell.ksim_cycles_per_sec.unwrap_or(0.0);
+        let cached = !seen.insert(cell.config_fingerprint.clone());
+        if !cached {
+            total_cycles += cell.cycles;
+            total_ms += sim_ms;
+        }
+        println!(
+            "{:<44} {:>12} {:>10.1} {:>10.0}{}",
+            cell.id,
+            cell.cycles,
+            sim_ms,
+            kcps,
+            if cached { "  (cached)" } else { "" }
+        );
+    }
+    if seen.is_empty() {
+        println!("(no pipeline cells in this selection)");
+        return;
+    }
+    println!(
+        "{:<44} {:>12} {:>10.1} {:>10.0}",
+        format!("TOTAL ({} unique simulations)", seen.len()),
+        total_cycles,
+        total_ms,
+        if total_ms > 0.0 { total_cycles as f64 / total_ms } else { 0.0 }
+    );
 }
 
 fn main() -> ExitCode {
@@ -189,6 +234,9 @@ fn main() -> ExitCode {
                         run.result.wall_ms
                     );
                 }
+            }
+            if opts.profile {
+                print_profile(&runs);
             }
             ExitCode::SUCCESS
         }

@@ -35,7 +35,7 @@ pub const EVAL_MAX_DISTANCE: u16 = 31;
 
 /// Schema version stamped into every [`ExperimentResult`]; bump when
 /// the record shape changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The distance limits swept by the §VI-B sensitivity study.
 pub const SENSITIVITY_DISTANCES: [u16; 4] = [1023, 127, 63, 31];
@@ -378,6 +378,13 @@ pub struct CellRecord {
     pub stdout_digest: Option<String>,
     /// Wall-clock time of the cell, milliseconds.
     pub wall_ms: f64,
+    /// Host wall time of the cycle-accurate simulation proper,
+    /// milliseconds (pipeline cells only). Cells deduplicated by the
+    /// run cache report the time of the one shared simulation.
+    pub sim_wall_ms: Option<f64>,
+    /// Simulation throughput: thousands of simulated cycles per host
+    /// second (`cycles / sim_wall_ms`), pipeline cells only.
+    pub ksim_cycles_per_sec: Option<f64>,
 }
 
 impl ToJson for CellRecord {
@@ -401,6 +408,8 @@ impl ToJson for CellRecord {
             ("max_distance_used", self.max_distance_used.to_json()),
             ("stdout_digest", self.stdout_digest.to_json()),
             ("wall_ms", self.wall_ms.to_json()),
+            ("sim_wall_ms", self.sim_wall_ms.to_json()),
+            ("ksim_cycles_per_sec", self.ksim_cycles_per_sec.to_json()),
         ])
     }
 }
@@ -426,6 +435,8 @@ impl FromJson for CellRecord {
             max_distance_used: read_field(value, "max_distance_used")?,
             stdout_digest: read_field(value, "stdout_digest")?,
             wall_ms: read_field(value, "wall_ms")?,
+            sim_wall_ms: read_field(value, "sim_wall_ms")?,
+            ksim_cycles_per_sec: read_field(value, "ksim_cycles_per_sec")?,
         })
     }
 }
@@ -464,6 +475,8 @@ impl ExperimentResult {
         out.wall_ms = 0.0;
         for cell in &mut out.cells {
             cell.wall_ms = 0.0;
+            cell.sim_wall_ms = None;
+            cell.ksim_cycles_per_sec = None;
         }
         out
     }

@@ -140,7 +140,15 @@ pub fn git_rev() -> String {
 
 type ImageKey = (WorkloadKind, Target, u32);
 type ImageSlot = Arc<OnceLock<Result<Arc<Image>, Arc<ExperimentError>>>>;
-type RunSlot = Arc<OnceLock<Result<Arc<SimResult>, Arc<ExperimentError>>>>;
+type RunSlot = Arc<OnceLock<Result<Arc<TimedRun>, Arc<ExperimentError>>>>;
+
+/// A cached simulation plus how long the simulation itself took on
+/// the host (the profiler's per-run cost; excludes compile time and
+/// record assembly).
+struct TimedRun {
+    result: SimResult,
+    sim_wall_ms: f64,
+}
 
 /// Shared state of one grid run: both caches.
 #[derive(Default)]
@@ -208,6 +216,8 @@ fn exec_cell(
         max_distance_used: None,
         stdout_digest: None,
         wall_ms: 0.0,
+        sim_wall_ms: None,
+        ksim_cycles_per_sec: None,
     };
     match &spec.kind {
         CellKind::Pipeline { target, machine } => {
@@ -221,18 +231,29 @@ fn exec_cell(
             // Identical (workload, target, machine, iters) cells — the
             // same point appearing in several figures — simulate once.
             let slot = caches.run_slot(&fingerprint);
-            let result = slot
+            let timed = slot
                 .get_or_init(|| {
+                    let sim_started = Instant::now();
                     run_checked(workload.name(), &image, machine.clone())
-                        .map(Arc::new)
+                        .map(|result| {
+                            let sim_wall_ms = sim_started.elapsed().as_secs_f64() * 1e3;
+                            Arc::new(TimedRun { result, sim_wall_ms })
+                        })
                         .map_err(Arc::new)
                 })
                 .clone()?;
+            let result = &timed.result;
             record.cycles = result.stats.cycles;
             record.retired = result.stats.retired;
             record.ipc = result.stats.ipc();
             record.stats = Some(result.stats.clone());
             record.stdout_digest = Some(hex_digest(&result.stdout));
+            record.sim_wall_ms = Some(timed.sim_wall_ms);
+            // cycles per millisecond ≡ kilo-cycles per second.
+            if timed.sim_wall_ms > 0.0 {
+                record.ksim_cycles_per_sec =
+                    Some(result.stats.cycles as f64 / timed.sim_wall_ms);
+            }
         }
         CellKind::EmuMix { target } => {
             let workload = spec.workload.ok_or_else(|| {

@@ -159,7 +159,7 @@ impl Hierarchy {
             return l1_lat;
         }
         let extra = self.below_l1(addr);
-        let line = addr / self.l1d.line();
+        let line = self.l1d.line_number(addr);
         for pf_line in self.prefetcher.on_miss(line) {
             let pf_addr = pf_line.wrapping_mul(self.l1d.line());
             if !self.l1d.probe(pf_addr) {

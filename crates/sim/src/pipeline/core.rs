@@ -23,7 +23,8 @@
 //! sanitizer cross-validates every retired instruction against a
 //! shadow functional emulator.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use straight_asm::{Image, ImageIsa, MEM_SIZE, STACK_TOP};
@@ -105,6 +106,150 @@ struct RobEntry {
     /// misaligned memory access); raised when the entry reaches the
     /// ROB head, squashed with the entry otherwise.
     trap: Option<TrapKind>,
+    /// Dispatch identity, never reused (sequence numbers are reused
+    /// after recovery, so wakeup-list entries validate against this).
+    uid: u64,
+    /// Source operands still outstanding before the entry can enter
+    /// the scheduler's ready queue (stores in the split-AGU data phase
+    /// wait on their data operand only).
+    pending: u8,
+    /// Currently occupies a scheduler (issue-queue) slot.
+    in_iq: bool,
+}
+
+/// A scheduler entry waiting on one physical-register tag.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    seq: u64,
+    uid: u64,
+}
+
+/// The wakeup/select scheduler state: instead of scanning every
+/// issue-queue entry each cycle, a dispatched uop subscribes to the
+/// wakeup list of each not-yet-ready source tag; the completion that
+/// readies its last operand moves it into the age-ordered ready
+/// queue, and select only ever examines ready entries.
+#[derive(Debug, Default)]
+struct Scheduler {
+    /// Per-physical-register wakeup lists.
+    wakeup: Vec<Vec<Waiter>>,
+    /// Operand-ready entries, kept sorted ascending so select walks
+    /// oldest (smallest seq) first. Loads blocked on LSQ conditions
+    /// and stores blocked on structural hazards stay here and retry,
+    /// exactly like the previous full-scan scheduler. A sorted `Vec`
+    /// beats a tree at issue-queue sizes (tens of entries).
+    ready: Vec<u64>,
+    /// Occupied scheduler slots (ready + waiting), for dispatch
+    /// backpressure.
+    occupancy: usize,
+    /// Recycled select-order snapshot, so issue() does not allocate
+    /// every cycle.
+    scratch: Vec<u64>,
+}
+
+impl Scheduler {
+    fn insert_ready(&mut self, seq: u64) {
+        if let Err(i) = self.ready.binary_search(&seq) {
+            self.ready.insert(i, seq);
+        }
+    }
+
+    fn remove_ready(&mut self, seq: u64) {
+        if let Ok(i) = self.ready.binary_search(&seq) {
+            self.ready.remove(i);
+        }
+    }
+}
+
+/// Heap ordering for in-flight completions: earliest `done_at` first,
+/// oldest `seq` first within a cycle.
+#[derive(Debug, Clone, Copy)]
+struct InflightOrd(Inflight);
+
+impl PartialEq for InflightOrd {
+    fn eq(&self, other: &InflightOrd) -> bool {
+        (self.0.done_at, self.0.seq) == (other.0.done_at, other.0.seq)
+    }
+}
+
+impl Eq for InflightOrd {}
+
+impl PartialOrd for InflightOrd {
+    fn partial_cmp(&self, other: &InflightOrd) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InflightOrd {
+    fn cmp(&self, other: &InflightOrd) -> std::cmp::Ordering {
+        (self.0.done_at, self.0.seq).cmp(&(other.0.done_at, other.0.seq))
+    }
+}
+
+/// The load/store queue, split into separate age-ordered load and
+/// store queues (both ascending by sequence number), so occupancy
+/// checks are O(1), per-seq lookups binary-search a handful of
+/// entries, and the ordered scans (older stores for a load, younger
+/// loads for a store) walk only the relevant half with early exit —
+/// replacing the old single-vector O(LSQ) filters. Entries live
+/// inline in the deques: no hashing, no pointer chasing.
+#[derive(Debug, Default)]
+struct Lsq {
+    loads: VecDeque<LsqEntry>,
+    stores: VecDeque<LsqEntry>,
+}
+
+impl Lsq {
+    fn push(&mut self, e: LsqEntry) {
+        if e.is_store {
+            self.stores.push_back(e);
+        } else {
+            self.loads.push_back(e);
+        }
+    }
+
+    fn find(&self, is_store: bool, seq: u64) -> Option<&LsqEntry> {
+        let q = if is_store { &self.stores } else { &self.loads };
+        match q.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => q.get(i),
+            Err(_) => None,
+        }
+    }
+
+    fn find_mut(&mut self, is_store: bool, seq: u64) -> Option<&mut LsqEntry> {
+        let q = if is_store { &mut self.stores } else { &mut self.loads };
+        match q.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => q.get_mut(i),
+            Err(_) => None,
+        }
+    }
+
+    fn remove(&mut self, is_store: bool, seq: u64) -> Option<LsqEntry> {
+        let q = if is_store { &mut self.stores } else { &mut self.loads };
+        // Commit removes in dispatch order, so the front is the common
+        // case; recovery uses `squash_younger` instead.
+        if q.front().is_some_and(|e| e.seq == seq) {
+            return q.pop_front();
+        }
+        match q.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => q.remove(i),
+            Err(_) => None,
+        }
+    }
+
+    /// Drops every entry younger than `boundary` (recovery).
+    fn squash_younger(&mut self, boundary: u64) {
+        while self.loads.back().is_some_and(|e| e.seq > boundary) {
+            self.loads.pop_back();
+        }
+        while self.stores.back().is_some_and(|e| e.seq > boundary) {
+            self.stores.pop_back();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.loads.len() + self.stores.len()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +323,11 @@ fn check_store(width: MemWidth, addr: u32, mem_len: usize) -> Option<TrapKind> {
 pub struct Core {
     cfg: MachineConfig,
     image: Image,
+    /// The code segment decoded once up front: fetch in a hot loop
+    /// re-reads the same words millions of times, and decoding is pure
+    /// in the word, so this caches `RawInst`s (including illegal-word
+    /// faults) per slot.
+    predecoded: Vec<RawInst>,
     mem: Vec<u8>,
     hier: Hierarchy,
     bp: Box<dyn DirectionPredictor>,
@@ -190,9 +340,13 @@ pub struct Core {
     rmt_state: RmtState,
     rob: VecDeque<RobEntry>,
     next_seq: u64,
-    iq: Vec<u64>,
-    inflight: Vec<Inflight>,
-    lsq: Vec<LsqEntry>,
+    /// Dispatch identity counter; unlike `next_seq` it never rewinds.
+    next_uid: u64,
+    sched: Scheduler,
+    inflight: BinaryHeap<Reverse<InflightOrd>>,
+    /// Reused per-cycle buffer for completions due this cycle.
+    due_scratch: Vec<Inflight>,
+    lsq: Lsq,
     front_q: VecDeque<FrontEntry>,
     fetch_pc: u32,
     fetch_stall_until: u64,
@@ -218,7 +372,14 @@ pub struct Core {
     force_flip_branch: bool,
     /// Debug: (load pc, store pc) of each memory-order violation.
     pub violation_log: Vec<(u32, u32)>,
+    /// Host nanoseconds per pipeline stage, in [`STAGE_NAMES`] order.
+    #[cfg(feature = "stage-profile")]
+    stage_ns: [u64; 5],
 }
+
+/// Stage labels for [`Core::stage_profile`], in `step()` order.
+#[cfg(feature = "stage-profile")]
+pub const STAGE_NAMES: [&str; 5] = ["commit", "complete", "issue", "rename", "fetch"];
 
 impl Core {
     /// Builds a core for a linked image, validating that the machine
@@ -250,6 +411,20 @@ impl Core {
         prf[rmt_state.rmt[2] as usize] = STACK_TOP;
         rmt_state.freelist.make_contiguous();
         let fetch_pc = image.entry;
+        let predecoded: Vec<RawInst> = image
+            .code
+            .iter()
+            .map(|&word| match cfg.isa {
+                IsaKind::Straight => match straight_isa::decode(word) {
+                    Ok(i) => RawInst::S(i),
+                    Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
+                },
+                IsaKind::Ss => match straight_riscv::decode(word) {
+                    Ok(i) => RawInst::R(i),
+                    Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
+                },
+            })
+            .collect();
         let shadow = if cfg.sanitizer {
             Some(match cfg.isa {
                 IsaKind::Straight => Shadow::S(Box::new(StraightEmu::new(image.clone()))),
@@ -264,6 +439,7 @@ impl Core {
             div_busy_until: vec![0; cfg.units.div as usize],
             cfg,
             image,
+            predecoded,
             mem,
             ras: Ras::new(),
             memdep: StoreSets::new(),
@@ -274,9 +450,11 @@ impl Core {
             rmt_state,
             rob: VecDeque::new(),
             next_seq: 0,
-            iq: Vec::new(),
-            inflight: Vec::new(),
-            lsq: Vec::new(),
+            next_uid: 0,
+            sched: Scheduler { wakeup: vec![Vec::new(); phys], ..Scheduler::default() },
+            inflight: BinaryHeap::new(),
+            due_scratch: Vec::new(),
+            lsq: Lsq::default(),
             front_q: VecDeque::new(),
             fetch_pc,
             fetch_stall_until: 0,
@@ -295,6 +473,8 @@ impl Core {
             faults_applied: 0,
             force_flip_branch: false,
             violation_log: Vec::new(),
+            #[cfg(feature = "stage-profile")]
+            stage_ns: [0; 5],
         })
     }
 
@@ -328,6 +508,31 @@ impl Core {
         uop.srcs.iter().flatten().all(|&p| self.prf_ready[p as usize])
     }
 
+    /// Physical register `p` just became ready: drain its wakeup list,
+    /// moving every waiter whose last outstanding operand this was into
+    /// the ready queue. Waiters are validated against the ROB by
+    /// dispatch identity — sequence numbers are reused after recovery,
+    /// `uid`s never are.
+    fn wake(&mut self, p: u16) {
+        if self.sched.wakeup[p as usize].is_empty() {
+            return;
+        }
+        let mut waiters = std::mem::take(&mut self.sched.wakeup[p as usize]);
+        for w in waiters.drain(..) {
+            let Some(idx) = self.rob_index(w.seq) else { continue };
+            let e = &mut self.rob[idx];
+            if e.uid != w.uid || !e.in_iq {
+                continue;
+            }
+            e.pending = e.pending.saturating_sub(1);
+            if e.pending == 0 {
+                self.sched.insert_ready(w.seq);
+            }
+        }
+        // Hand the drained allocation back to the (now empty) list.
+        self.sched.wakeup[p as usize] = waiters;
+    }
+
     fn mem_read(&self, width: MemWidth, addr: u32) -> u32 {
         let a = addr as usize;
         if a + width.bytes() as usize > self.mem.len() {
@@ -357,9 +562,14 @@ impl Core {
     }
 
     fn overlap(a_addr: u32, a_w: MemWidth, b_addr: u32, b_w: MemWidth) -> bool {
-        let a_end = a_addr.wrapping_add(a_w.bytes());
-        let b_end = b_addr.wrapping_add(b_w.bytes());
-        a_addr < b_end && b_addr < a_end
+        // Ends are computed in u64: an access butting against the top
+        // of the 32-bit address space (e.g. a wrong-path wild store at
+        // `0xffff_ffff`) must not wrap its end around to a small value
+        // — a wrapped end of 0 made such an access overlap nothing,
+        // silently skipping forwarding/violation checks against it.
+        let a_end = u64::from(a_addr) + u64::from(a_w.bytes());
+        let b_end = u64::from(b_addr) + u64::from(b_w.bytes());
+        u64::from(a_addr) < b_end && u64::from(b_addr) < a_end
     }
 
     /// Raises a fatal trap with the current architectural context.
@@ -428,6 +638,7 @@ impl Core {
                             self.prf[d as usize] = result;
                             self.prf_ready[d as usize] = true;
                             self.stats.events.prf_writes += 1;
+                            self.wake(d);
                         }
                         if let Some(e) = self.rob.front_mut() {
                             e.state = RState::Done;
@@ -530,15 +741,13 @@ impl Core {
             self.bp.update(uop.pc, entry.actual_taken, entry.pred_taken);
         }
         if uop.is_store() {
-            if let Some(i) = self.lsq.iter().position(|e| e.seq == entry.seq) {
-                let e = self.lsq.remove(i);
+            if let Some(e) = self.lsq.remove(true, entry.seq) {
                 if let (Some(addr), Some(data)) = (e.addr, e.data) {
                     self.mem_write(e.width, addr, data);
                 }
             }
         } else if uop.is_load() {
-            if let Some(i) = self.lsq.iter().position(|e| e.seq == entry.seq) {
-                let e = self.lsq.remove(i);
+            if let Some(e) = self.lsq.remove(false, entry.seq) {
                 if e.speculative && self.stats.retired.is_multiple_of(64) {
                     // Sparse decay: successful speculation slowly
                     // releases a trained dependence.
@@ -566,17 +775,18 @@ impl Core {
     // -- completion / writeback --------------------------------------
 
     fn complete(&mut self) {
-        let mut due: Vec<Inflight> = Vec::new();
-        self.inflight.retain(|f| {
-            if f.done_at <= self.cycle {
-                due.push(*f);
-                false
-            } else {
-                true
+        if self.inflight.peek().is_none_or(|f| f.0 .0.done_at > self.cycle) {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while self.inflight.peek().is_some_and(|f| f.0 .0.done_at <= self.cycle) {
+            if let Some(f) = self.inflight.pop() {
+                due.push(f.0 .0);
             }
-        });
+        }
         due.sort_by_key(|f| f.seq);
-        for f in due {
+        for &f in &due {
             // Entry may have been squashed by an earlier recovery this
             // cycle.
             let Some(idx) = self.rob_index(f.seq) else { continue };
@@ -596,12 +806,7 @@ impl Core {
                 FuncOp::Const(v) => v,
                 FuncOp::Copy => s0,
                 FuncOp::Load { width, .. } => {
-                    let addr = self
-                        .lsq
-                        .iter()
-                        .find(|e| e.seq == f.seq)
-                        .and_then(|e| e.addr)
-                        .unwrap_or(0);
+                    let addr = self.lsq.find(false, f.seq).and_then(|e| e.addr).unwrap_or(0);
                     match check_load(width, addr, self.mem.len()) {
                         Some(kind) => {
                             trap = Some(kind);
@@ -646,27 +851,31 @@ impl Core {
                 self.prf_ready[d as usize] = true;
                 self.stats.events.prf_writes += 1;
                 self.stats.events.iq_wakeups += 1;
+                self.wake(d);
             }
-            self.rob[idx].state = RState::Done;
-            self.rob[idx].actual_taken = actual_taken;
+            let e = &mut self.rob[idx];
+            e.state = RState::Done;
+            e.actual_taken = actual_taken;
             if trap.is_some() {
-                self.rob[idx].trap = trap;
+                e.trap = trap;
             }
+            let predicted_next = e.predicted_next;
+            let cp = e.ras_cp;
             if uop.is_control() {
                 if uop.is_cond_branch() {
                     self.stats.branches += 1;
                 }
-                if actual_next != self.rob[idx].predicted_next {
+                if actual_next != predicted_next {
                     if uop.is_cond_branch() {
                         self.stats.branch_mispredicts += 1;
                     } else {
                         self.stats.indirect_mispredicts += 1;
                     }
-                    let cp = self.rob[idx].ras_cp;
                     self.recover(f.seq, actual_next, Some(cp));
                 }
             }
         }
+        self.due_scratch = due;
     }
 
     // -- issue ------------------------------------------------------
@@ -687,25 +896,31 @@ impl Core {
             ExecUnit::Branch => 3,
             ExecUnit::Mem => 4,
         };
-        self.iq.sort_unstable();
-        let candidates: Vec<u64> = self.iq.clone();
-        for seq in candidates {
+        // Select walks only operand-ready entries, oldest first — the
+        // wakeup lists already filtered out anything still waiting on a
+        // source, and entries the old full scan would have skipped
+        // silently (operands pending) had no observable side effects,
+        // so the issue order and every stat bump are unchanged.
+        let mut candidates = std::mem::take(&mut self.sched.scratch);
+        candidates.clear();
+        candidates.extend_from_slice(&self.sched.ready);
+        for &seq in &candidates {
             if budget_total == 0 {
                 break;
             }
             let Some(idx) = self.rob_index(seq) else {
-                self.iq.retain(|&s| s != seq);
+                self.sched.remove_ready(seq);
                 continue;
             };
             if self.rob[idx].state != RState::Waiting {
-                self.iq.retain(|&s| s != seq);
+                self.sched.remove_ready(seq);
                 continue;
             }
-            let uop = self.rob[idx].uop.clone();
-            let ui = unit_idx(uop.unit);
+            let ui = unit_idx(self.rob[idx].uop.unit);
             if budget[ui] == 0 {
                 continue;
             }
+            let uop = self.rob[idx].uop.clone();
             // Unpipelined divider occupancy.
             let mut div_slot = None;
             if uop.unit == ExecUnit::Div {
@@ -717,25 +932,21 @@ impl Core {
             let mut load_src = None;
             let latency;
             if uop.is_load() {
-                if !self.srcs_ready(&uop) {
-                    continue;
-                }
                 match self.try_issue_load(seq, &uop) {
                     Some((lat, src)) => {
                         latency = lat;
                         load_src = Some(src);
                     }
-                    None => continue, // retry next cycle
+                    None => continue, // blocked on the LSQ; retry next cycle
                 }
             } else if uop.is_store() {
                 // Stores issue their address as soon as the base
                 // register is ready (split AGU), shrinking the window
-                // in which younger loads see unknown store addresses.
-                let addr_known = self.lsq.iter().any(|e| e.seq == seq && e.addr.is_some());
+                // in which younger loads see unknown store addresses:
+                // a store enters the ready queue on its base operand
+                // alone and picks up the data operand separately.
+                let addr_known = self.lsq.find(true, seq).is_some_and(|e| e.addr.is_some());
                 if !addr_known {
-                    if uop.srcs[0].is_some_and(|p| !self.prf_ready[p as usize]) {
-                        continue;
-                    }
                     let violation = self.issue_store_addr(seq, &uop);
                     if violation {
                         return; // the recovery consumed this cycle
@@ -744,26 +955,40 @@ impl Core {
                     budget[ui] -= 1;
                     budget_total -= 1;
                     self.stats.events.fu_ops += 1;
-                    if uop.srcs[1].is_some_and(|p| !self.prf_ready[p as usize]) {
-                        continue; // data not ready yet; stay in the IQ
+                    if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready[p as usize]) {
+                        // Data not ready yet: leave select and wait on
+                        // the data tag alone.
+                        let uid = self.rob[idx].uid;
+                        self.rob[idx].pending = 1;
+                        self.sched.remove_ready(seq);
+                        self.sched.wakeup[p as usize].push(Waiter { seq, uid });
+                        continue;
                     }
                     self.record_store_data(seq, &uop);
                     let Some(idx) = self.rob_index(seq) else { continue };
                     self.rob[idx].state = RState::Issued;
-                    self.inflight.push(Inflight { seq, done_at: self.cycle + 1, load_src: None });
-                    self.iq.retain(|&s| s != seq);
+                    self.rob[idx].in_iq = false;
+                    self.sched.remove_ready(seq);
+                    self.sched.occupancy -= 1;
+                    self.inflight.push(Reverse(InflightOrd(Inflight {
+                        seq,
+                        done_at: self.cycle + 1,
+                        load_src: None,
+                    })));
                     continue;
                 }
-                // Address already generated; waiting for data.
-                if uop.srcs[1].is_some_and(|p| !self.prf_ready[p as usize]) {
+                // Address already generated (a violation recovery cut
+                // phase A short); the data operand may still be pending.
+                if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready[p as usize]) {
+                    let uid = self.rob[idx].uid;
+                    self.rob[idx].pending = 1;
+                    self.sched.remove_ready(seq);
+                    self.sched.wakeup[p as usize].push(Waiter { seq, uid });
                     continue;
                 }
                 self.record_store_data(seq, &uop);
                 latency = 1;
             } else {
-                if !self.srcs_ready(&uop) {
-                    continue;
-                }
                 latency = uop.latency;
             }
             if let Some(k) = div_slot {
@@ -775,9 +1000,16 @@ impl Core {
             self.stats.events.prf_reads += uop.srcs.iter().flatten().count() as u64;
             let Some(idx) = self.rob_index(seq) else { continue };
             self.rob[idx].state = RState::Issued;
-            self.inflight.push(Inflight { seq, done_at: self.cycle + u64::from(latency), load_src });
-            self.iq.retain(|&s| s != seq);
+            self.rob[idx].in_iq = false;
+            self.sched.remove_ready(seq);
+            self.sched.occupancy -= 1;
+            self.inflight.push(Reverse(InflightOrd(Inflight {
+                seq,
+                done_at: self.cycle + u64::from(latency),
+                load_src,
+            })));
         }
+        self.sched.scratch = candidates;
     }
 
     /// Attempts to issue a load: address generation, LSQ search,
@@ -789,9 +1021,10 @@ impl Core {
         self.stats.events.lsq_searches += 1;
         let mut unknown_older = false;
         let mut best: Option<(u64, u32, MemWidth, u32)> = None; // (seq, addr, width, data)
-        for e in &self.lsq {
-            if !e.is_store || e.seq >= seq {
-                continue;
+        // The store queue is ascending, so older stores are a prefix.
+        for e in &self.lsq.stores {
+            if e.seq >= seq {
+                break;
             }
             match e.addr {
                 None => unknown_older = true,
@@ -820,7 +1053,7 @@ impl Core {
             return None;
         }
         // Record the load address for later violation checks.
-        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+        if let Some(e) = self.lsq.find_mut(false, seq) {
             e.addr = Some(addr);
             e.speculative = unknown_older;
             e.fwd_src = best.map(|(bs, ..)| bs);
@@ -840,7 +1073,7 @@ impl Core {
     fn issue_store_addr(&mut self, seq: u64, uop: &UOp) -> bool {
         let FuncOp::Store { width, offset } = uop.func else { unreachable!() };
         let addr = self.src_value(uop.srcs[0]).wrapping_add(offset as u32);
-        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+        if let Some(e) = self.lsq.find_mut(true, seq) {
             e.addr = Some(addr);
         }
         // A wild or misaligned store address is recorded on the ROB
@@ -852,20 +1085,22 @@ impl Core {
         }
         self.stats.events.lsq_searches += 1;
         // A younger load that already executed reading this address
-        // got stale data.
-        let victim = self
-            .lsq
-            .iter()
-            .filter(|e| {
-                !e.is_store
-                    && e.seq > seq
-                    && e.addr.is_some_and(|la| Self::overlap(addr, width, la, e.width))
-                    // A load that forwarded from a store *younger* than
-                    // this one already read the correct, newer value.
-                    && e.fwd_src.is_none_or(|fs| fs < seq)
-            })
-            .map(|e| (e.seq, e.pc))
-            .min();
+        // got stale data. The load queue is ascending, so the first
+        // match is the oldest victim.
+        let mut victim: Option<(u64, u32)> = None;
+        for e in &self.lsq.loads {
+            if e.seq <= seq {
+                continue;
+            }
+            if e.addr.is_some_and(|la| Self::overlap(addr, width, la, e.width))
+                // A load that forwarded from a store *younger* than
+                // this one already read the correct, newer value.
+                && e.fwd_src.is_none_or(|fs| fs < seq)
+            {
+                victim = Some((e.seq, e.pc));
+                break;
+            }
+        }
         if let Some((load_seq, load_pc)) = victim {
             // Only an actual executed load matters; it re-executes.
             self.violation_log.push((load_pc, uop.pc));
@@ -880,7 +1115,7 @@ impl Core {
     /// Records a store's data once its value operand is ready.
     fn record_store_data(&mut self, seq: u64, uop: &UOp) {
         let data = self.src_value(uop.srcs[1]);
-        if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+        if let Some(e) = self.lsq.find_mut(true, seq) {
             e.data = Some(data);
         }
     }
@@ -892,15 +1127,20 @@ impl Core {
     /// two machines.
     fn recover(&mut self, boundary_seq: u64, new_pc: u32, ras_cp: Option<RasCheckpoint>) {
         let front_seq = self.rob.front().map(|e| e.seq).unwrap_or(boundary_seq + 1);
-        let keep = (boundary_seq + 1).saturating_sub(front_seq) as usize;
-        let squashed: Vec<RobEntry> = self.rob.drain(keep.min(self.rob.len())..).collect();
-        let n = squashed.len() as u64;
+        let keep = ((boundary_seq + 1).saturating_sub(front_seq) as usize).min(self.rob.len());
+        let n = (self.rob.len() - keep) as u64;
         self.stats.squashed += n;
+        // The squashed tail is walked in place — no copies — and then
+        // truncated away. Wakeup subscriptions of squashed entries are
+        // deliberately NOT unhooked: a stale waiter is dead weight in
+        // its list until the tag's next completion drains it, and
+        // `wake` rejects it by dispatch uid (uids are never reused,
+        // unlike sequence numbers).
         match self.cfg.isa {
             IsaKind::Ss => {
                 // Walk the squashed entries from the tail, restoring
                 // previous mappings and refreeing destinations.
-                for e in squashed.iter().rev() {
+                for e in self.rob.range(keep..).rev() {
                     self.stats.events.rob_walk_reads += 1;
                     if let (Some(l), Some(prev), Some(d)) =
                         (e.uop.logical_dst, e.uop.prev_phys, e.uop.dst)
@@ -920,12 +1160,12 @@ impl Core {
             }
             IsaKind::Straight => {
                 // One ROB-entry read restores RP and SP (Figure 4).
-                let restore = match self.rob.back() {
+                let restore = match self.rob.get(keep.wrapping_sub(1)) {
                     Some(e) => RpState { rp: e.uop.rp_after, sp: e.uop.sp_after },
                     None => self.arch_rp,
                 };
                 self.rp_state = restore;
-                for e in &squashed {
+                for e in self.rob.range(keep..) {
                     if let Some(d) = e.uop.dst {
                         self.prf_ready[d as usize] = true;
                     }
@@ -938,9 +1178,14 @@ impl Core {
         // The ROB tail pointer moves back: squashed sequence numbers
         // are reused, keeping ROB sequence numbers contiguous.
         self.next_seq = boundary_seq + 1;
-        self.iq.retain(|&s| s <= boundary_seq);
-        self.inflight.retain(|f| f.seq <= boundary_seq);
-        self.lsq.retain(|e| e.seq <= boundary_seq);
+        // Squashed entries still holding scheduler slots give them
+        // back.
+        self.sched.occupancy -= self.rob.range(keep..).filter(|e| e.in_iq).count();
+        self.rob.truncate(keep);
+        let keep_ready = self.sched.ready.partition_point(|&s| s <= boundary_seq);
+        self.sched.ready.truncate(keep_ready);
+        self.inflight.retain(|f| f.0 .0.seq <= boundary_seq);
+        self.lsq.squash_younger(boundary_seq);
         self.front_q.clear();
         self.bp.recover();
         if let Some(cp) = ras_cp {
@@ -965,7 +1210,8 @@ impl Core {
             if front.ready_at > self.cycle {
                 return;
             }
-            if self.rob.len() >= self.cfg.rob_capacity as usize || self.iq.len() >= self.cfg.iq_entries as usize
+            if self.rob.len() >= self.cfg.rob_capacity as usize
+                || self.sched.occupancy >= self.cfg.iq_entries as usize
             {
                 self.stats.backpressure_stall_cycles += 1;
                 return;
@@ -978,11 +1224,11 @@ impl Core {
                 }
                 RawInst::Fault(_) => (false, false),
             };
-            if is_load && self.lsq.iter().filter(|e| !e.is_store).count() >= self.cfg.lsq_ld as usize {
+            if is_load && self.lsq.loads.len() >= self.cfg.lsq_ld as usize {
                 self.stats.backpressure_stall_cycles += 1;
                 return;
             }
-            if is_store && self.lsq.iter().filter(|e| e.is_store).count() >= self.cfg.lsq_st as usize {
+            if is_store && self.lsq.stores.len() >= self.cfg.lsq_st as usize {
                 self.stats.backpressure_stall_cycles += 1;
                 return;
             }
@@ -997,11 +1243,9 @@ impl Core {
                     // a producer that never existed (`next_seq` is the
                     // dynamic index this instruction will get). Trap
                     // precisely instead of reading ring garbage.
-                    let oob = inst
-                        .sources()
-                        .into_iter()
-                        .flatten()
-                        .find(|d| u64::from(d.get()) > self.next_seq);
+                    let sources = inst.sources();
+                    let oob =
+                        sources.into_iter().flatten().find(|d| u64::from(d.get()) > self.next_seq);
                     match oob {
                         Some(d) => UOp::trap(
                             front.pc,
@@ -1011,7 +1255,7 @@ impl Core {
                         ),
                         None => {
                             self.stats.events.rp_adds +=
-                                1 + inst.sources().iter().flatten().count() as u64;
+                                1 + sources.iter().flatten().count() as u64;
                             rename_straight(inst, front.pc, &mut self.rp_state, self.cfg.phys_regs)
                         }
                     }
@@ -1045,6 +1289,8 @@ impl Core {
             }
             let seq = self.next_seq;
             self.next_seq += 1;
+            let uid = self.next_uid;
+            self.next_uid += 1;
             let goes_to_iq = !(uop.is_sys() || uop.is_halt() || uop.is_trap());
             if uop.is_load() || uop.is_store() {
                 self.lsq.push(LsqEntry {
@@ -1061,6 +1307,30 @@ impl Core {
                     fwd_src: None,
                 });
             }
+            // Subscribe to the wakeup list of each not-yet-ready
+            // source; an entry with none goes straight to the ready
+            // queue. Stores watch their base operand only — the split
+            // AGU lets the address issue before the data is ready, and
+            // the data tag is picked up at that point.
+            let mut pending = 0u8;
+            if goes_to_iq {
+                let watched: &[Option<u16>] =
+                    if uop.is_store() { &uop.srcs[..1] } else { &uop.srcs[..] };
+                for &p in watched.iter().flatten() {
+                    if !self.prf_ready[p as usize] {
+                        self.sched.wakeup[p as usize].push(Waiter { seq, uid });
+                        pending += 1;
+                    }
+                }
+                if pending == 0 {
+                    // Dispatch appends in ascending seq order; a
+                    // reused seq was truncated out at recovery, so a
+                    // plain push keeps the ready queue sorted.
+                    self.sched.ready.push(seq);
+                }
+                self.sched.occupancy += 1;
+                self.stats.events.iq_inserts += 1;
+            }
             self.rob.push_back(RobEntry {
                 seq,
                 uop,
@@ -1070,12 +1340,11 @@ impl Core {
                 actual_taken: false,
                 ras_cp: front.ras_cp,
                 trap: None,
+                uid,
+                pending,
+                in_iq: goes_to_iq,
             });
             self.stats.events.rob_writes += 1;
-            if goes_to_iq {
-                self.iq.push(seq);
-                self.stats.events.iq_inserts += 1;
-            }
         }
     }
 
@@ -1107,18 +1376,14 @@ impl Core {
             // word enters the pipe as a fault entry; fetch then parks
             // until a recovery redirects it (on the correct path the
             // fault commits and ends the simulation).
-            let raw = match self.image.fetch(pc) {
-                None => RawInst::Fault(TrapKind::FetchFault),
-                Some(word) => match self.cfg.isa {
-                    IsaKind::Straight => match straight_isa::decode(word) {
-                        Ok(i) => RawInst::S(i),
-                        Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
-                    },
-                    IsaKind::Ss => match straight_riscv::decode(word) {
-                        Ok(i) => RawInst::R(i),
-                        Err(_) => RawInst::Fault(TrapKind::IllegalInstruction { word }),
-                    },
-                },
+            let raw = if pc < self.image.code_base || !pc.is_multiple_of(4) {
+                RawInst::Fault(TrapKind::FetchFault)
+            } else {
+                let idx = ((pc - self.image.code_base) / 4) as usize;
+                self.predecoded
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(RawInst::Fault(TrapKind::FetchFault))
             };
             let faulted = matches!(raw, RawInst::Fault(_));
             let ras_cp = self.ras.checkpoint();
@@ -1235,7 +1500,7 @@ impl Core {
                 (e.seq, e.uop.pc, state)
             }),
             rob_len: self.rob.len(),
-            iq_len: self.iq.len(),
+            iq_len: self.sched.occupancy,
             inflight_len: self.inflight.len(),
             lsq_len: self.lsq.len(),
             front_len: self.front_q.len(),
@@ -1267,7 +1532,7 @@ impl Core {
             "cyc={} rob={} iq={} infl={} lsq={} frontq={} front_rdy={:?} front_pc={:?} fetch_pc={:#x} fstall@{} rstall@{} retired={} | {:?}",
             self.cycle,
             self.rob.len(),
-            self.iq.len(),
+            self.sched.occupancy,
             self.inflight.len(),
             self.lsq.len(),
             self.front_q.len(),
@@ -1281,18 +1546,48 @@ impl Core {
         )
     }
 
+    /// Runs one pipeline stage, charging its host time to `slot` when
+    /// the `stage-profile` feature is enabled.
+    #[inline]
+    fn run_stage(&mut self, slot: usize, f: impl FnOnce(&mut Core)) {
+        #[cfg(feature = "stage-profile")]
+        {
+            let t0 = std::time::Instant::now();
+            f(self);
+            self.stage_ns[slot] =
+                self.stage_ns[slot].saturating_add(t0.elapsed().as_nanos() as u64);
+        }
+        #[cfg(not(feature = "stage-profile"))]
+        {
+            let _ = slot;
+            f(self);
+        }
+    }
+
+    /// Host-time nanoseconds spent in each pipeline stage so far,
+    /// labeled by [`STAGE_NAMES`].
+    #[cfg(feature = "stage-profile")]
+    #[must_use]
+    pub fn stage_profile(&self) -> [(&'static str, u64); 5] {
+        let mut out = [("", 0u64); 5];
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            out[i] = (name, self.stage_ns[i]);
+        }
+        out
+    }
+
     /// Advances one cycle.
     pub fn step(&mut self) {
         self.apply_due_faults();
         let retired_before = self.stats.retired;
-        self.commit();
+        self.run_stage(0, Core::commit);
         if self.halted.is_some() || self.fatal.is_some() {
             return;
         }
-        self.complete();
-        self.issue();
-        self.rename_dispatch();
-        self.fetch();
+        self.run_stage(1, Core::complete);
+        self.run_stage(2, Core::issue);
+        self.run_stage(3, Core::rename_dispatch);
+        self.run_stage(4, Core::fetch);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         if self.stats.retired != retired_before {
@@ -1353,4 +1648,27 @@ impl Core {
 /// all (ISA mismatch, undersized register file).
 pub fn simulate(image: Image, cfg: MachineConfig, max_cycles: u64) -> Result<SimResult, CoreError> {
     Ok(Core::new(image, cfg)?.run(max_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_at_top_of_address_space_does_not_wrap() {
+        // Regression test: the interval ends were computed with
+        // `u32::wrapping_add`, so an access touching `0xffff_ffff`
+        // wrapped its end to ~0 and overlapped nothing. Such
+        // addresses are reachable on the wrong path (wild speculative
+        // stores), where the LSQ still must see the conflict.
+        assert!(Core::overlap(0xffff_fffe, MemWidth::W, 0xffff_ffff, MemWidth::B));
+        assert!(Core::overlap(0xffff_ffff, MemWidth::B, 0xffff_fffc, MemWidth::W));
+        assert!(Core::overlap(0xffff_ffff, MemWidth::B, 0xffff_ffff, MemWidth::B));
+        // Adjacent but disjoint accesses still do not overlap.
+        assert!(!Core::overlap(0xffff_fff8, MemWidth::W, 0xffff_fffc, MemWidth::W));
+        assert!(!Core::overlap(0xffff_fffc, MemWidth::W, 0x0000_0000, MemWidth::W));
+        // And the everyday cases are unchanged.
+        assert!(Core::overlap(0x100, MemWidth::W, 0x102, MemWidth::H));
+        assert!(!Core::overlap(0x100, MemWidth::W, 0x104, MemWidth::W));
+    }
 }

@@ -61,8 +61,11 @@ pub struct SimStats {
     pub cycles: u64,
     /// Retired (committed) instructions.
     pub retired: u64,
-    /// Retired counts per category (Figure 15 categories).
-    pub retired_kinds: BTreeMap<&'static str, u64>,
+    /// Retired counts per category, indexed like [`KIND_NAMES`]
+    /// (Figure 15 categories). A fixed array rather than a map: the
+    /// retire path bumps one of these per instruction, so the counter
+    /// must be O(1) with no string hashing.
+    pub retired_kinds: [u64; KIND_NAMES.len()],
     /// Conditional branches resolved / mispredicted.
     pub branches: u64,
     /// Mispredicted conditional branches.
@@ -107,10 +110,37 @@ impl SimStats {
         }
     }
 
-    /// Bumps a retired-kind counter.
+    /// Bumps a retired-kind counter. `kind` must be one of
+    /// [`KIND_NAMES`]; anything else is counted as `"other"`.
     pub fn bump_kind(&mut self, kind: &'static str) {
-        *self.retired_kinds.entry(kind).or_insert(0) += 1;
+        let slot = kind_slot(kind);
+        debug_assert_eq!(KIND_NAMES[slot], kind, "unknown retired-instruction kind");
+        self.retired_kinds[slot] += 1;
         self.retired += 1;
+    }
+
+    /// The retired count for one [`KIND_NAMES`] category.
+    #[must_use]
+    pub fn kind_count(&self, name: &str) -> u64 {
+        KIND_NAMES
+            .iter()
+            .position(|&k| k == name)
+            .map_or(0, |i| self.retired_kinds[i])
+    }
+}
+
+/// O(1) category dispatch: every [`KIND_NAMES`] entry starts with a
+/// distinct byte, so one byte identifies the slot.
+#[inline]
+fn kind_slot(kind: &str) -> usize {
+    match kind.as_bytes().first() {
+        Some(b'j') => 0,
+        Some(b'a') => 1,
+        Some(b'l') => 2,
+        Some(b's') => 3,
+        Some(b'r') => 4,
+        Some(b'n') => 5,
+        _ => 6,
     }
 }
 
@@ -128,8 +158,16 @@ pub fn intern_kind(name: &str) -> Option<&'static str> {
 
 impl ToJson for SimStats {
     fn to_json(&self) -> Json {
-        let kinds =
-            Json::Obj(self.retired_kinds.iter().map(|(k, v)| ((*k).to_string(), v.to_json())).collect());
+        // Emitted exactly as the former `BTreeMap` representation did:
+        // categories with a non-zero count, in lexicographic order.
+        let mut lex: Vec<usize> = (0..KIND_NAMES.len()).collect();
+        lex.sort_by_key(|&i| KIND_NAMES[i]);
+        let kinds = Json::Obj(
+            lex.into_iter()
+                .filter(|&i| self.retired_kinds[i] != 0)
+                .map(|i| (KIND_NAMES[i].to_string(), self.retired_kinds[i].to_json()))
+                .collect(),
+        );
         Json::obj([
             ("cycles", self.cycles.to_json()),
             ("retired", self.retired.to_json()),
@@ -152,12 +190,12 @@ impl ToJson for SimStats {
 impl FromJson for SimStats {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let kinds_value: BTreeMap<String, u64> = read_field(value, "retired_kinds")?;
-        let mut retired_kinds = BTreeMap::new();
+        let mut retired_kinds = [0u64; KIND_NAMES.len()];
         for (name, count) in kinds_value {
-            let interned = intern_kind(&name).ok_or_else(|| {
+            let slot = KIND_NAMES.iter().position(|&k| k == name).ok_or_else(|| {
                 JsonError::Shape(format!("unknown retired-instruction kind `{name}`"))
             })?;
-            retired_kinds.insert(interned, count);
+            retired_kinds[slot] = count;
         }
         Ok(SimStats {
             cycles: read_field(value, "cycles")?,
@@ -292,7 +330,16 @@ mod tests {
         s.branch_mispredicts = 3;
         assert!((s.ipc() - 1.5).abs() < 1e-9);
         assert!((s.mispredict_rate() - 0.3).abs() < 1e-9);
-        assert_eq!(s.retired_kinds["alu"], 150);
+        assert_eq!(s.kind_count("alu"), 150);
+        assert_eq!(s.kind_count("ld"), 0);
+    }
+
+    #[test]
+    fn kind_slots_cover_all_names() {
+        // The one-byte dispatch must stay in lockstep with KIND_NAMES.
+        for (i, name) in KIND_NAMES.iter().enumerate() {
+            assert_eq!(kind_slot(name), i, "kind {name} maps to the wrong slot");
+        }
     }
 
     #[test]

@@ -3,12 +3,45 @@
 //! depend on older stores and wait for their addresses.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for the `u32` load-PC keys: the default
+/// SipHash is overkill (and measurably slow) on the per-load-issue
+/// prediction path, and we never iterate the table, so hash quality
+/// only affects bucket distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcHasher(u64);
+
+impl Hasher for PcHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (unused by u32 keys, kept correct anyway).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        let x = u64::from(n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = x ^ (x >> 29);
+    }
+}
 
 /// Per-load-PC dependence predictor with a small confidence counter.
 #[derive(Debug, Clone, Default)]
 pub struct StoreSets {
     /// Load PC → 2-bit "waits for stores" confidence.
-    table: HashMap<u32, u8>,
+    table: HashMap<u32, u8, BuildHasherDefault<PcHasher>>,
+    /// Sparse-decay state. Per instance, NOT shared: an earlier
+    /// version kept this in a `thread_local!`, so a fresh predictor's
+    /// decay schedule depended on every simulation that had run
+    /// earlier on the same thread — two identical `Core`s could
+    /// produce different statistics. Owning the counter makes a fresh
+    /// predictor's behaviour a pure function of its own inputs.
+    decay_counter: u32,
 }
 
 impl StoreSets {
@@ -33,28 +66,20 @@ impl StoreSets {
     }
 
     /// Slowly decays confidence when the load executed early and no
-    /// violation occurred.
+    /// violation occurred: roughly 1/64 of calls (deterministically,
+    /// keyed on the instance counter folded with the PC) release one
+    /// step of trained dependence.
     pub fn on_no_violation(&mut self, pc: u32) {
         if let Some(c) = self.table.get_mut(&pc) {
-            if *c > 0 && fastrand_decay(pc) {
-                *c -= 1;
+            if *c > 0 {
+                let v = self.decay_counter.wrapping_add(0x9e37_79b9).wrapping_add(pc);
+                self.decay_counter = v;
+                if v & 63 == 0 {
+                    *c -= 1;
+                }
             }
         }
     }
-}
-
-/// Deterministic sparse decay (roughly 1/64 of the time), keyed on a
-/// per-call counter folded with the PC so behaviour is reproducible.
-fn fastrand_decay(pc: u32) -> bool {
-    use std::cell::Cell;
-    thread_local! {
-        static COUNTER: Cell<u32> = const { Cell::new(0) };
-    }
-    COUNTER.with(|c| {
-        let v = c.get().wrapping_add(0x9e37_79b9).wrapping_add(pc);
-        c.set(v);
-        v & 63 == 0
-    })
 }
 
 #[cfg(test)]
@@ -77,5 +102,30 @@ mod tests {
             s.on_no_violation(0x200);
         }
         assert!(!s.predict_dependent(0x200));
+    }
+
+    #[test]
+    fn fresh_predictors_decay_identically() {
+        // Regression test for the `thread_local!` decay counter: the
+        // decay trace of a fresh predictor must not depend on how many
+        // decay calls earlier predictors on this thread performed.
+        let trace = |warmup: u32| {
+            // A prior, unrelated predictor does `warmup` decay calls
+            // on this same thread (this is what used to leak through
+            // the thread-local counter).
+            let mut earlier = StoreSets::new();
+            earlier.on_violation(0x40);
+            for _ in 0..warmup {
+                earlier.on_no_violation(0x40);
+            }
+            // The predictor under test must be unaffected.
+            let mut s = StoreSets::new();
+            s.on_violation(0x80);
+            (0..512).map(|_| {
+                s.on_no_violation(0x80);
+                s.predict_dependent(0x80)
+            }).collect::<Vec<bool>>()
+        };
+        assert_eq!(trace(0), trace(17), "decay schedule leaked across predictor instances");
     }
 }

@@ -1,12 +1,15 @@
 //! Return-address stack with checkpoint/restore for squash repair.
 
+/// Stack depth; a power of two so the circular index is a mask.
+const RAS_ENTRIES: usize = 16;
+
 /// A small circular return-address stack. Fetch pushes on calls and
 /// pops on returns speculatively; every in-flight branch checkpoints
 /// `(top_index, top_value)` so a squash can repair the common
 /// single-divergence case.
 #[derive(Debug, Clone)]
 pub struct Ras {
-    stack: Vec<u32>,
+    stack: [u32; RAS_ENTRIES],
     top: usize,
 }
 
@@ -21,19 +24,19 @@ impl Ras {
     /// A 16-entry stack (typical for the modeled core class).
     #[must_use]
     pub fn new() -> Ras {
-        Ras { stack: vec![0; 16], top: 0 }
+        Ras { stack: [0; RAS_ENTRIES], top: 0 }
     }
 
     /// Pushes a return address (call).
     pub fn push(&mut self, addr: u32) {
-        self.top = (self.top + 1) % self.stack.len();
+        self.top = (self.top + 1) % RAS_ENTRIES;
         self.stack[self.top] = addr;
     }
 
     /// Pops the predicted return address (return).
     pub fn pop(&mut self) -> u32 {
         let v = self.stack[self.top];
-        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        self.top = (self.top + RAS_ENTRIES - 1) % RAS_ENTRIES;
         v
     }
 

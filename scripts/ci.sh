@@ -13,10 +13,30 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# The opt-in per-stage host profiler must keep compiling and passing.
+cargo test -p straight-tests --features stage-profile -q --test stage_profile
+
 # Smoke: the unified runner must produce a BENCH_fig11.json that its
 # own validator accepts (parse + schema check + FromJson round-trip).
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-target/release/straight-lab --figure fig11 --quick --quiet --out "$SMOKE_DIR"
+target/release/straight-lab --figure fig11 --quick --quiet --profile --out "$SMOKE_DIR"
 test -s "$SMOKE_DIR/BENCH_fig11.json"
 target/release/straight-lab --validate "$SMOKE_DIR/BENCH_fig11.json"
+
+# The record must carry the host-side throughput profile: every
+# pipeline cell (stats != null) reports a positive sim wall time and
+# kcycles/sec; non-pipeline cells report null.
+python3 - "$SMOKE_DIR/BENCH_fig11.json" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+piped = [c for c in cells if c["stats"] is not None]
+assert piped, "fig11 should contain pipeline cells"
+for c in cells:
+    if c["stats"] is not None:
+        assert c["sim_wall_ms"] > 0, c["id"]
+        assert c["ksim_cycles_per_sec"] > 0, c["id"]
+    else:
+        assert c["sim_wall_ms"] is None and c["ksim_cycles_per_sec"] is None, c["id"]
+print(f"throughput fields OK on {len(piped)} pipeline cells")
+EOF

@@ -62,6 +62,8 @@ fn synthetic_result() -> ExperimentResult {
             max_distance_used: Some(900),
             stdout_digest: Some("ffffffffffffffff".to_string()),
             wall_ms: 3.25,
+            sim_wall_ms: Some(2.5),
+            ksim_cycles_per_sec: Some(400.0),
         }],
     }
 }
@@ -115,6 +117,76 @@ fn parallel_and_serial_runs_agree() {
     let a = run_lab(&serial).unwrap().remove(0);
     let b = run_lab(&parallel).unwrap().remove(0);
     assert_eq!(a.result.normalized(), b.result.normalized());
+}
+
+/// Regression test for cross-run predictor state leakage: pipeline
+/// cells (which carry branch-predictor and store-set state inside the
+/// simulated core) must produce identical records whether they run
+/// serially, in parallel, or in a different experiment order. A
+/// predictor whose state leaks across simulations (the old
+/// `thread_local!` store-set decay counter) breaks exactly this.
+#[test]
+fn pipeline_records_do_not_depend_on_schedule_or_order() {
+    // fig17 contains pipeline (cycle-accurate) Dhrystone cells; fig15
+    // rides along so experiment order can be permuted.
+    let mut serial = lab_config(&["fig15", "fig17"]);
+    serial.jobs = 1;
+    let mut parallel = lab_config(&["fig15", "fig17"]);
+    parallel.jobs = 8;
+    let mut reversed = lab_config(&["fig17", "fig15"]);
+    reversed.jobs = 1;
+
+    let a = run_lab(&serial).unwrap();
+    let b = run_lab(&parallel).unwrap();
+    let c = run_lab(&reversed).unwrap();
+
+    // The grid actually exercised the cycle-accurate pipeline.
+    assert!(
+        a.iter().flat_map(|r| &r.result.cells).any(|cell| cell.stats.is_some()),
+        "expected at least one pipeline cell in fig17"
+    );
+
+    let by_name = |runs: &[straight_core::lab::LabRun], name: &str| {
+        runs.iter()
+            .map(|r| r.result.normalized())
+            .find(|r| r.experiment == name)
+            .expect("experiment present")
+    };
+    for name in ["fig15", "fig17"] {
+        let serial_r = by_name(&a, name);
+        assert_eq!(serial_r, by_name(&b, name), "{name}: jobs=1 vs jobs=8 diverged");
+        assert_eq!(serial_r, by_name(&c, name), "{name}: experiment order changed the records");
+    }
+}
+
+/// Pipeline cells must report the profiler's throughput fields;
+/// non-pipeline cells must not.
+#[test]
+fn pipeline_records_carry_throughput_profile() {
+    let runs = run_lab(&lab_config(&["fig17"])).unwrap();
+    let mut pipeline_cells = 0;
+    for cell in runs.iter().flat_map(|r| &r.result.cells) {
+        if cell.stats.is_some() {
+            pipeline_cells += 1;
+            let sim_ms = cell.sim_wall_ms.expect("pipeline cell has sim_wall_ms");
+            let kcps = cell.ksim_cycles_per_sec.expect("pipeline cell has throughput");
+            assert!(sim_ms > 0.0, "sim_wall_ms must be positive, got {sim_ms}");
+            assert!(kcps > 0.0, "ksim_cycles_per_sec must be positive, got {kcps}");
+            let expected = cell.cycles as f64 / sim_ms;
+            assert!((kcps - expected).abs() < 1e-9 * expected.max(1.0));
+        } else {
+            assert_eq!(cell.sim_wall_ms, None);
+            assert_eq!(cell.ksim_cycles_per_sec, None);
+        }
+    }
+    assert!(pipeline_cells > 0, "fig17 should contain pipeline cells");
+    // normalized() strips the volatile profiling fields.
+    for run in &runs {
+        for cell in &run.result.normalized().cells {
+            assert_eq!(cell.sim_wall_ms, None);
+            assert_eq!(cell.ksim_cycles_per_sec, None);
+        }
+    }
 }
 
 #[test]
