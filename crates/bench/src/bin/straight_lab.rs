@@ -6,12 +6,19 @@
 //! `BENCH_<name>.json` records, and re-renders the paper-shaped text
 //! reports from those records. `docs/REPRODUCING.md` maps every paper
 //! figure to its invocation.
+//!
+//! With `--remote <addr>` the same selection runs on a `straightd`
+//! daemon instead of in-process: cells execute in the daemon's
+//! persistent session (so its caches survive across invocations), and
+//! the fetched records are byte-identical — after `normalized()` — to
+//! an in-process run at the same revision. See `docs/SERVING.md`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use straight_core::experiment::{self, RunParams};
-use straight_core::lab::{default_jobs, run_lab, validate_file, LabConfig};
+use straight_bench::serve::Client;
+use straight_core::experiment::{self, ExperimentId, RunParams};
+use straight_core::lab::{default_jobs, validate_file, write_result, LabRun, LabSession};
 
 const USAGE: &str = "\
 straight-lab — unified parallel experiment runner for the STRAIGHT reproduction
@@ -24,8 +31,12 @@ SELECTION (at least one):
     --figure NAME        Run one experiment; repeatable, accepts comma lists
     --list               List the experiment grid and exit
     --validate FILE      Parse and schema-check a BENCH_*.json file; repeatable
+    --normalize FILE     Print a BENCH_*.json file with run-dependent timing
+                         fields normalized away (for byte comparison)
 
 OPTIONS:
+    --remote ADDR        Run on a straightd daemon instead of in-process
+                         (host:port, or a Unix socket path containing `/`)
     --jobs N             Worker-thread cap (default: all cores)
     --quick              Reduced iteration counts for smoke runs (dhry 50, cm 1)
     --out DIR            Where to write BENCH_<name>.json (default: .)
@@ -42,9 +53,11 @@ ENVIRONMENT:
 
 struct Options {
     all: bool,
-    figures: Vec<String>,
+    figures: Vec<ExperimentId>,
     list: bool,
     validate: Vec<PathBuf>,
+    normalize: Vec<PathBuf>,
+    remote: Option<String>,
     jobs: usize,
     quick: bool,
     out: PathBuf,
@@ -59,6 +72,8 @@ fn parse_args() -> Result<Options, String> {
         figures: Vec::new(),
         list: false,
         validate: Vec::new(),
+        normalize: Vec::new(),
+        remote: None,
         jobs: default_jobs(),
         quick: false,
         out: PathBuf::from("."),
@@ -75,10 +90,16 @@ fn parse_args() -> Result<Options, String> {
             "--all" => opts.all = true,
             "--figure" | "-f" => {
                 let value = value_for("--figure")?;
-                opts.figures.extend(value.split(',').map(|s| s.trim().to_string()));
+                for name in value.split(',').map(str::trim) {
+                    // The unknown-name error is structured at parse
+                    // time: it carries the full list of valid ids.
+                    opts.figures.push(name.parse::<ExperimentId>().map_err(|e| e.to_string())?);
+                }
             }
             "--list" => opts.list = true,
             "--validate" => opts.validate.push(PathBuf::from(value_for("--validate")?)),
+            "--normalize" => opts.normalize.push(PathBuf::from(value_for("--normalize")?)),
+            "--remote" => opts.remote = Some(value_for("--remote")?),
             "--jobs" | "-j" => {
                 let value = value_for("--jobs")?;
                 opts.jobs = value
@@ -99,8 +120,15 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !opts.all && !opts.list && opts.figures.is_empty() && opts.validate.is_empty() {
-        return Err("nothing to do: pass --all, --figure, --list, or --validate".to_string());
+    if !opts.all
+        && !opts.list
+        && opts.figures.is_empty()
+        && opts.validate.is_empty()
+        && opts.normalize.is_empty()
+    {
+        return Err(
+            "nothing to do: pass --all, --figure, --list, --validate, or --normalize".to_string()
+        );
     }
     Ok(opts)
 }
@@ -110,7 +138,7 @@ fn list_grid() {
     for spec in experiment::all() {
         println!(
             "{:<12} {:<14} {:>5}  {}",
-            spec.name,
+            spec.id.name(),
             spec.paper_ref,
             spec.cells().len(),
             spec.title
@@ -142,11 +170,28 @@ fn validate(paths: &[PathBuf]) -> ExitCode {
     }
 }
 
+/// Prints each file's records with run-dependent timing zeroed, so two
+/// runs of the same revision can be compared with `cmp`/`diff` — the
+/// daemon-vs-in-process check `scripts/ci.sh` performs.
+fn normalize(paths: &[PathBuf]) -> ExitCode {
+    use straight_json::ToJson;
+    for path in paths {
+        match validate_file(path) {
+            Ok(result) => println!("{}", result.normalized().to_json().render_pretty()),
+            Err(e) => {
+                eprintln!("INVALID {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Prints the host-side profiler summary: one row per pipeline cell
 /// with the simulation's wall time and throughput, then totals over
 /// the *unique* simulations (cells sharing a config fingerprint share
 /// one cached run, so their times are the same measurement).
-fn print_profile(runs: &[straight_core::lab::LabRun]) {
+fn print_profile(runs: &[LabRun]) {
     println!();
     println!("{:<44} {:>12} {:>10} {:>10}", "PROFILE (pipeline cells)", "CYCLES", "SIM ms", "KCYC/S");
     let mut seen = std::collections::BTreeSet::new();
@@ -182,6 +227,113 @@ fn print_profile(runs: &[straight_core::lab::LabRun]) {
     );
 }
 
+/// Emits one finished run: report text, record file, write notice.
+fn emit_run(opts: &Options, run: &LabRun) {
+    if !opts.quiet {
+        print!("{}", run.rendered);
+    }
+    if let Some(path) = &run.path {
+        eprintln!(
+            "straight-lab: wrote {} ({} cells, {:.0} ms compute)",
+            path.display(),
+            run.result.cells.len(),
+            run.result.wall_ms
+        );
+    }
+}
+
+fn run_local(opts: &Options, ids: &[ExperimentId], params: RunParams) -> ExitCode {
+    let session = match LabSession::builder()
+        .jobs(opts.jobs)
+        .profile(opts.profile)
+        .out_dir((!opts.no_write).then(|| opts.out.clone()))
+        .build()
+    {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("straight-lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match session.run(ids, params) {
+        Ok(runs) => {
+            for run in &runs {
+                emit_run(opts, run);
+            }
+            if opts.profile {
+                print_profile(&runs);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("straight-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The remote path: submit every experiment up front (the daemon's
+/// pool pipelines their cells), then wait, fetch, render and persist
+/// locally.
+fn run_remote(opts: &Options, addr: &str, ids: &[ExperimentId], params: RunParams) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("straight-lab: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut submitted = Vec::with_capacity(ids.len());
+    for &id in ids {
+        match client.submit_experiment(id, &params) {
+            Ok(job) => submitted.push((id, job)),
+            Err(e) => {
+                eprintln!("straight-lab: submit {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut runs = Vec::with_capacity(submitted.len());
+    for (id, job) in submitted {
+        // Fetch regardless of the terminal state: for failed or
+        // cancelled jobs the daemon answers with the structured
+        // job-failed error, which is the message we want to surface.
+        let outcome = client.wait_job(job).and_then(|_| client.fetch_experiment(job));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("straight-lab: {id} failed on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rendered = match id.spec().render(&result) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("straight-lab: {id}: daemon records did not render: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = if opts.no_write {
+            None
+        } else {
+            match write_result(&opts.out, &result) {
+                Ok(path) => Some(path),
+                Err(e) => {
+                    eprintln!("straight-lab: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let run = LabRun { result, rendered, path };
+        emit_run(opts, &run);
+        runs.push(run);
+    }
+    if opts.profile {
+        print_profile(&runs);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -196,6 +348,12 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     }
+    if !opts.normalize.is_empty() {
+        let code = normalize(&opts.normalize);
+        if code != ExitCode::SUCCESS || (!opts.all && opts.figures.is_empty()) {
+            return code;
+        }
+    }
     if !opts.validate.is_empty() {
         let code = validate(&opts.validate);
         if code != ExitCode::SUCCESS || (!opts.all && opts.figures.is_empty()) {
@@ -203,8 +361,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let experiments: Vec<String> = if opts.all {
-        experiment::all().iter().map(|e| e.name.to_string()).collect()
+    let ids: Vec<ExperimentId> = if opts.all {
+        ExperimentId::ALL.to_vec()
     } else {
         opts.figures.clone()
     };
@@ -213,36 +371,8 @@ fn main() -> ExitCode {
     } else {
         straight_bench::params_from_env()
     };
-    let config = LabConfig {
-        experiments,
-        params,
-        jobs: opts.jobs,
-        out_dir: if opts.no_write { None } else { Some(opts.out.clone()) },
-    };
-
-    match run_lab(&config) {
-        Ok(runs) => {
-            for run in &runs {
-                if !opts.quiet {
-                    print!("{}", run.rendered);
-                }
-                if let Some(path) = &run.path {
-                    eprintln!(
-                        "straight-lab: wrote {} ({} cells, {:.0} ms compute)",
-                        path.display(),
-                        run.result.cells.len(),
-                        run.result.wall_ms
-                    );
-                }
-            }
-            if opts.profile {
-                print_profile(&runs);
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("straight-lab: {e}");
-            ExitCode::FAILURE
-        }
+    match &opts.remote {
+        Some(addr) => run_remote(&opts, addr, &ids, params),
+        None => run_local(&opts, &ids, params),
     }
 }

@@ -16,6 +16,10 @@
 //!   conveniences kept for muscle memory; each is a thin delegate to
 //!   the same runner ([`run_figure`]), so there is exactly one
 //!   build/run/error path.
+//! * **`straightd`** — a persistent simulation daemon serving the same
+//!   lab session over a newline-delimited-JSON protocol (the [`serve`]
+//!   module); `straight-lab --remote <addr>` is its client, and cached
+//!   images/runs persist across requests. See `docs/SERVING.md`.
 //! * **Microbenchmarks** (`cargo bench -p straight-bench`, hand-rolled
 //!   harness) of the simulator and toolchain hot paths.
 //!
@@ -26,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
+
 use std::process::ExitCode;
 
-use straight_core::experiment::RunParams;
-use straight_core::lab::{default_jobs, run_lab, LabConfig};
+use straight_core::experiment::{ExperimentId, RunParams};
+use straight_core::lab::LabSession;
 
 /// Dhrystone iteration count (`STRAIGHT_DHRY_ITERS`, default 200).
 #[must_use]
@@ -55,17 +61,23 @@ pub fn params_from_env() -> RunParams {
 /// binary, and the one place their errors are reported.
 #[must_use]
 pub fn run_figure(name: &str) -> ExitCode {
-    let config = LabConfig {
-        experiments: vec![name.to_string()],
-        params: params_from_env(),
-        jobs: default_jobs(),
-        out_dir: None,
+    let id = match name.parse::<ExperimentId>() {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
-    match run_lab(&config) {
-        Ok(runs) => {
-            for run in runs {
-                print!("{}", run.rendered);
-            }
+    let session = match LabSession::builder().build() {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("{name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match session.run_experiment(id, params_from_env()) {
+        Ok(run) => {
+            print!("{}", run.rendered);
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,0 +1,867 @@
+//! The `straightd` simulation service: a persistent daemon front-end
+//! over a [`LabSession`].
+//!
+//! One daemon process owns a single session — worker pool, image
+//! cache, run cache — and serves it over a newline-delimited-JSON
+//! protocol on a TCP or Unix-domain listener. Because the session
+//! outlives any request, repeated cells are O(cache lookup): the
+//! second client asking for `fig12/Dhrystone/SS` gets the first
+//! client's simulation, observable through the `stats` op's cache-hit
+//! counters.
+//!
+//! ## Protocol
+//!
+//! Each request is one JSON object on one line (at most
+//! [`MAX_REQUEST_LINE`] bytes); each response is one JSON object on
+//! one line. Success responses carry `"ok": true`; failures carry
+//! `"ok": false` and a structured `"error": {"kind", "msg", ...}`
+//! object. Malformed framing (oversized or non-JSON lines) yields an
+//! error response, never a dropped connection without explanation and
+//! never a daemon panic. See `docs/SERVING.md` for the full
+//! request/response catalog with examples.
+//!
+//! Ops: `ping`, `submit-experiment`, `submit-cell`, `status`, `fetch`,
+//! `cancel`, `stats`, `shutdown`.
+//!
+//! ## Lifecycle
+//!
+//! Jobs land in a bounded queue ([`DaemonConfig::queue_cap`]); when
+//! the bound is hit, submissions are refused with a `queue-full`
+//! error — backpressure the client can retry on. `shutdown` (or
+//! SIGTERM, wired up by the `straightd` binary) stops the accept loop
+//! and drains in-flight jobs before [`Daemon::run`] returns; queued
+//! cells of cancelled jobs resolve without executing.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use straight_core::experiment::{
+    CellRecord, CellSpec, ExperimentId, ExperimentResult, RunParams, UnknownExperiment,
+};
+use straight_core::lab::{Batch, LabError, LabRun, LabSession};
+use straight_json::{obj, FromJson, Json, JsonBuilder};
+
+/// Upper bound on one request line, bytes. Requests are small (the
+/// largest is a `submit-cell` with explicit parameters); anything
+/// larger is a framing error, answered structurally and then the
+/// connection is closed.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Upper bound on one response line read by [`Client`], bytes.
+/// Responses carry whole `ExperimentResult`s, so the bound is
+/// generous.
+pub const MAX_RESPONSE_LINE: usize = 1 << 28;
+
+/// How a daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:4155`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Splits an address argument: anything containing a `/` is a
+/// Unix-socket path, everything else is `host:port`.
+#[must_use]
+pub fn parse_addr(addr: &str) -> Listen {
+    if addr.contains('/') {
+        Listen::Unix(PathBuf::from(addr))
+    } else {
+        Listen::Tcp(addr.to_string())
+    }
+}
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Where to listen.
+    pub listen: Listen,
+    /// Worker threads of the underlying [`LabSession`].
+    pub jobs: usize,
+    /// Maximum number of jobs that may be queued or running at once;
+    /// submissions beyond it get a `queue-full` error.
+    pub queue_cap: usize,
+}
+
+impl DaemonConfig {
+    /// A config listening on `listen` with [`default_jobs`] workers
+    /// and a queue bound of 64 jobs.
+    ///
+    /// [`default_jobs`]: straight_core::lab::default_jobs
+    #[must_use]
+    pub fn new(listen: Listen) -> DaemonConfig {
+        DaemonConfig { listen, jobs: straight_core::lab::default_jobs(), queue_cap: 64 }
+    }
+}
+
+/// What a job computes.
+enum JobKind {
+    /// All cells of one experiment; `fetch` returns the assembled
+    /// `ExperimentResult`.
+    Experiment(ExperimentId),
+    /// One cell; `fetch` returns its `CellRecord`.
+    Cell,
+}
+
+/// One submitted job: its identity, parameters, and batch handle.
+struct JobEntry {
+    kind: JobKind,
+    params: RunParams,
+    batch: Batch,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct DaemonState {
+    session: LabSession,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    next_job: AtomicU64,
+    submitted: AtomicU64,
+    queue_cap: usize,
+    shutdown: AtomicBool,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DaemonState {
+    /// Jobs not yet finished — the measure the queue bound applies to.
+    fn active_jobs(&self) -> usize {
+        lock(&self.jobs).values().filter(|j| !j.batch.is_done()).count()
+    }
+
+    fn all_drained(&self) -> bool {
+        lock(&self.jobs).values().all(|j| j.batch.is_done())
+    }
+}
+
+/// Either kind of stream, so one code path serves TCP and Unix
+/// connections.
+enum Conn {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A framing failure while reading one protocol line.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The line exceeded the size limit before a newline appeared.
+    Oversized {
+        /// The limit that was exceeded, bytes.
+        limit: usize,
+    },
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            FrameError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one newline-terminated frame, tolerating arbitrarily
+/// fragmented reads. Returns `Ok(None)` on a clean disconnect (EOF at
+/// a frame boundary *or* mid-line: a half-written request from a dying
+/// client is discarded, not misparsed).
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when `limit` bytes accumulate without a
+/// newline; [`FrameError::Io`] on transport errors.
+pub fn read_frame(
+    reader: &mut impl BufRead,
+    limit: usize,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut line = Vec::new();
+    loop {
+        let (consumed, finished) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            };
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&buf[..nl]);
+                    (nl + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > limit {
+            return Err(FrameError::Oversized { limit });
+        }
+        if finished {
+            return Ok(Some(line));
+        }
+    }
+}
+
+fn ok_response() -> JsonBuilder {
+    obj().field("ok", &true)
+}
+
+fn error_response(kind: &str, msg: impl Into<String>, extra: Option<(&str, Json)>) -> Json {
+    let mut error = obj().field("kind", kind).field("msg", &msg.into());
+    if let Some((key, value)) = extra {
+        error = error.field(key, &value);
+    }
+    obj().field("ok", &false).field("error", &error.build()).build()
+}
+
+/// The per-job state string reported by the `status` op.
+fn job_state(entry: &JobEntry) -> (&'static str, Option<String>) {
+    if entry.batch.is_done() {
+        if entry.batch.is_cancelled() {
+            return ("cancelled", None);
+        }
+        let first_err = entry
+            .batch
+            .outcomes()
+            .into_iter()
+            .find_map(|o| o.err().map(|e| e.to_string()));
+        return match first_err {
+            Some(msg) => ("failed", Some(msg)),
+            None => ("done", None),
+        };
+    }
+    if entry.batch.started() || entry.batch.progress().0 > 0 {
+        ("running", None)
+    } else {
+        ("queued", None)
+    }
+}
+
+/// Assembles a done experiment job into its result (no file output —
+/// the daemon's session has no `out_dir`; clients persist records
+/// themselves).
+fn assemble_job(state: &DaemonState, entry: &JobEntry, id: ExperimentId) -> Result<LabRun, LabError> {
+    let spec = id.spec();
+    let outcomes = entry.batch.outcomes();
+    state.session.assemble(&spec, entry.params, &entry.batch, outcomes)
+}
+
+fn handle_request(state: &DaemonState, line: &[u8]) -> Json {
+    let Ok(text) = std::str::from_utf8(line) else {
+        return error_response("malformed", "request is not UTF-8", None);
+    };
+    let request = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return error_response("malformed", format!("request is not JSON: {e}"), None),
+    };
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return error_response("malformed", "missing string field `op`", None);
+    };
+    match op {
+        "ping" => ok_response().field("op", "pong").build(),
+        "submit-experiment" => submit_experiment(state, &request),
+        "submit-cell" => submit_cell(state, &request),
+        "status" => with_job(state, &request, |_, job, entry| {
+            let (job_status, error) = job_state(entry);
+            let (done, total) = entry.batch.progress();
+            ok_response()
+                .field("job", &job)
+                .field("state", job_status)
+                .field("done_cells", &done)
+                .field("total_cells", &total)
+                .field("error", &error)
+                .build()
+        }),
+        "fetch" => with_job(state, &request, fetch_job),
+        "cancel" => with_job(state, &request, |_, job, entry| {
+            entry.batch.cancel();
+            ok_response().field("job", &job).field("state", "cancelled").build()
+        }),
+        "stats" => ok_response()
+            .field("cache", &state.session.cache_stats())
+            .field("jobs_submitted", &state.submitted.load(Ordering::Relaxed))
+            .field("jobs_active", &(state.active_jobs() as u64))
+            .field("queue_cap", &(state.queue_cap as u64))
+            .field("workers", &(state.session.jobs() as u64))
+            .build(),
+        "shutdown" => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            ok_response().field("op", "shutdown").build()
+        }
+        other => error_response(
+            "unknown-op",
+            format!(
+                "unknown op `{other}` (valid: ping, submit-experiment, submit-cell, status, \
+                 fetch, cancel, stats, shutdown)"
+            ),
+            None,
+        ),
+    }
+}
+
+/// Parses the optional `params` field (absent → defaults).
+fn request_params(request: &Json) -> Result<RunParams, Json> {
+    match request.get("params") {
+        None | Some(Json::Null) => Ok(RunParams::default()),
+        Some(value) => RunParams::from_json(value).map_err(|e| {
+            error_response("malformed", format!("bad `params`: {e}"), None)
+        }),
+    }
+}
+
+/// Guards a submission: refuses when draining or when the job queue
+/// is at its bound.
+fn admit(state: &DaemonState) -> Result<(), Json> {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return Err(error_response("shutting-down", "daemon is draining; resubmit elsewhere", None));
+    }
+    if state.active_jobs() >= state.queue_cap {
+        return Err(error_response(
+            "queue-full",
+            format!("job queue is at its bound ({}); retry later", state.queue_cap),
+            None,
+        ));
+    }
+    Ok(())
+}
+
+fn register_job(state: &DaemonState, kind: JobKind, params: RunParams, cells: Vec<CellSpec>) -> Json {
+    let total = cells.len();
+    let batch = state.session.submit(cells, params);
+    let job = state.next_job.fetch_add(1, Ordering::Relaxed);
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    lock(&state.jobs).insert(job, JobEntry { kind, params, batch });
+    ok_response().field("job", &job).field("cells", &total).build()
+}
+
+fn submit_experiment(state: &DaemonState, request: &Json) -> Json {
+    let Some(name) = request.get("experiment").and_then(Json::as_str) else {
+        return error_response("malformed", "missing string field `experiment`", None);
+    };
+    let id = match name.parse::<ExperimentId>() {
+        Ok(id) => id,
+        Err(e) => {
+            let valid = UnknownExperiment::valid_names()
+                .into_iter()
+                .map(|n| Json::Str(n.to_string()))
+                .collect();
+            return error_response("unknown-experiment", e.to_string(), Some(("valid", Json::Arr(valid))));
+        }
+    };
+    let params = match request_params(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = admit(state) {
+        return resp;
+    }
+    register_job(state, JobKind::Experiment(id), params, id.spec().cells())
+}
+
+fn submit_cell(state: &DaemonState, request: &Json) -> Json {
+    let Some(cell_id) = request.get("cell").and_then(Json::as_str) else {
+        return error_response("malformed", "missing string field `cell`", None);
+    };
+    let Some((experiment, _)) = cell_id.split_once('/') else {
+        return error_response(
+            "malformed",
+            format!("cell id `{cell_id}` is not of the form experiment/group/label"),
+            None,
+        );
+    };
+    let id = match experiment.parse::<ExperimentId>() {
+        Ok(id) => id,
+        Err(e) => {
+            let valid = UnknownExperiment::valid_names()
+                .into_iter()
+                .map(|n| Json::Str(n.to_string()))
+                .collect();
+            return error_response("unknown-experiment", e.to_string(), Some(("valid", Json::Arr(valid))));
+        }
+    };
+    let cells = id.spec().cells();
+    let Some(cell) = cells.into_iter().find(|c| c.id() == cell_id) else {
+        let valid = id.spec().cells().iter().map(|c| Json::Str(c.id())).collect();
+        return error_response(
+            "unknown-cell",
+            format!("experiment `{id}` has no cell `{cell_id}`"),
+            Some(("valid", Json::Arr(valid))),
+        );
+    };
+    let params = match request_params(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = admit(state) {
+        return resp;
+    }
+    register_job(state, JobKind::Cell, params, vec![cell])
+}
+
+fn with_job(
+    state: &DaemonState,
+    request: &Json,
+    f: impl FnOnce(&DaemonState, u64, &JobEntry) -> Json,
+) -> Json {
+    let Some(job) = request.get("job").and_then(Json::as_u64) else {
+        return error_response("malformed", "missing integer field `job`", None);
+    };
+    let jobs = lock(&state.jobs);
+    match jobs.get(&job) {
+        Some(entry) => f(state, job, entry),
+        None => error_response("unknown-job", format!("no job {job}"), None),
+    }
+}
+
+fn fetch_job(state: &DaemonState, job: u64, entry: &JobEntry) -> Json {
+    if !entry.batch.is_done() {
+        let (done, total) = entry.batch.progress();
+        return error_response(
+            "not-done",
+            format!("job {job} has completed {done}/{total} cells; poll `status` first"),
+            None,
+        );
+    }
+    match &entry.kind {
+        JobKind::Experiment(id) => match assemble_job(state, entry, *id) {
+            Ok(run) => ok_response()
+                .field("job", &job)
+                .field("kind", "experiment")
+                .field("result", &run.result)
+                .build(),
+            Err(e) => error_response("job-failed", e.to_string(), None),
+        },
+        JobKind::Cell => match entry.batch.outcomes().into_iter().next() {
+            Some(Ok(record)) => ok_response()
+                .field("job", &job)
+                .field("kind", "cell")
+                .field("record", &record)
+                .build(),
+            Some(Err(e)) => error_response("job-failed", e.to_string(), None),
+            None => error_response("job-failed", "job has no cells", None),
+        },
+    }
+}
+
+fn serve_connection(stream: Conn, state: &Arc<DaemonState>) {
+    // One BufReader per connection; writes go through the same stream
+    // (requests and responses strictly alternate, so the read buffer
+    // never hides a write).
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, MAX_REQUEST_LINE) {
+            Ok(None) => return, // client disconnected (possibly mid-job: jobs keep running)
+            Ok(Some(line)) => {
+                let response = handle_request(state, &line);
+                if write_json_line(reader.get_mut(), &response).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Oversized { limit }) => {
+                // Cannot resync reliably mid-line; answer structurally
+                // and close.
+                let response = error_response(
+                    "oversized",
+                    format!("request line exceeds {limit} bytes"),
+                    None,
+                );
+                let _ = write_json_line(reader.get_mut(), &response);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn write_json_line(writer: &mut impl Write, value: &Json) -> io::Result<()> {
+    let mut line = value.render().into_bytes();
+    line.push(b'\n');
+    writer.write_all(&line)?;
+    writer.flush()
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// A bound, not-yet-running daemon. Construct with [`Daemon::bind`],
+/// then drive the accept loop with [`Daemon::run`].
+pub struct Daemon {
+    state: Arc<DaemonState>,
+    listener: ListenerKind,
+}
+
+impl Daemon {
+    /// Binds the listener and starts the session's worker pool. A
+    /// pre-existing Unix socket file at the same path is replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::InvalidJobs`] (as an `InvalidInput` I/O error) when
+    /// `jobs` is 0; otherwise whatever binding the listener raised.
+    pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
+        let session = LabSession::builder()
+            .jobs(config.jobs)
+            .build()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = match &config.listen {
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                ListenerKind::Tcp(l)
+            }
+            Listen::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                ListenerKind::Unix(l, path.clone())
+            }
+        };
+        Ok(Daemon {
+            state: Arc::new(DaemonState {
+                session,
+                jobs: Mutex::new(HashMap::new()),
+                next_job: AtomicU64::new(1),
+                submitted: AtomicU64::new(0),
+                queue_cap: config.queue_cap.max(1),
+                shutdown: AtomicBool::new(false),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address, printable: the actual TCP address (useful
+    /// after binding port 0) or the socket path.
+    #[must_use]
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".to_string()),
+            ListenerKind::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    /// Accepts and serves connections until a `shutdown` request
+    /// arrives or `external_shutdown` (e.g. a SIGTERM flag) becomes
+    /// true, then drains: in-flight jobs run to completion before this
+    /// returns. Each connection is served on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection errors are contained
+    /// to their connection.
+    pub fn run(&self, external_shutdown: &AtomicBool) -> io::Result<()> {
+        let poll = Duration::from_millis(25);
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) || external_shutdown.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            let accepted = match &self.listener {
+                ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                ListenerKind::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || serve_connection(conn, &state));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Graceful drain: stop accepting, let submitted work finish.
+        while !self.state.all_drained() {
+            std::thread::sleep(poll);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the underlying session's cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> straight_core::lab::CacheStats {
+        self.state.session.cache_stats()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let ListenerKind::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The server's bytes were not a valid protocol response.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Remote {
+        /// The error's `kind` discriminator.
+        kind: String,
+        /// Human-readable message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote { kind, msg } => write!(f, "daemon error ({kind}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol client over one connection. This is what
+/// `straight-lab --remote` uses; tests drive it directly.
+pub struct Client {
+    reader: BufReader<Conn>,
+}
+
+impl Client {
+    /// Connects to `addr` (a `host:port` or, when it contains `/`, a
+    /// Unix-socket path).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let conn = match parse_addr(addr) {
+            Listen::Tcp(a) => Conn::Tcp(TcpStream::connect(a.as_str())?),
+            Listen::Unix(p) => Conn::Unix(UnixStream::connect(p)?),
+        };
+        Ok(Client { reader: BufReader::new(conn) })
+    }
+
+    /// Sends one request object and reads one response object.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// when the response is not parseable, [`ClientError::Remote`] when
+    /// the daemon answered `"ok": false`.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        write_json_line(self.reader.get_mut(), request)?;
+        let line = read_frame(&mut self.reader, MAX_RESPONSE_LINE)
+            .map_err(|e| match e {
+                FrameError::Io(io) => ClientError::Io(io),
+                FrameError::Oversized { limit } => {
+                    ClientError::Protocol(format!("response exceeds {limit} bytes"))
+                }
+            })?
+            .ok_or_else(|| ClientError::Protocol("connection closed mid-request".to_string()))?;
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))?;
+        let response =
+            Json::parse(text).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => {
+                let error = response.get("error");
+                let get = |key: &str| {
+                    error
+                        .and_then(|e| e.get(key))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string()
+                };
+                Err(ClientError::Remote { kind: get("kind"), msg: get("msg") })
+            }
+            None => Err(ClientError::Protocol("response lacks `ok`".to_string())),
+        }
+    }
+
+    /// Submits one experiment; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn submit_experiment(
+        &mut self,
+        id: ExperimentId,
+        params: &RunParams,
+    ) -> Result<u64, ClientError> {
+        let request = obj()
+            .field("op", "submit-experiment")
+            .field("experiment", &id.to_string())
+            .field("params", params)
+            .build();
+        let response = self.request(&request)?;
+        response
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit response lacks `job`".to_string()))
+    }
+
+    /// Polls `status` until the job leaves the queue/run states.
+    /// Returns the terminal state string (`done`, `failed`, or
+    /// `cancelled`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn wait_job(&mut self, job: u64) -> Result<String, ClientError> {
+        loop {
+            let response =
+                self.request(&obj().field("op", "status").field("job", &job).build())?;
+            let state = response
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("status lacks `state`".to_string()))?;
+            match state {
+                "queued" | "running" => std::thread::sleep(Duration::from_millis(20)),
+                terminal => return Ok(terminal.to_string()),
+            }
+        }
+    }
+
+    /// Fetches a done experiment job's typed result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; `Protocol` when the payload does not
+    /// deserialize as an `ExperimentResult`.
+    pub fn fetch_experiment(&mut self, job: u64) -> Result<ExperimentResult, ClientError> {
+        let response = self.request(&obj().field("op", "fetch").field("job", &job).build())?;
+        let payload = response
+            .get("result")
+            .ok_or_else(|| ClientError::Protocol("fetch response lacks `result`".to_string()))?;
+        ExperimentResult::from_json(payload)
+            .map_err(|e| ClientError::Protocol(format!("bad result payload: {e}")))
+    }
+
+    /// Fetches a done cell job's record.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; `Protocol` when the payload does not
+    /// deserialize as a `CellRecord`.
+    pub fn fetch_cell(&mut self, job: u64) -> Result<CellRecord, ClientError> {
+        let response = self.request(&obj().field("op", "fetch").field("job", &job).build())?;
+        let payload = response
+            .get("record")
+            .ok_or_else(|| ClientError::Protocol("fetch response lacks `record`".to_string()))?;
+        CellRecord::from_json(payload)
+            .map_err(|e| ClientError::Protocol(format!("bad record payload: {e}")))
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&obj().field("op", "shutdown").build()).map(|_| ())
+    }
+
+    /// The daemon's `stats` snapshot (cache counters, job counts).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&obj().field("op", "stats").build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_parse_by_shape() {
+        assert_eq!(parse_addr("127.0.0.1:4155"), Listen::Tcp("127.0.0.1:4155".to_string()));
+        assert_eq!(parse_addr("/tmp/d.sock"), Listen::Unix(PathBuf::from("/tmp/d.sock")));
+        assert_eq!(parse_addr("./d.sock"), Listen::Unix(PathBuf::from("./d.sock")));
+    }
+
+    #[test]
+    fn frames_tolerate_fragmentation_and_bound_length() {
+        // A reader that yields one byte at a time exercises the
+        // partial-read path.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut r = BufReader::with_capacity(1, OneByte(b"{\"op\":\"ping\"}\nrest", 0));
+        let frame = read_frame(&mut r, 64).unwrap().unwrap();
+        assert_eq!(frame, b"{\"op\":\"ping\"}");
+        // Trailing bytes without a newline are a clean EOF, not a frame.
+        assert!(read_frame(&mut r, 64).unwrap().is_none());
+        // An over-long line errors instead of buffering unboundedly.
+        let long = [b'x'; 100];
+        let mut r = BufReader::with_capacity(8, &long[..]);
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Oversized { limit: 64 })));
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the `straight-lab` command line: argument
+//! validation happens at parse time with usage-style exits (code 2),
+//! and `--normalize` produces comparable output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn straight_lab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_straight-lab"))
+        .args(args)
+        .output()
+        .expect("spawn straight-lab")
+}
+
+#[test]
+fn zero_jobs_is_a_usage_error_at_parse_time() {
+    let out = straight_lab(&["--all", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs"), "stderr names the offending flag: {stderr}");
+    assert!(stderr.contains("positive"), "stderr explains the constraint: {stderr}");
+    // Nothing ran: no report on stdout.
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn non_numeric_jobs_is_rejected_the_same_way() {
+    let out = straight_lab(&["--all", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("`many`"));
+}
+
+#[test]
+fn unknown_figure_is_rejected_at_parse_time_listing_valid_ids() {
+    let out = straight_lab(&["--figure", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fig99"), "stderr names the bad id: {stderr}");
+    for name in ["fig11", "sensitivity", "table1"] {
+        assert!(stderr.contains(name), "stderr lists `{name}`: {stderr}");
+    }
+}
+
+#[test]
+fn normalize_output_is_stable_across_runs() {
+    // Run table1 (no simulation, fast everywhere) twice into separate
+    // directories; the normalized record text must match exactly even
+    // though wall times differ.
+    let base = std::env::temp_dir().join(format!("straight_cli_test_{}", std::process::id()));
+    let dirs = [base.join("a"), base.join("b")];
+    let mut normalized = Vec::new();
+    for dir in &dirs {
+        let out = straight_lab(&[
+            "--figure",
+            "table1",
+            "--quick",
+            "--quiet",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let record: PathBuf = dir.join("BENCH_table1.json");
+        let out = straight_lab(&["--normalize", record.to_str().unwrap()]);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(!out.stdout.is_empty());
+        normalized.push(out.stdout);
+    }
+    assert_eq!(
+        normalized[0], normalized[1],
+        "normalized records of identical runs must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn normalize_rejects_corrupt_files_nonzero() {
+    let path = std::env::temp_dir().join(format!("straight_cli_bad_{}.json", std::process::id()));
+    std::fs::write(&path, "not json").unwrap();
+    let out = straight_lab(&["--normalize", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("INVALID"));
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,296 @@
+//! Integration tests of the `straightd` wire protocol: framing
+//! robustness (partial reads, oversized lines, malformed JSON,
+//! mid-job disconnects), the submit/status/fetch lifecycle,
+//! backpressure, cross-client deduplication, and byte-identity of
+//! daemon records with in-process records.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use straight_bench::serve::{
+    read_frame, Client, ClientError, Daemon, DaemonConfig, Listen, MAX_REQUEST_LINE,
+};
+use straight_core::experiment::{CellKind, ExperimentId, RunParams};
+use straight_core::lab::LabSession;
+use straight_json::{Json, ToJson};
+
+/// Tiny parameters so pipeline cells finish quickly in debug builds.
+fn tiny_params() -> RunParams {
+    RunParams { dhry_iters: 5, cm_iters: 1, ..RunParams::default() }
+}
+
+struct TestDaemon {
+    addr: String,
+    handle: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestDaemon {
+    /// Binds on an ephemeral local port and runs the accept loop on a
+    /// background thread.
+    fn start(jobs: usize, queue_cap: usize) -> TestDaemon {
+        let config = DaemonConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            jobs,
+            queue_cap,
+        };
+        let daemon = Daemon::bind(&config).expect("bind ephemeral port");
+        let addr = daemon.local_addr();
+        let handle = std::thread::spawn(move || {
+            static NEVER: AtomicBool = AtomicBool::new(false);
+            daemon.run(&NEVER)
+        });
+        TestDaemon { addr, handle: Some(handle) }
+    }
+
+    /// Sends `shutdown` and waits for the accept loop to drain out.
+    fn stop(mut self) {
+        let mut client = Client::connect(&self.addr).expect("connect for shutdown");
+        client.shutdown().expect("shutdown accepted");
+        self.handle.take().unwrap().join().unwrap().unwrap();
+    }
+}
+
+/// A raw (non-`Client`) request, for inspecting error payloads and
+/// driving the wire directly.
+fn raw_request(stream: &mut TcpStream, line: &[u8]) -> Json {
+    stream.write_all(line).unwrap();
+    stream.flush().unwrap();
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Json {
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let frame = read_frame(&mut reader, 1 << 26).unwrap().expect("server sent a response");
+    Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+}
+
+fn error_kind(response: &Json) -> &str {
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false), "expected an error");
+    response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str).unwrap()
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_not_disconnects() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+
+    // Non-JSON bytes.
+    let response = raw_request(&mut stream, b"this is not json\n");
+    assert_eq!(error_kind(&response), "malformed");
+
+    // JSON without an `op`.
+    let response = raw_request(&mut stream, b"{\"job\": 3}\n");
+    assert_eq!(error_kind(&response), "malformed");
+
+    // Unknown op; the message names the valid ones.
+    let response = raw_request(&mut stream, b"{\"op\": \"frobnicate\"}\n");
+    assert_eq!(error_kind(&response), "unknown-op");
+    let msg = response.get("error").and_then(|e| e.get("msg")).and_then(Json::as_str).unwrap();
+    assert!(msg.contains("submit-experiment"), "got: {msg}");
+
+    // The connection survived all of the above.
+    let response = raw_request(&mut stream, b"{\"op\": \"ping\"}\n");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    daemon.stop();
+}
+
+#[test]
+fn partial_writes_assemble_into_one_frame() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+    // One request, dribbled across several writes with pauses: the
+    // framing layer must buffer until the newline.
+    for chunk in [&b"{\"op\""[..], &b": \"pi"[..], &b"ng\"}"[..], &b"\n"[..]] {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let response = read_response(&mut stream);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("op").and_then(Json::as_str), Some("pong"));
+    daemon.stop();
+}
+
+#[test]
+fn oversized_lines_error_and_close_without_panicking() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+    // Slightly past the limit: the server answers as soon as the bound
+    // is exceeded, so nothing here blocks on full socket buffers.
+    let oversized = vec![b'x'; MAX_REQUEST_LINE + 16];
+    let _ = stream.write_all(&oversized); // server may close mid-write
+    let response = read_response(&mut stream);
+    assert_eq!(error_kind(&response), "oversized");
+    // The connection is then closed (cannot resync mid-line)…
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    // …but the daemon itself is fine.
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.request(&straight_json::obj().field("op", "ping").build()).unwrap();
+    daemon.stop();
+}
+
+#[test]
+fn unknown_experiment_and_cell_errors_list_valid_ids() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+
+    let response =
+        raw_request(&mut stream, b"{\"op\": \"submit-experiment\", \"experiment\": \"fig99\"}\n");
+    assert_eq!(error_kind(&response), "unknown-experiment");
+    let valid = response.get("error").and_then(|e| e.get("valid")).unwrap();
+    let Json::Arr(valid) = valid else { panic!("`valid` should be an array") };
+    let names: Vec<&str> = valid.iter().filter_map(Json::as_str).collect();
+    assert_eq!(names.len(), 9);
+    assert!(names.contains(&"fig11") && names.contains(&"table1"));
+
+    let response =
+        raw_request(&mut stream, b"{\"op\": \"submit-cell\", \"cell\": \"fig15/Nope/Nope\"}\n");
+    assert_eq!(error_kind(&response), "unknown-cell");
+    let valid = response.get("error").and_then(|e| e.get("valid")).unwrap();
+    let Json::Arr(valid) = valid else { panic!("`valid` should be an array") };
+    assert!(!valid.is_empty(), "unknown-cell error lists the experiment's real cells");
+
+    // Unknown job ids are structured too.
+    let response = raw_request(&mut stream, b"{\"op\": \"status\", \"job\": 12345}\n");
+    assert_eq!(error_kind(&response), "unknown-job");
+    daemon.stop();
+}
+
+#[test]
+fn daemon_records_are_byte_identical_to_in_process_records() {
+    let daemon = TestDaemon::start(2, 8);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let params = tiny_params();
+
+    // fig15/fig16 cover the emulator cell kinds, table1 the config
+    // kind; all three are fast in debug builds.
+    for id in [ExperimentId::Fig15, ExperimentId::Fig16, ExperimentId::Table1] {
+        let job = client.submit_experiment(id, &params).unwrap();
+        assert_eq!(client.wait_job(job).unwrap(), "done");
+        let remote = client.fetch_experiment(job).unwrap();
+
+        let session = LabSession::builder().jobs(2).build().unwrap();
+        let local = session.run_experiment(id, params).unwrap();
+
+        // Byte-identical after normalization (wall times necessarily
+        // differ between the two runs).
+        assert_eq!(
+            remote.normalized().to_json().render_pretty(),
+            local.result.normalized().to_json().render_pretty(),
+            "{id}: daemon and in-process records diverged"
+        );
+        // And the daemon result renders to the same paper-shaped text.
+        assert_eq!(id.spec().render(&remote).unwrap(), local.rendered);
+    }
+
+    // Fetching a second time re-serves the same job (fetch is not
+    // consuming).
+    daemon.stop();
+}
+
+#[test]
+fn two_clients_submitting_the_same_cell_share_one_simulation() {
+    let daemon = TestDaemon::start(2, 8);
+    // A cycle-accurate cell, so the run cache (not just the image
+    // cache) is exercised.
+    let cell = ExperimentId::Fig17
+        .spec()
+        .cells()
+        .into_iter()
+        .find(|c| matches!(c.kind, CellKind::Pipeline { .. }))
+        .expect("fig17 has pipeline cells");
+    let request = straight_json::obj()
+        .field("op", "submit-cell")
+        .field("cell", &cell.id())
+        .field("params", &tiny_params())
+        .build();
+
+    let mut a = Client::connect(&daemon.addr).unwrap();
+    let mut b = Client::connect(&daemon.addr).unwrap();
+    let job_a = a.request(&request).unwrap().get("job").and_then(Json::as_u64).unwrap();
+    let job_b = b.request(&request).unwrap().get("job").and_then(Json::as_u64).unwrap();
+    assert_ne!(job_a, job_b, "jobs are distinct even when the work is shared");
+
+    assert_eq!(a.wait_job(job_a).unwrap(), "done");
+    assert_eq!(b.wait_job(job_b).unwrap(), "done");
+    let rec_a = a.fetch_cell(job_a).unwrap();
+    let rec_b = b.fetch_cell(job_b).unwrap();
+    assert_eq!(rec_a.cycles, rec_b.cycles);
+    assert_eq!(rec_a.stdout_digest, rec_b.stdout_digest);
+    assert_eq!(rec_a.config_fingerprint, rec_b.config_fingerprint);
+
+    // The dedup is observable: two lookups of the run cache, at most
+    // one miss.
+    let stats = a.stats().unwrap();
+    let cache = stats.get("cache").expect("stats carries cache counters");
+    let lookups = cache.get("run_lookups").and_then(Json::as_u64).unwrap();
+    let hits = cache.get("run_hits").and_then(Json::as_u64).unwrap();
+    assert!(lookups >= 2, "expected both submissions to consult the run cache, got {lookups}");
+    assert!(hits >= 1, "expected at least one run-cache hit, got {hits} (lookups {lookups})");
+    daemon.stop();
+}
+
+#[test]
+fn disconnecting_mid_job_does_not_kill_the_job() {
+    let daemon = TestDaemon::start(1, 4);
+    let job = {
+        // Submit and immediately drop the connection.
+        let mut ephemeral = Client::connect(&daemon.addr).unwrap();
+        ephemeral.submit_experiment(ExperimentId::Table1, &tiny_params()).unwrap()
+    };
+    // A different connection can watch the same job to completion.
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    assert_eq!(client.wait_job(job).unwrap(), "done");
+    let result = client.fetch_experiment(job).unwrap();
+    assert_eq!(result.experiment, "table1");
+    daemon.stop();
+}
+
+#[test]
+fn full_queue_pushes_back_with_a_structured_error() {
+    // One worker and a queue bound of 1: while the first job occupies
+    // the daemon, a second submission must be refused, not buffered
+    // without limit.
+    let daemon = TestDaemon::start(1, 1);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let first = client
+        .submit_experiment(ExperimentId::Fig17, &RunParams { dhry_iters: 50, cm_iters: 1, ..RunParams::default() })
+        .unwrap();
+    let refused = client.submit_experiment(ExperimentId::Table1, &tiny_params());
+    match refused {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "queue-full"),
+        other => panic!("expected queue-full, got {other:?}"),
+    }
+    // Cancel drains the first job's pending cells quickly; the slot
+    // frees up and the next submission is admitted.
+    client.request(&straight_json::obj().field("op", "cancel").field("job", &first).build()).unwrap();
+    let state = client.wait_job(first).unwrap();
+    assert!(state == "cancelled" || state == "failed" || state == "done", "got {state}");
+    let second = client.submit_experiment(ExperimentId::Table1, &tiny_params()).unwrap();
+    assert_eq!(client.wait_job(second).unwrap(), "done");
+    daemon.stop();
+}
+
+#[test]
+fn fetch_before_completion_is_a_not_done_error() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let job = client
+        .submit_experiment(ExperimentId::Fig17, &RunParams { dhry_iters: 50, cm_iters: 1, ..RunParams::default() })
+        .unwrap();
+    // Immediately fetching is (overwhelmingly likely) premature; if
+    // the machine is so fast the job already finished, a successful
+    // fetch is also correct — only a hang or panic would be a bug.
+    match client.fetch_experiment(job) {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "not-done"),
+        Ok(_) => {}
+        Err(other) => panic!("unexpected failure: {other}"),
+    }
+    client.wait_job(job).unwrap();
+    daemon.stop();
+}

@@ -18,8 +18,9 @@
 //! the target/machine involved, instead of panicking mid-sweep.
 
 use std::collections::BTreeMap;
+use std::str::FromStr;
 
-use straight_json::{fnv1a64, read_field, FromJson, Json, JsonError, ToJson};
+use straight_json::{fnv1a64, obj, read_field, FromJson, Json, JsonError, ToJson};
 use straight_power::figure17;
 use straight_sim::pipeline::{CoreError, MachineConfig, SimResult, SimStats};
 use straight_workloads::{coremark, dhrystone};
@@ -42,6 +43,156 @@ pub const SENSITIVITY_DISTANCES: [u16; 4] = [1023, 127, 63, 31];
 
 /// The relative clock frequencies of Figure 17.
 pub const FIG17_FREQS: [f64; 3] = [1.0, 2.5, 4.0];
+
+/// A typed experiment selector — the identity of one named experiment
+/// of the grid. Replaces the old stringly-typed lookup: both the CLI
+/// and the daemon parse user input into an `ExperimentId` up front
+/// (via [`FromStr`]), so an unknown name is rejected at the edge with
+/// a structured [`UnknownExperiment`] error listing the valid ids,
+/// and everything below the parse works with an exhaustive enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExperimentId {
+    /// Figure 11: 4-way relative performance.
+    Fig11,
+    /// Figure 12: 2-way relative performance.
+    Fig12,
+    /// Figure 13: misprediction-penalty effect.
+    Fig13,
+    /// Figure 14: TAGE branch predictor.
+    Fig14,
+    /// Figure 15: retired instruction mix.
+    Fig15,
+    /// Figure 16: cumulative source-distance fractions.
+    Fig16,
+    /// Figure 17: relative power per module.
+    Fig17,
+    /// §VI-B distance-limit sensitivity sweep.
+    Sensitivity,
+    /// Table I: evaluated machine models.
+    Table1,
+}
+
+impl ExperimentId {
+    /// Every experiment of the grid, in run order.
+    pub const ALL: [ExperimentId; 9] = [
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig14,
+        ExperimentId::Fig15,
+        ExperimentId::Fig16,
+        ExperimentId::Fig17,
+        ExperimentId::Sensitivity,
+        ExperimentId::Table1,
+    ];
+
+    /// The grid name (what [`FromStr`] parses and [`std::fmt::Display`]
+    /// prints).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Fig14 => "fig14",
+            ExperimentId::Fig15 => "fig15",
+            ExperimentId::Fig16 => "fig16",
+            ExperimentId::Fig17 => "fig17",
+            ExperimentId::Sensitivity => "sensitivity",
+            ExperimentId::Table1 => "table1",
+        }
+    }
+
+    /// The full [`ExperimentSpec`] behind this id.
+    #[must_use]
+    pub fn spec(self) -> ExperimentSpec {
+        let (title, paper_ref, kind) = match self {
+            ExperimentId::Fig11 => (
+                "Figure 11: 4-way relative performance (vs SS-4way)",
+                "Figure 11",
+                FigureKind::Perf { global_baseline: None },
+            ),
+            ExperimentId::Fig12 => (
+                "Figure 12: 2-way relative performance (vs SS-2way)",
+                "Figure 12",
+                FigureKind::Perf { global_baseline: None },
+            ),
+            ExperimentId::Fig13 => (
+                "Figure 13: misprediction-penalty effect (vs SS-2way)",
+                "Figure 13",
+                FigureKind::Perf { global_baseline: Some(("2-way", "SS")) },
+            ),
+            ExperimentId::Fig14 => (
+                "Figure 14: with TAGE branch predictor (vs SS)",
+                "Figure 14",
+                FigureKind::Perf { global_baseline: None },
+            ),
+            ExperimentId::Fig15 => (
+                "Figure 15: retired instruction mix (normalized to SS)",
+                "Figure 15",
+                FigureKind::Mix,
+            ),
+            ExperimentId::Fig16 => (
+                "Figure 16: cumulative fraction of source distances",
+                "Figure 16",
+                FigureKind::Distance,
+            ),
+            ExperimentId::Fig17 => (
+                "Figure 17: relative power (normalized to SS at 1.0x, per module)",
+                "Figure 17",
+                FigureKind::Power,
+            ),
+            ExperimentId::Sensitivity => (
+                "Sensitivity: max source distance vs CoreMark cycles",
+                "Section VI-B",
+                FigureKind::Sensitivity,
+            ),
+            ExperimentId::Table1 => ("Table I: evaluated models", "Table I", FigureKind::Table),
+        };
+        ExperimentSpec { id: self, title, paper_ref, kind }
+    }
+}
+
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The structured error for a name that matches no [`ExperimentId`]:
+/// carries the offending name and renders the full list of valid ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl UnknownExperiment {
+    /// The valid names, for structured (e.g. JSON) error responses.
+    #[must_use]
+    pub fn valid_names() -> Vec<&'static str> {
+        ExperimentId::ALL.iter().map(|id| id.name()).collect()
+    }
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown experiment `{}` (valid: {})", self.name, Self::valid_names().join(", "))
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+impl FromStr for ExperimentId {
+    type Err = UnknownExperiment;
+
+    fn from_str(s: &str) -> Result<ExperimentId, UnknownExperiment> {
+        ExperimentId::ALL
+            .into_iter()
+            .find(|id| id.name() == s)
+            .ok_or_else(|| UnknownExperiment { name: s.to_string() })
+    }
+}
 
 /// A failure while driving an experiment, with enough context to know
 /// which workload/target/machine combination broke.
@@ -83,6 +234,12 @@ pub enum ExperimentError {
         /// The variant that disagrees with the baseline.
         variant: String,
     },
+    /// The batch owning this cell was cancelled before the cell ran
+    /// (daemon job cancellation; never produced by blocking runs).
+    Cancelled {
+        /// Cell id (`experiment/group/label`).
+        cell: String,
+    },
     /// An [`ExperimentResult`] is missing cells its figure needs (a
     /// truncated or foreign record file).
     Malformed {
@@ -107,6 +264,9 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::Divergence { workload, variant } => {
                 write!(f, "{workload}: {variant} output diverged from the baseline")
+            }
+            ExperimentError::Cancelled { cell } => {
+                write!(f, "{cell}: cancelled before execution")
             }
             ExperimentError::Malformed { experiment, msg } => {
                 write!(f, "{experiment}: malformed result: {msg}")
@@ -186,11 +346,11 @@ impl RunParams {
 
 impl ToJson for RunParams {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("dhry_iters", self.dhry_iters.to_json()),
-            ("cm_iters", self.cm_iters.to_json()),
-            ("max_cycles", self.max_cycles.to_json()),
-        ])
+        obj()
+            .field("dhry_iters", &self.dhry_iters)
+            .field("cm_iters", &self.cm_iters)
+            .field("max_cycles", &self.max_cycles)
+            .build()
     }
 }
 
@@ -275,8 +435,8 @@ pub enum CellKind {
 /// One point of the experiment grid.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
-    /// Owning experiment's name ("fig11", ...).
-    pub experiment: &'static str,
+    /// Owning experiment.
+    pub experiment: ExperimentId,
     /// Figure group (usually the workload or scale: "Dhrystone",
     /// "2-way", ...).
     pub group: String,
@@ -389,28 +549,28 @@ pub struct CellRecord {
 
 impl ToJson for CellRecord {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("id", self.id.to_json()),
-            ("experiment", self.experiment.to_json()),
-            ("group", self.group.to_json()),
-            ("label", self.label.to_json()),
-            ("workload", self.workload.to_json()),
-            ("target", self.target.to_json()),
-            ("machine", self.machine.to_json()),
-            ("config_fingerprint", self.config_fingerprint.to_json()),
-            ("param", self.param.to_json()),
-            ("cycles", self.cycles.to_json()),
-            ("retired", self.retired.to_json()),
-            ("ipc", self.ipc.to_json()),
-            ("stats", self.stats.as_ref().map(ToJson::to_json).unwrap_or(Json::Null)),
-            ("kinds", self.kinds.to_json()),
-            ("distances", self.distances.to_json()),
-            ("max_distance_used", self.max_distance_used.to_json()),
-            ("stdout_digest", self.stdout_digest.to_json()),
-            ("wall_ms", self.wall_ms.to_json()),
-            ("sim_wall_ms", self.sim_wall_ms.to_json()),
-            ("ksim_cycles_per_sec", self.ksim_cycles_per_sec.to_json()),
-        ])
+        obj()
+            .field("id", &self.id)
+            .field("experiment", &self.experiment)
+            .field("group", &self.group)
+            .field("label", &self.label)
+            .field("workload", &self.workload)
+            .field("target", &self.target)
+            .field("machine", &self.machine)
+            .field("config_fingerprint", &self.config_fingerprint)
+            .field("param", &self.param)
+            .field("cycles", &self.cycles)
+            .field("retired", &self.retired)
+            .field("ipc", &self.ipc)
+            .field("stats", &self.stats)
+            .field("kinds", &self.kinds)
+            .field("distances", &self.distances)
+            .field("max_distance_used", &self.max_distance_used)
+            .field("stdout_digest", &self.stdout_digest)
+            .field("wall_ms", &self.wall_ms)
+            .field("sim_wall_ms", &self.sim_wall_ms)
+            .field("ksim_cycles_per_sec", &self.ksim_cycles_per_sec)
+            .build()
     }
 }
 
@@ -484,16 +644,16 @@ impl ExperimentResult {
 
 impl ToJson for ExperimentResult {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("schema_version", self.schema_version.to_json()),
-            ("experiment", self.experiment.to_json()),
-            ("title", self.title.to_json()),
-            ("paper_ref", self.paper_ref.to_json()),
-            ("git_rev", self.git_rev.to_json()),
-            ("params", self.params.to_json()),
-            ("wall_ms", self.wall_ms.to_json()),
-            ("cells", self.cells.to_json()),
-        ])
+        obj()
+            .field("schema_version", &self.schema_version)
+            .field("experiment", &self.experiment)
+            .field("title", &self.title)
+            .field("paper_ref", &self.paper_ref)
+            .field("git_rev", &self.git_rev)
+            .field("params", &self.params)
+            .field("wall_ms", &self.wall_ms)
+            .field("cells", &self.cells)
+            .build()
     }
 }
 
@@ -535,11 +695,12 @@ pub enum FigureKind {
     Table,
 }
 
-/// One named experiment of the grid.
+/// One named experiment of the grid (obtained from
+/// [`ExperimentId::spec`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentSpec {
-    /// Grid name ("fig11", ..., "sensitivity", "table1").
-    pub name: &'static str,
+    /// Typed identity ("fig11", ..., "sensitivity", "table1").
+    pub id: ExperimentId,
     /// Report title (exactly the header the legacy binaries printed).
     pub title: &'static str,
     /// Paper reference ("Figure 11", "Table I", "§VI-B").
@@ -551,68 +712,13 @@ pub struct ExperimentSpec {
 /// The full grid, in run order.
 #[must_use]
 pub fn all() -> Vec<ExperimentSpec> {
-    vec![
-        ExperimentSpec {
-            name: "fig11",
-            title: "Figure 11: 4-way relative performance (vs SS-4way)",
-            paper_ref: "Figure 11",
-            kind: FigureKind::Perf { global_baseline: None },
-        },
-        ExperimentSpec {
-            name: "fig12",
-            title: "Figure 12: 2-way relative performance (vs SS-2way)",
-            paper_ref: "Figure 12",
-            kind: FigureKind::Perf { global_baseline: None },
-        },
-        ExperimentSpec {
-            name: "fig13",
-            title: "Figure 13: misprediction-penalty effect (vs SS-2way)",
-            paper_ref: "Figure 13",
-            kind: FigureKind::Perf { global_baseline: Some(("2-way", "SS")) },
-        },
-        ExperimentSpec {
-            name: "fig14",
-            title: "Figure 14: with TAGE branch predictor (vs SS)",
-            paper_ref: "Figure 14",
-            kind: FigureKind::Perf { global_baseline: None },
-        },
-        ExperimentSpec {
-            name: "fig15",
-            title: "Figure 15: retired instruction mix (normalized to SS)",
-            paper_ref: "Figure 15",
-            kind: FigureKind::Mix,
-        },
-        ExperimentSpec {
-            name: "fig16",
-            title: "Figure 16: cumulative fraction of source distances",
-            paper_ref: "Figure 16",
-            kind: FigureKind::Distance,
-        },
-        ExperimentSpec {
-            name: "fig17",
-            title: "Figure 17: relative power (normalized to SS at 1.0x, per module)",
-            paper_ref: "Figure 17",
-            kind: FigureKind::Power,
-        },
-        ExperimentSpec {
-            name: "sensitivity",
-            title: "Sensitivity: max source distance vs CoreMark cycles",
-            paper_ref: "Section VI-B",
-            kind: FigureKind::Sensitivity,
-        },
-        ExperimentSpec {
-            name: "table1",
-            title: "Table I: evaluated models",
-            paper_ref: "Table I",
-            kind: FigureKind::Table,
-        },
-    ]
+    ExperimentId::ALL.into_iter().map(ExperimentId::spec).collect()
 }
 
 /// Looks an experiment up by name.
 #[must_use]
 pub fn find(name: &str) -> Option<ExperimentSpec> {
-    all().into_iter().find(|e| e.name == name)
+    name.parse::<ExperimentId>().ok().map(ExperimentId::spec)
 }
 
 fn raw(d: u16) -> Target {
@@ -625,7 +731,7 @@ fn re_plus(d: u16) -> Target {
 
 /// The three-bar (SS / RAW / RE+) group the performance figures share.
 fn perf_cells(
-    experiment: &'static str,
+    experiment: ExperimentId,
     workload: WorkloadKind,
     group: &str,
     ss_cfg: MachineConfig,
@@ -663,20 +769,22 @@ fn perf_cells(
 }
 
 impl ExperimentSpec {
-    /// Enumerates the experiment's cells, in figure order.
+    /// Enumerates the experiment's cells, in figure order. The match
+    /// is exhaustive over [`ExperimentId`], so adding an experiment
+    /// without enumerating its cells is a compile error.
     #[must_use]
     pub fn cells(&self) -> Vec<CellSpec> {
-        match self.name {
-            "fig11" => {
+        match self.id {
+            ExperimentId::Fig11 => {
                 let mut cells = perf_cells(
-                    "fig11",
+                    ExperimentId::Fig11,
                     WorkloadKind::Dhrystone,
                     "Dhrystone",
                     machines::ss_4way(),
                     machines::straight_4way(),
                 );
                 cells.extend(perf_cells(
-                    "fig11",
+                    ExperimentId::Fig11,
                     WorkloadKind::Coremark,
                     "Coremark",
                     machines::ss_4way(),
@@ -684,16 +792,16 @@ impl ExperimentSpec {
                 ));
                 cells
             }
-            "fig12" => {
+            ExperimentId::Fig12 => {
                 let mut cells = perf_cells(
-                    "fig12",
+                    ExperimentId::Fig12,
                     WorkloadKind::Dhrystone,
                     "Dhrystone",
                     machines::ss_2way(),
                     machines::straight_2way(),
                 );
                 cells.extend(perf_cells(
-                    "fig12",
+                    ExperimentId::Fig12,
                     WorkloadKind::Coremark,
                     "Coremark",
                     machines::ss_2way(),
@@ -701,7 +809,7 @@ impl ExperimentSpec {
                 ));
                 cells
             }
-            "fig13" => {
+            ExperimentId::Fig13 => {
                 let mut cells = Vec::new();
                 for (scale, ss_cfg, st_cfg) in [
                     ("2-way", machines::ss_2way(), machines::straight_2way()),
@@ -713,7 +821,7 @@ impl ExperimentSpec {
                         ("STRAIGHT(RE+)", re_plus(EVAL_MAX_DISTANCE), st_cfg),
                     ] {
                         cells.push(CellSpec {
-                            experiment: "fig13",
+                            experiment: ExperimentId::Fig13,
                             group: scale.to_string(),
                             label: label.to_string(),
                             workload: Some(WorkloadKind::Coremark),
@@ -724,16 +832,16 @@ impl ExperimentSpec {
                 }
                 cells
             }
-            "fig14" => {
+            ExperimentId::Fig14 => {
                 let mut cells = perf_cells(
-                    "fig14",
+                    ExperimentId::Fig14,
                     WorkloadKind::Coremark,
                     "Coremark 2-way",
                     machines::ss_2way().with_tage(),
                     machines::straight_2way().with_tage(),
                 );
                 cells.extend(perf_cells(
-                    "fig14",
+                    ExperimentId::Fig14,
                     WorkloadKind::Coremark,
                     "Coremark 4-way",
                     machines::ss_4way().with_tage(),
@@ -741,14 +849,14 @@ impl ExperimentSpec {
                 ));
                 cells
             }
-            "fig15" => [
+            ExperimentId::Fig15 => [
                 ("SS", Target::Riscv),
                 ("STRAIGHT(RAW)", raw(EVAL_MAX_DISTANCE)),
                 ("STRAIGHT(RE+)", re_plus(EVAL_MAX_DISTANCE)),
             ]
             .into_iter()
             .map(|(label, target)| CellSpec {
-                experiment: "fig15",
+                experiment: ExperimentId::Fig15,
                 group: "Coremark".to_string(),
                 label: label.to_string(),
                 workload: Some(WorkloadKind::Coremark),
@@ -756,10 +864,10 @@ impl ExperimentSpec {
                 kind: CellKind::EmuMix { target },
             })
             .collect(),
-            "fig16" => [WorkloadKind::Dhrystone, WorkloadKind::Coremark]
+            ExperimentId::Fig16 => [WorkloadKind::Dhrystone, WorkloadKind::Coremark]
                 .into_iter()
                 .map(|workload| CellSpec {
-                    experiment: "fig16",
+                    experiment: ExperimentId::Fig16,
                     group: workload.name().to_string(),
                     label: "STRAIGHT(RE+)".to_string(),
                     workload: Some(workload),
@@ -767,9 +875,9 @@ impl ExperimentSpec {
                     kind: CellKind::EmuDistance { target: re_plus(1023) },
                 })
                 .collect(),
-            "fig17" => vec![
+            ExperimentId::Fig17 => vec![
                 CellSpec {
-                    experiment: "fig17",
+                    experiment: ExperimentId::Fig17,
                     group: "Dhrystone".to_string(),
                     label: "SS".to_string(),
                     workload: Some(WorkloadKind::Dhrystone),
@@ -777,7 +885,7 @@ impl ExperimentSpec {
                     kind: CellKind::Pipeline { target: Target::Riscv, machine: machines::ss_2way() },
                 },
                 CellSpec {
-                    experiment: "fig17",
+                    experiment: ExperimentId::Fig17,
                     group: "Dhrystone".to_string(),
                     label: "STRAIGHT(RE+)".to_string(),
                     workload: Some(WorkloadKind::Dhrystone),
@@ -788,7 +896,7 @@ impl ExperimentSpec {
                     },
                 },
             ],
-            "sensitivity" => SENSITIVITY_DISTANCES
+            ExperimentId::Sensitivity => SENSITIVITY_DISTANCES
                 .into_iter()
                 .map(|d| {
                     // The machine must provision MAX_RP = distance + ROB.
@@ -796,7 +904,7 @@ impl ExperimentSpec {
                     cfg.max_distance = u32::from(d);
                     cfg.phys_regs = cfg.phys_regs.max(u32::from(d) + cfg.rob_capacity);
                     CellSpec {
-                        experiment: "sensitivity",
+                        experiment: ExperimentId::Sensitivity,
                         group: "Coremark".to_string(),
                         label: format!("d={d}"),
                         workload: Some(WorkloadKind::Coremark),
@@ -805,7 +913,7 @@ impl ExperimentSpec {
                     }
                 })
                 .collect(),
-            "table1" => [
+            ExperimentId::Table1 => [
                 machines::ss_2way(),
                 machines::straight_2way(),
                 machines::ss_4way(),
@@ -813,7 +921,7 @@ impl ExperimentSpec {
             ]
             .into_iter()
             .map(|machine| CellSpec {
-                experiment: "table1",
+                experiment: ExperimentId::Table1,
                 group: "models".to_string(),
                 label: machine.name.clone(),
                 workload: None,
@@ -821,7 +929,6 @@ impl ExperimentSpec {
                 kind: CellKind::ConfigDump { machine },
             })
             .collect(),
-            _ => Vec::new(),
         }
     }
 
@@ -870,7 +977,7 @@ impl ExperimentSpec {
 }
 
 fn malformed(spec: &ExperimentSpec, msg: impl Into<String>) -> ExperimentError {
-    ExperimentError::Malformed { experiment: spec.name.to_string(), msg: msg.into() }
+    ExperimentError::Malformed { experiment: spec.id.to_string(), msg: msg.into() }
 }
 
 /// Groups cells in first-seen order, preserving in-group order.
@@ -994,7 +1101,7 @@ mod tests {
 
     #[test]
     fn grid_covers_the_evaluation() {
-        let names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        let names: Vec<&str> = all().iter().map(|e| e.id.name()).collect();
         assert_eq!(
             names,
             ["fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sensitivity", "table1"]

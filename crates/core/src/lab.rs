@@ -1,61 +1,49 @@
-//! The parallel experiment runner behind the `straight-lab` binary.
+//! The lab: a long-lived experiment-running session.
 //!
-//! [`run_lab`] flattens the selected [`ExperimentSpec`]s into one list
-//! of cells and executes them on a fixed-size worker pool (`jobs`
-//! threads; plain `std::thread::scope` — the container has no rayon).
-//! Two caches make the full grid cheap:
+//! [`LabSession`] is the one entry point to executing grid cells. It
+//! owns everything that used to be per-invocation state of the old
+//! `run_lab` free function:
 //!
+//! * a persistent **worker pool** (`jobs` threads; plain
+//!   `std::thread` — the container has no rayon) that outlives any
+//!   single run, so a daemon can keep submitting work to warm threads;
 //! * an **image cache** — each (workload, target, iteration-count)
 //!   triple is compiled and linked once, so Dhrystone/CoreMark are
-//!   built once per ISA profile instead of once per figure;
+//!   built once per ISA profile across every request the session ever
+//!   serves;
 //! * a **run cache** — cells with identical configuration
 //!   fingerprints (e.g. Figure 17's Dhrystone/SS-2way run, which
-//!   Figure 12 also needs) simulate once and share the result.
+//!   Figure 12 also needs, or the same cell submitted by two daemon
+//!   clients) simulate once and share the result;
+//! * **cache counters** ([`CacheStats`]) making the deduplication
+//!   observable.
 //!
-//! Each cell yields a [`CellRecord`]; per experiment they are wrapped
-//! in an [`ExperimentResult`] carrying provenance (git revision,
-//! parameters, wall time) and written to `BENCH_<name>.json`. The
-//! paper-shaped text report is re-rendered from those records.
+//! Construction is explicit:
+//! `LabSession::builder().jobs(8).profile(true).build()?`. Work enters
+//! either through the blocking [`LabSession::run`] (what `straight-lab`
+//! uses in-process) or the asynchronous [`LabSession::submit`] /
+//! [`Batch`] pair (what the `straightd` daemon builds its job queue
+//! on). Each cell yields a [`CellRecord`]; per experiment they are
+//! wrapped in an [`ExperimentResult`] carrying provenance (git
+//! revision, parameters, wall time) and written to `BENCH_<name>.json`.
+//! The paper-shaped text report is re-rendered from those records.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use straight_asm::Image;
-use straight_json::{fnv1a64, FromJson, Json, ToJson};
+use straight_json::{fnv1a64, obj, FromJson, Json, ToJson};
 use straight_sim::emu::{RiscvEmu, StraightEmu};
 use straight_sim::pipeline::SimResult;
 
 use crate::experiment::{
-    self, build_for, run_checked, target_name, CellKind, CellRecord, CellSpec, ExperimentError,
-    ExperimentResult, ExperimentSpec, RunParams, WorkloadKind, SCHEMA_VERSION,
+    build_for, run_checked, target_name, CellKind, CellRecord, CellSpec, ExperimentError,
+    ExperimentId, ExperimentResult, ExperimentSpec, RunParams, WorkloadKind, SCHEMA_VERSION,
 };
 use crate::Target;
-
-/// What to run and how.
-#[derive(Debug, Clone)]
-pub struct LabConfig {
-    /// Experiment names, in run order (validated against
-    /// [`experiment::all`]).
-    pub experiments: Vec<String>,
-    /// Iteration counts and cycle budget.
-    pub params: RunParams,
-    /// Worker-thread cap (clamped to at least 1).
-    pub jobs: usize,
-    /// Where to write `BENCH_<name>.json`; `None` skips writing.
-    pub out_dir: Option<PathBuf>,
-}
-
-impl LabConfig {
-    /// A config running `experiments` with default parameters, as many
-    /// jobs as the machine has cores, and no file output.
-    #[must_use]
-    pub fn new(experiments: Vec<String>) -> LabConfig {
-        LabConfig { experiments, params: RunParams::default(), jobs: default_jobs(), out_dir: None }
-    }
-}
 
 /// The machine's available parallelism (1 when unknown).
 #[must_use]
@@ -63,11 +51,15 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A failure of the runner as a whole.
 #[derive(Debug)]
 pub enum LabError {
-    /// A requested experiment name is not in the grid.
-    UnknownExperiment(String),
+    /// A session was configured with zero worker threads.
+    InvalidJobs,
     /// A cell failed to build or run.
     Cell {
         /// Cell id (`experiment/group/label`).
@@ -95,8 +87,8 @@ pub enum LabError {
 impl std::fmt::Display for LabError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LabError::UnknownExperiment(name) => {
-                write!(f, "unknown experiment `{name}` (see --list)")
+            LabError::InvalidJobs => {
+                write!(f, "--jobs must be at least 1 (0 would run nothing)")
             }
             LabError::Cell { cell, source } => write!(f, "cell {cell}: {source}"),
             LabError::Assemble { experiment, source } => write!(f, "{experiment}: {source}"),
@@ -141,6 +133,7 @@ pub fn git_rev() -> String {
 type ImageKey = (WorkloadKind, Target, u32);
 type ImageSlot = Arc<OnceLock<Result<Arc<Image>, Arc<ExperimentError>>>>;
 type RunSlot = Arc<OnceLock<Result<Arc<TimedRun>, Arc<ExperimentError>>>>;
+type CellOutcome = Result<CellRecord, Arc<ExperimentError>>;
 
 /// A cached simulation plus how long the simulation itself took on
 /// the host (the profiler's per-run cost; excludes compile time and
@@ -150,22 +143,79 @@ struct TimedRun {
     sim_wall_ms: f64,
 }
 
-/// Shared state of one grid run: both caches.
+/// A snapshot of the session's cache activity. Hits minus misses make
+/// the image/run deduplication externally observable (the daemon
+/// reports this through its `stats` op).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Image-cache lookups (one per cell that compiles a workload).
+    pub image_lookups: u64,
+    /// Image-cache lookups that compiled (first sight of the key).
+    pub image_misses: u64,
+    /// Run-cache lookups (one per pipeline cell).
+    pub run_lookups: u64,
+    /// Run-cache lookups that simulated (first sight of the
+    /// fingerprint).
+    pub run_misses: u64,
+}
+
+impl CacheStats {
+    /// Image-cache lookups served from the cache.
+    #[must_use]
+    pub fn image_hits(&self) -> u64 {
+        self.image_lookups - self.image_misses
+    }
+
+    /// Run-cache lookups served from the cache (deduplicated
+    /// simulations).
+    #[must_use]
+    pub fn run_hits(&self) -> u64 {
+        self.run_lookups - self.run_misses
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        obj()
+            .field("image_lookups", &self.image_lookups)
+            .field("image_hits", &self.image_hits())
+            .field("image_misses", &self.image_misses)
+            .field("run_lookups", &self.run_lookups)
+            .field("run_hits", &self.run_hits())
+            .field("run_misses", &self.run_misses)
+            .build()
+    }
+}
+
+/// Shared state of one session: both caches plus their counters.
 #[derive(Default)]
 struct Caches {
     images: Mutex<HashMap<ImageKey, ImageSlot>>,
     runs: Mutex<HashMap<String, RunSlot>>,
+    image_lookups: AtomicU64,
+    image_misses: AtomicU64,
+    run_lookups: AtomicU64,
+    run_misses: AtomicU64,
 }
 
 impl Caches {
     fn image_slot(&self, key: ImageKey) -> ImageSlot {
-        let mut map = self.images.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        map.entry(key).or_default().clone()
+        self.image_lookups.fetch_add(1, Ordering::Relaxed);
+        lock(&self.images).entry(key).or_default().clone()
     }
 
     fn run_slot(&self, fingerprint: &str) -> RunSlot {
-        let mut map = self.runs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        map.entry(fingerprint.to_string()).or_default().clone()
+        self.run_lookups.fetch_add(1, Ordering::Relaxed);
+        lock(&self.runs).entry(fingerprint.to_string()).or_default().clone()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            image_lookups: self.image_lookups.load(Ordering::Relaxed),
+            image_misses: self.image_misses.load(Ordering::Relaxed),
+            run_lookups: self.run_lookups.load(Ordering::Relaxed),
+            run_misses: self.run_misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -182,6 +232,7 @@ fn image_for(
 ) -> Result<Arc<Image>, Arc<ExperimentError>> {
     let slot = caches.image_slot((workload, target, workload.iters(params)));
     slot.get_or_init(|| {
+        caches.image_misses.fetch_add(1, Ordering::Relaxed);
         build_for(workload.name(), &workload.source(params), target)
             .map(Arc::new)
             .map_err(Arc::new)
@@ -190,11 +241,7 @@ fn image_for(
 }
 
 /// Executes one cell, producing its record.
-fn exec_cell(
-    spec: &CellSpec,
-    params: &RunParams,
-    caches: &Caches,
-) -> Result<CellRecord, Arc<ExperimentError>> {
+fn exec_cell(spec: &CellSpec, params: &RunParams, caches: &Caches) -> CellOutcome {
     let started = Instant::now();
     let fingerprint = spec.fingerprint(params);
     let mut record = CellRecord {
@@ -229,10 +276,13 @@ fn exec_cell(
             })?;
             let image = image_for(caches, workload, *target, params)?;
             // Identical (workload, target, machine, iters) cells — the
-            // same point appearing in several figures — simulate once.
+            // same point appearing in several figures, or the same
+            // cell submitted by several daemon clients — simulate
+            // once.
             let slot = caches.run_slot(&fingerprint);
             let timed = slot
                 .get_or_init(|| {
+                    caches.run_misses.fetch_add(1, Ordering::Relaxed);
                     let sim_started = Instant::now();
                     run_checked(workload.name(), &image, machine.clone())
                         .map(|result| {
@@ -316,95 +366,395 @@ fn exec_cell(
     Ok(record)
 }
 
-/// Resolves the requested names against the grid.
-fn resolve(names: &[String]) -> Result<Vec<ExperimentSpec>, LabError> {
-    names
-        .iter()
-        .map(|name| {
-            experiment::find(name).ok_or_else(|| LabError::UnknownExperiment(name.clone()))
-        })
-        .collect()
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a session handle and its worker threads.
+struct SessionShared {
+    caches: Caches,
+    queue: Mutex<SessionQueue>,
+    available: Condvar,
+    git_rev: String,
 }
 
-/// Runs the selected experiments' cells in parallel and assembles one
-/// [`LabRun`] per experiment.
-///
-/// # Errors
-///
-/// The first cell/assembly/write failure, as a [`LabError`]. A failing
-/// cell does not cancel in-flight cells, but no files are written for
-/// the failing experiment.
-pub fn run_lab(config: &LabConfig) -> Result<Vec<LabRun>, LabError> {
-    let specs = resolve(&config.experiments)?;
-    let git_rev = git_rev();
+struct SessionQueue {
+    tasks: std::collections::VecDeque<Task>,
+    shutdown: bool,
+}
 
-    // Flatten: (experiment index, cell) in deterministic grid order.
-    let work: Vec<(usize, CellSpec)> = specs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, spec)| spec.cells().into_iter().map(move |c| (i, c)))
-        .collect();
+/// Progress/result state of one submitted batch of cells.
+struct BatchShared {
+    cells: Vec<CellSpec>,
+    slots: Vec<Mutex<Option<CellOutcome>>>,
+    started: AtomicUsize,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    cancelled: AtomicBool,
+}
 
-    type CellSlot = Mutex<Option<Result<CellRecord, Arc<ExperimentError>>>>;
-    let caches = Caches::default();
-    let cursor = AtomicUsize::new(0);
-    let results: Vec<CellSlot> = work.iter().map(|_| Mutex::new(None)).collect();
-    let workers = config.jobs.clamp(1, work.len().max(1));
+/// A handle to an asynchronously submitted batch of cells (see
+/// [`LabSession::submit`]). Cells execute on the session's worker
+/// pool in submission order; the handle observes progress, waits for
+/// completion, or cancels cells that have not started yet.
+#[derive(Clone)]
+pub struct Batch {
+    shared: Arc<BatchShared>,
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((_, cell)) = work.get(index) else { break };
-                let outcome = exec_cell(cell, &config.params, &caches);
-                *results[index].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                    Some(outcome);
-            });
+impl Batch {
+    /// `(completed, total)` cell counts.
+    #[must_use]
+    pub fn progress(&self) -> (usize, usize) {
+        (*lock(&self.shared.done), self.shared.cells.len())
+    }
+
+    /// Whether any cell has begun executing.
+    #[must_use]
+    pub fn started(&self) -> bool {
+        self.shared.started.load(Ordering::Relaxed) > 0
+    }
+
+    /// Whether every cell has completed (successfully or not).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        let (done, total) = self.progress();
+        done == total
+    }
+
+    /// Whether [`Batch::cancel`] was called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancellation: cells that have not started resolve to
+    /// [`ExperimentError::Cancelled`] instead of executing. Cells
+    /// already in flight run to completion (the simulator has no
+    /// preemption points), so [`Batch::wait`] still returns promptly.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until every cell has completed, then returns the
+    /// per-cell outcomes in submission order.
+    #[must_use]
+    pub fn wait(&self) -> Vec<CellOutcome> {
+        let total = self.shared.cells.len();
+        let mut done = lock(&self.shared.done);
+        while *done < total {
+            done = self
+                .shared
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-    });
+        drop(done);
+        self.outcomes()
+    }
 
-    // Collect per experiment, preserving grid order.
-    let mut per_exp: Vec<Vec<CellRecord>> = specs.iter().map(|_| Vec::new()).collect();
-    for ((exp_index, cell), slot) in work.iter().zip(&results) {
-        let outcome = slot
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take()
-            .unwrap_or_else(|| {
-                Err(Arc::new(ExperimentError::Malformed {
-                    experiment: cell.experiment.to_string(),
-                    msg: "cell was never executed".to_string(),
-                }))
-            });
-        match outcome {
-            Ok(record) => per_exp[*exp_index].push(record),
-            Err(source) => return Err(LabError::Cell { cell: cell.id(), source }),
+    /// The cell specs this batch executes, in submission order.
+    #[must_use]
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.shared.cells
+    }
+
+    /// The per-cell outcomes recorded so far (`Err(Cancelled)` slots
+    /// included); unfinished cells are absent from their slot and
+    /// reported as a `Malformed` error. Prefer [`Batch::wait`] unless
+    /// the batch is known to be done.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<CellOutcome> {
+        self.shared
+            .cells
+            .iter()
+            .zip(&self.shared.slots)
+            .map(|(cell, slot)| {
+                lock(slot).clone().unwrap_or_else(|| {
+                    Err(Arc::new(ExperimentError::Malformed {
+                        experiment: cell.experiment.to_string(),
+                        msg: "cell was never executed".to_string(),
+                    }))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Configures and constructs a [`LabSession`]; see
+/// [`LabSession::builder`].
+#[derive(Debug, Clone)]
+pub struct LabSessionBuilder {
+    jobs: usize,
+    profile: bool,
+    out_dir: Option<PathBuf>,
+    git_rev: Option<String>,
+}
+
+impl LabSessionBuilder {
+    /// Worker-thread count. Must be at least 1; [`Self::build`]
+    /// rejects 0 with [`LabError::InvalidJobs`] instead of clamping
+    /// silently.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> LabSessionBuilder {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Whether front-ends should surface the host-side throughput
+    /// profile (the records always carry it; this flag is the caller's
+    /// presentation choice, stored once on the session).
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> LabSessionBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Where completed experiments write `BENCH_<name>.json`; `None`
+    /// (the default) skips writing.
+    #[must_use]
+    pub fn out_dir(mut self, dir: Option<PathBuf>) -> LabSessionBuilder {
+        self.out_dir = dir;
+        self
+    }
+
+    /// Overrides the recorded git revision (defaults to [`git_rev`]).
+    #[must_use]
+    pub fn git_rev(mut self, rev: impl Into<String>) -> LabSessionBuilder {
+        self.git_rev = Some(rev.into());
+        self
+    }
+
+    /// Starts the session: spawns the worker pool and initializes
+    /// empty caches.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::InvalidJobs`] when `jobs` is 0.
+    pub fn build(self) -> Result<LabSession, LabError> {
+        if self.jobs == 0 {
+            return Err(LabError::InvalidJobs);
+        }
+        let shared = Arc::new(SessionShared {
+            caches: Caches::default(),
+            queue: Mutex::new(SessionQueue {
+                tasks: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            git_rev: self.git_rev.unwrap_or_else(git_rev),
+        });
+        let workers = (0..self.jobs)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let mut queue = lock(&shared.queue);
+                        loop {
+                            if let Some(task) = queue.tasks.pop_front() {
+                                break task;
+                            }
+                            if queue.shutdown {
+                                return;
+                            }
+                            queue = shared
+                                .available
+                                .wait(queue)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    };
+                    task();
+                })
+            })
+            .collect();
+        Ok(LabSession {
+            shared,
+            workers,
+            jobs: self.jobs,
+            profile: self.profile,
+            out_dir: self.out_dir,
+        })
+    }
+}
+
+/// A long-lived experiment-running session: worker pool, image/run
+/// caches, and cache counters, with explicit caller-controlled
+/// lifetime (dropping the session drains and joins the pool). See the
+/// module docs for the full picture.
+pub struct LabSession {
+    shared: Arc<SessionShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    jobs: usize,
+    profile: bool,
+    out_dir: Option<PathBuf>,
+}
+
+impl LabSession {
+    /// Starts configuring a session. Defaults: [`default_jobs`]
+    /// workers, no profiling, no output directory.
+    #[must_use]
+    pub fn builder() -> LabSessionBuilder {
+        LabSessionBuilder {
+            jobs: default_jobs(),
+            profile: false,
+            out_dir: None,
+            git_rev: None,
         }
     }
 
-    let mut runs = Vec::new();
-    for (spec, cells) in specs.iter().zip(per_exp) {
+    /// The worker-pool size.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether the caller asked for throughput-profile presentation.
+    #[must_use]
+    pub fn profile(&self) -> bool {
+        self.profile
+    }
+
+    /// The git revision stamped into this session's records.
+    #[must_use]
+    pub fn git_rev(&self) -> &str {
+        &self.shared.git_rev
+    }
+
+    /// A snapshot of the cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.caches.stats()
+    }
+
+    /// Enqueues `cells` on the worker pool and returns immediately
+    /// with a [`Batch`] handle. Cells of concurrent batches interleave
+    /// in FIFO order; results are deduplicated through the session
+    /// caches.
+    #[must_use]
+    pub fn submit(&self, cells: Vec<CellSpec>, params: RunParams) -> Batch {
+        let batch = Arc::new(BatchShared {
+            slots: cells.iter().map(|_| Mutex::new(None)).collect(),
+            cells,
+            started: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        });
+        {
+            let mut queue = lock(&self.shared.queue);
+            for index in 0..batch.cells.len() {
+                let batch = Arc::clone(&batch);
+                let shared = Arc::clone(&self.shared);
+                queue.tasks.push_back(Box::new(move || {
+                    let cell = &batch.cells[index];
+                    let outcome = if batch.cancelled.load(Ordering::Relaxed) {
+                        Err(Arc::new(ExperimentError::Cancelled { cell: cell.id() }))
+                    } else {
+                        batch.started.fetch_add(1, Ordering::Relaxed);
+                        exec_cell(cell, &params, &shared.caches)
+                    };
+                    *lock(&batch.slots[index]) = Some(outcome);
+                    let mut done = lock(&batch.done);
+                    *done += 1;
+                    batch.done_cv.notify_all();
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        Batch { shared: batch }
+    }
+
+    /// Runs one experiment to completion: submits its cells, waits,
+    /// assembles the [`ExperimentResult`], renders the text report,
+    /// and writes `BENCH_<name>.json` when an output directory is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// The first cell/assembly/write failure, as a [`LabError`]. A
+    /// failing cell does not cancel in-flight cells, but no file is
+    /// written for the failing experiment.
+    pub fn run_experiment(&self, id: ExperimentId, params: RunParams) -> Result<LabRun, LabError> {
+        let spec = id.spec();
+        let batch = self.submit(spec.cells(), params);
+        let outcomes = batch.wait();
+        self.assemble(&spec, params, &batch, outcomes)
+    }
+
+    /// Runs several experiments, pipelining their cells through the
+    /// pool (all cells are enqueued up front, results are assembled in
+    /// request order).
+    ///
+    /// # Errors
+    ///
+    /// As [`LabSession::run_experiment`]; the first failure wins.
+    pub fn run(&self, ids: &[ExperimentId], params: RunParams) -> Result<Vec<LabRun>, LabError> {
+        let submitted: Vec<(ExperimentSpec, Batch)> = ids
+            .iter()
+            .map(|id| {
+                let spec = id.spec();
+                let batch = self.submit(spec.cells(), params);
+                (spec, batch)
+            })
+            .collect();
+        submitted
+            .into_iter()
+            .map(|(spec, batch)| {
+                let outcomes = batch.wait();
+                self.assemble(&spec, params, &batch, outcomes)
+            })
+            .collect()
+    }
+
+    /// Builds the [`ExperimentResult`] (and [`LabRun`]) from a
+    /// completed batch's outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::Cell`]/[`LabError::Assemble`]/[`LabError::Io`] as
+    /// in [`LabSession::run_experiment`].
+    pub fn assemble(
+        &self,
+        spec: &ExperimentSpec,
+        params: RunParams,
+        batch: &Batch,
+        outcomes: Vec<CellOutcome>,
+    ) -> Result<LabRun, LabError> {
+        let mut cells = Vec::with_capacity(outcomes.len());
+        for (cell, outcome) in batch.cells().iter().zip(outcomes) {
+            match outcome {
+                Ok(record) => cells.push(record),
+                Err(source) => return Err(LabError::Cell { cell: cell.id(), source }),
+            }
+        }
         let result = ExperimentResult {
             schema_version: SCHEMA_VERSION,
-            experiment: spec.name.to_string(),
+            experiment: spec.id.to_string(),
             title: spec.title.to_string(),
             paper_ref: spec.paper_ref.to_string(),
-            git_rev: git_rev.clone(),
-            params: config.params,
+            git_rev: self.shared.git_rev.clone(),
+            params,
             wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
             cells,
         };
         let rendered = spec.render(&result).map_err(|source| LabError::Assemble {
-            experiment: spec.name.to_string(),
+            experiment: spec.id.to_string(),
             source,
         })?;
-        let path = match &config.out_dir {
+        let path = match &self.out_dir {
             Some(dir) => Some(write_result(dir, &result)?),
             None => None,
         };
-        runs.push(LabRun { result, rendered, path });
+        Ok(LabRun { result, rendered, path })
     }
-    Ok(runs)
+}
+
+impl Drop for LabSession {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// Writes one experiment's records to `<dir>/BENCH_<name>.json`.
@@ -465,17 +815,33 @@ pub fn validate_file(path: &Path) -> Result<ExperimentResult, LabError> {
 mod tests {
     use super::*;
 
+    fn session() -> LabSession {
+        LabSession::builder().jobs(2).build().unwrap()
+    }
+
     #[test]
-    fn unknown_experiment_is_rejected() {
-        let err = run_lab(&LabConfig::new(vec!["fig99".to_string()]));
-        assert!(matches!(err, Err(LabError::UnknownExperiment(_))));
+    fn zero_jobs_is_rejected_not_clamped() {
+        let err = LabSession::builder().jobs(0).build().err().expect("jobs(0) must be rejected");
+        assert!(matches!(err, LabError::InvalidJobs));
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn unknown_experiment_never_reaches_the_session() {
+        // Stringly-typed selection dies at the edge now: the parse
+        // error carries the full list of valid ids.
+        let err = "fig99".parse::<ExperimentId>().unwrap_err();
+        assert_eq!(err.name, "fig99");
+        let msg = err.to_string();
+        for id in ExperimentId::ALL {
+            assert!(msg.contains(id.name()), "{msg} should list {id}");
+        }
     }
 
     #[test]
     fn table1_runs_without_simulation() {
-        let runs = run_lab(&LabConfig::new(vec!["table1".to_string()])).unwrap();
-        assert_eq!(runs.len(), 1);
-        let run = &runs[0];
+        let session = session();
+        let run = session.run_experiment(ExperimentId::Table1, RunParams::default()).unwrap();
         assert_eq!(run.result.cells.len(), 4);
         assert!(run.rendered.contains("== Table I: evaluated models =="));
         assert!(run.result.cells.iter().all(|c| c.stats.is_none() && c.cycles == 0));
@@ -485,5 +851,42 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), 4);
+    }
+
+    #[test]
+    fn cancelled_batches_resolve_without_executing() {
+        let session = session();
+        let spec = ExperimentId::Table1.spec();
+        let batch = session.submit(spec.cells(), RunParams::default());
+        // Whether or not cells started, cancellation completes the
+        // batch and wait() returns.
+        batch.cancel();
+        let outcomes = batch.wait();
+        assert_eq!(outcomes.len(), 4);
+        assert!(batch.is_done());
+        for outcome in outcomes {
+            match outcome {
+                Ok(record) => assert_eq!(record.experiment, "table1"),
+                Err(e) => assert!(matches!(*e, ExperimentError::Cancelled { .. })),
+            }
+        }
+    }
+
+    #[test]
+    fn session_caches_persist_across_runs() {
+        let session = session();
+        let params = RunParams { dhry_iters: 5, cm_iters: 1, ..RunParams::default() };
+        let first = session.run_experiment(ExperimentId::Fig16, params).unwrap();
+        let after_first = session.cache_stats();
+        assert_eq!(after_first.image_hits(), 0, "cold cache compiles everything");
+        assert!(after_first.image_misses > 0);
+        let second = session.run_experiment(ExperimentId::Fig16, params).unwrap();
+        let after_second = session.cache_stats();
+        assert_eq!(
+            after_second.image_misses, after_first.image_misses,
+            "second run recompiles nothing"
+        );
+        assert!(after_second.image_hits() > 0);
+        assert_eq!(first.result.normalized(), second.result.normalized());
     }
 }

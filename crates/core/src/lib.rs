@@ -6,12 +6,15 @@
 //! * [`build`] / [`Target`] — compile MinC for either machine;
 //! * [`machines`] — the Table-I machine models;
 //! * [`experiment`] — the evaluation as a uniform grid of named
-//!   [`experiment::ExperimentSpec`]s (Figures 11–17, the §VI-B
-//!   sensitivity study, Table I), each cell producing a serializable
-//!   [`experiment::CellRecord`];
-//! * [`lab`] — the parallel grid runner (image/run caching, worker
-//!   pool, `BENCH_<name>.json` output) behind the `straight-lab`
-//!   binary;
+//!   experiments (Figures 11–17, the §VI-B sensitivity study,
+//!   Table I), selected by the typed [`experiment::ExperimentId`] and
+//!   described by [`experiment::ExperimentSpec`]s, each cell producing
+//!   a serializable [`experiment::CellRecord`];
+//! * [`lab`] — the [`lab::LabSession`] experiment-running session
+//!   (persistent worker pool, image/run caches with hit counters,
+//!   blocking and asynchronous submission, `BENCH_<name>.json`
+//!   output) behind both the `straight-lab` binary and the
+//!   `straightd` daemon;
 //! * [`report`] — paper-shaped text rendering, re-derived from the
 //!   records.
 //!

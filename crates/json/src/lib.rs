@@ -653,6 +653,63 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     }
 }
 
+/// Starts an ergonomic object builder; the usual way to write a
+/// record. Keys keep insertion order, like [`Json::obj`].
+///
+/// ```
+/// use straight_json::obj;
+///
+/// let v = obj().field("cycles", &1234u64).field("ipc", &1.5f64).build();
+/// assert_eq!(v.render(), r#"{"cycles":1234,"ipc":1.5}"#);
+/// ```
+#[must_use]
+pub fn obj() -> JsonBuilder {
+    JsonBuilder::default()
+}
+
+/// An in-order JSON object under construction (see [`obj`]).
+#[derive(Debug, Default, Clone)]
+pub struct JsonBuilder {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonBuilder {
+    /// Appends a field, converting the value through [`ToJson`].
+    /// `Option` fields serialize as `null` when `None`, and a
+    /// pre-built [`Json`] value passes through unchanged.
+    #[must_use]
+    pub fn field<T: ToJson + ?Sized>(mut self, key: impl Into<String>, value: &T) -> JsonBuilder {
+        self.fields.push((key.into(), value.to_json()));
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> Json {
+        Json::Obj(self.fields)
+    }
+}
+
+impl From<JsonBuilder> for Json {
+    fn from(builder: JsonBuilder) -> Json {
+        builder.build()
+    }
+}
+
+impl ToJson for JsonBuilder {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+}
+
+/// A [`Json`] value is trivially convertible to itself, so pre-built
+/// values can be passed to [`JsonBuilder::field`].
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
 /// Reads a typed field out of an object in one step.
 ///
 /// # Errors
@@ -740,6 +797,26 @@ mod tests {
         assert_eq!(Option::<u64>::from_json(&Json::Null).unwrap(), None);
         assert_eq!(Option::<u64>::from_json(&Json::Num(3.0)).unwrap(), Some(3));
         assert_eq!(None::<u64>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn builder_matches_hand_rolled_objects() {
+        let hand = Json::obj([
+            ("a", 1u64.to_json()),
+            ("b", Json::Null),
+            ("c", Json::Arr(vec![Json::Num(1.0)])),
+        ]);
+        let built = obj()
+            .field("a", &1u64)
+            .field("b", &None::<u64>)
+            .field("c", &vec![1u64])
+            .build();
+        assert_eq!(built, hand);
+        assert_eq!(built.render(), hand.render());
+        // Pre-built Json values pass through `field` unchanged, and
+        // insertion order is preserved.
+        let nested = obj().field("outer", &obj().field("inner", &2u32).build()).build();
+        assert_eq!(nested.render(), r#"{"outer":{"inner":2}}"#);
     }
 
     #[test]

@@ -168,22 +168,22 @@ impl ToJson for SimStats {
                 .map(|i| (KIND_NAMES[i].to_string(), self.retired_kinds[i].to_json()))
                 .collect(),
         );
-        Json::obj([
-            ("cycles", self.cycles.to_json()),
-            ("retired", self.retired.to_json()),
-            ("ipc", self.ipc().to_json()),
-            ("retired_kinds", kinds),
-            ("branches", self.branches.to_json()),
-            ("branch_mispredicts", self.branch_mispredicts.to_json()),
-            ("indirect_mispredicts", self.indirect_mispredicts.to_json()),
-            ("memory_violations", self.memory_violations.to_json()),
-            ("squashed", self.squashed.to_json()),
-            ("recovery_stall_cycles", self.recovery_stall_cycles.to_json()),
-            ("freelist_stall_cycles", self.freelist_stall_cycles.to_json()),
-            ("backpressure_stall_cycles", self.backpressure_stall_cycles.to_json()),
-            ("events", self.events.to_json()),
-            ("mem", self.mem.to_json()),
-        ])
+        straight_json::obj()
+            .field("cycles", &self.cycles)
+            .field("retired", &self.retired)
+            .field("ipc", &self.ipc())
+            .field("retired_kinds", &kinds)
+            .field("branches", &self.branches)
+            .field("branch_mispredicts", &self.branch_mispredicts)
+            .field("indirect_mispredicts", &self.indirect_mispredicts)
+            .field("memory_violations", &self.memory_violations)
+            .field("squashed", &self.squashed)
+            .field("recovery_stall_cycles", &self.recovery_stall_cycles)
+            .field("freelist_stall_cycles", &self.freelist_stall_cycles)
+            .field("backpressure_stall_cycles", &self.backpressure_stall_cycles)
+            .field("events", &self.events)
+            .field("mem", &self.mem)
+            .build()
     }
 }
 

@@ -19,7 +19,8 @@ cargo test -p straight-tests --features stage-profile -q --test stage_profile
 # Smoke: the unified runner must produce a BENCH_fig11.json that its
 # own validator accepts (parse + schema check + FromJson round-trip).
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+STRAIGHTD_PID=""
+trap '{ [ -n "$STRAIGHTD_PID" ] && kill "$STRAIGHTD_PID" 2>/dev/null; } || true; rm -rf "$SMOKE_DIR"' EXIT
 target/release/straight-lab --figure fig11 --quick --quiet --profile --out "$SMOKE_DIR"
 test -s "$SMOKE_DIR/BENCH_fig11.json"
 target/release/straight-lab --validate "$SMOKE_DIR/BENCH_fig11.json"
@@ -40,3 +41,27 @@ for c in cells:
         assert c["sim_wall_ms"] is None and c["ksim_cycles_per_sec"] is None, c["id"]
 print(f"throughput fields OK on {len(piped)} pipeline cells")
 EOF
+
+# Daemon smoke: start straightd on a Unix socket, run the same figure
+# through `straight-lab --remote`, and require the fetched record to be
+# byte-identical (after normalization) to the in-process one above.
+SOCK="$SMOKE_DIR/straightd.sock"
+target/release/straightd --listen "$SOCK" --jobs 2 &
+STRAIGHTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+test -S "$SOCK"
+target/release/straight-lab --remote "$SOCK" --figure fig11 --quick --quiet \
+    --out "$SMOKE_DIR/remote"
+target/release/straight-lab --normalize "$SMOKE_DIR/BENCH_fig11.json" \
+    > "$SMOKE_DIR/local.norm"
+target/release/straight-lab --normalize "$SMOKE_DIR/remote/BENCH_fig11.json" \
+    > "$SMOKE_DIR/remote.norm"
+cmp "$SMOKE_DIR/local.norm" "$SMOKE_DIR/remote.norm"
+
+# SIGTERM must drain gracefully: exit 0 and remove the socket file.
+kill -TERM "$STRAIGHTD_PID"
+wait "$STRAIGHTD_PID"
+test ! -e "$SOCK"

@@ -5,9 +5,9 @@
 use std::collections::BTreeMap;
 
 use straight_core::experiment::{
-    CellRecord, ExperimentResult, RunParams, SCHEMA_VERSION,
+    CellRecord, ExperimentId, ExperimentResult, RunParams, SCHEMA_VERSION,
 };
-use straight_core::lab::{run_lab, validate_file, LabConfig};
+use straight_core::lab::{validate_file, LabRun, LabSession};
 use straight_json::{FromJson, Json, ToJson};
 use straight_sim::pipeline::SimStats;
 
@@ -16,13 +16,15 @@ fn tiny_params() -> RunParams {
     RunParams { dhry_iters: 5, cm_iters: 1, ..RunParams::default() }
 }
 
-fn lab_config(experiments: &[&str]) -> LabConfig {
-    LabConfig {
-        experiments: experiments.iter().map(|s| s.to_string()).collect(),
-        params: tiny_params(),
-        jobs: 4,
-        out_dir: None,
-    }
+fn ids(names: &[&str]) -> Vec<ExperimentId> {
+    names.iter().map(|s| s.parse().expect("test uses valid experiment names")).collect()
+}
+
+/// A fresh session (so tests stay independent) running `names` with
+/// tiny parameters on `jobs` workers.
+fn run_fresh(names: &[&str], jobs: usize) -> Vec<LabRun> {
+    let session = LabSession::builder().jobs(jobs).build().unwrap();
+    session.run(&ids(names), tiny_params()).unwrap()
 }
 
 /// A synthetic record exercising every optional field at once (real
@@ -84,7 +86,7 @@ fn real_records_roundtrip_through_json() {
     // fig15/fig16 run on the functional emulators, so they are fast
     // even in debug builds and cover the emulator cell kinds; table1
     // covers config cells.
-    let runs = run_lab(&lab_config(&["fig15", "fig16", "table1"])).unwrap();
+    let runs = run_fresh(&["fig15", "fig16", "table1"], 4);
     assert_eq!(runs.len(), 3);
     for run in runs {
         let text = run.result.to_json().render_pretty();
@@ -95,9 +97,8 @@ fn real_records_roundtrip_through_json() {
 
 #[test]
 fn same_cell_twice_is_identical_modulo_wall_time() {
-    let config = lab_config(&["fig15"]);
-    let a = run_lab(&config).unwrap().remove(0);
-    let b = run_lab(&config).unwrap().remove(0);
+    let a = run_fresh(&["fig15"], 4).remove(0);
+    let b = run_fresh(&["fig15"], 4).remove(0);
     // Wall times differ between runs; everything else must not.
     assert_eq!(a.result.normalized(), b.result.normalized());
     assert_eq!(
@@ -110,12 +111,8 @@ fn same_cell_twice_is_identical_modulo_wall_time() {
 
 #[test]
 fn parallel_and_serial_runs_agree() {
-    let mut serial = lab_config(&["fig16"]);
-    serial.jobs = 1;
-    let mut parallel = lab_config(&["fig16"]);
-    parallel.jobs = 8;
-    let a = run_lab(&serial).unwrap().remove(0);
-    let b = run_lab(&parallel).unwrap().remove(0);
+    let a = run_fresh(&["fig16"], 1).remove(0);
+    let b = run_fresh(&["fig16"], 8).remove(0);
     assert_eq!(a.result.normalized(), b.result.normalized());
 }
 
@@ -129,16 +126,9 @@ fn parallel_and_serial_runs_agree() {
 fn pipeline_records_do_not_depend_on_schedule_or_order() {
     // fig17 contains pipeline (cycle-accurate) Dhrystone cells; fig15
     // rides along so experiment order can be permuted.
-    let mut serial = lab_config(&["fig15", "fig17"]);
-    serial.jobs = 1;
-    let mut parallel = lab_config(&["fig15", "fig17"]);
-    parallel.jobs = 8;
-    let mut reversed = lab_config(&["fig17", "fig15"]);
-    reversed.jobs = 1;
-
-    let a = run_lab(&serial).unwrap();
-    let b = run_lab(&parallel).unwrap();
-    let c = run_lab(&reversed).unwrap();
+    let a = run_fresh(&["fig15", "fig17"], 1);
+    let b = run_fresh(&["fig15", "fig17"], 8);
+    let c = run_fresh(&["fig17", "fig15"], 1);
 
     // The grid actually exercised the cycle-accurate pipeline.
     assert!(
@@ -146,7 +136,7 @@ fn pipeline_records_do_not_depend_on_schedule_or_order() {
         "expected at least one pipeline cell in fig17"
     );
 
-    let by_name = |runs: &[straight_core::lab::LabRun], name: &str| {
+    let by_name = |runs: &[LabRun], name: &str| {
         runs.iter()
             .map(|r| r.result.normalized())
             .find(|r| r.experiment == name)
@@ -163,7 +153,7 @@ fn pipeline_records_do_not_depend_on_schedule_or_order() {
 /// non-pipeline cells must not.
 #[test]
 fn pipeline_records_carry_throughput_profile() {
-    let runs = run_lab(&lab_config(&["fig17"])).unwrap();
+    let runs = run_fresh(&["fig17"], 4);
     let mut pipeline_cells = 0;
     for cell in runs.iter().flat_map(|r| &r.result.cells) {
         if cell.stats.is_some() {
@@ -192,9 +182,9 @@ fn pipeline_records_carry_throughput_profile() {
 #[test]
 fn written_files_validate_and_re_render() {
     let dir = std::env::temp_dir().join(format!("straight_lab_test_{}", std::process::id()));
-    let mut config = lab_config(&["fig15"]);
-    config.out_dir = Some(dir.clone());
-    let run = run_lab(&config).unwrap().remove(0);
+    let session =
+        LabSession::builder().jobs(4).out_dir(Some(dir.clone())).build().unwrap();
+    let run = session.run(&ids(&["fig15"]), tiny_params()).unwrap().remove(0);
     let path = run.path.clone().expect("out_dir set, so a path is returned");
     assert!(path.ends_with("BENCH_fig15.json"));
 
@@ -215,7 +205,7 @@ fn written_files_validate_and_re_render() {
 
 #[test]
 fn records_carry_provenance() {
-    let runs = run_lab(&lab_config(&["table1"])).unwrap();
+    let runs = run_fresh(&["table1"], 4);
     let result = &runs[0].result;
     assert_eq!(result.schema_version, SCHEMA_VERSION);
     assert!(!result.git_rev.is_empty());
@@ -232,7 +222,7 @@ fn perf_records_detect_divergence_at_render_time() {
     // Tamper with a stored record: if one variant's stdout digest
     // differs, rendering must fail with a divergence error rather than
     // comparing unlike programs.
-    let runs = run_lab(&lab_config(&["fig15"])).unwrap();
+    let runs = run_fresh(&["fig15"], 4);
     let mut result = runs[0].result.clone();
     // fig15 is a Mix figure (no divergence check); re-shape the cells
     // into a perf experiment to exercise the perf assembly path.
