@@ -16,7 +16,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use straight_bench::serve::Client;
+use straight_bench::serve::{Client, ClientConfig};
 use straight_core::experiment::{self, ExperimentId, RunParams};
 use straight_core::lab::{default_jobs, validate_file, write_result, LabRun, LabSession};
 
@@ -37,6 +37,12 @@ SELECTION (at least one):
 OPTIONS:
     --remote ADDR        Run on a straightd daemon instead of in-process
                          (host:port, or a Unix socket path containing `/`)
+    --remote-timeout-ms N   Socket read/write timeout for --remote; 0 blocks
+                         forever (default: 30000)
+    --remote-retries N   Retry budget for transient connect failures and
+                         queue-full refusals, with exponential backoff
+                         (default: 4)
+    --stats              With --remote: print the daemon's stats JSON and exit
     --jobs N             Worker-thread cap (default: all cores)
     --quick              Reduced iteration counts for smoke runs (dhry 50, cm 1)
     --out DIR            Where to write BENCH_<name>.json (default: .)
@@ -58,6 +64,9 @@ struct Options {
     validate: Vec<PathBuf>,
     normalize: Vec<PathBuf>,
     remote: Option<String>,
+    remote_timeout_ms: Option<u64>,
+    remote_retries: Option<u32>,
+    stats: bool,
     jobs: usize,
     quick: bool,
     out: PathBuf,
@@ -74,6 +83,9 @@ fn parse_args() -> Result<Options, String> {
         validate: Vec::new(),
         normalize: Vec::new(),
         remote: None,
+        remote_timeout_ms: None,
+        remote_retries: None,
+        stats: false,
         jobs: default_jobs(),
         quick: false,
         out: PathBuf::from("."),
@@ -100,6 +112,19 @@ fn parse_args() -> Result<Options, String> {
             "--validate" => opts.validate.push(PathBuf::from(value_for("--validate")?)),
             "--normalize" => opts.normalize.push(PathBuf::from(value_for("--normalize")?)),
             "--remote" => opts.remote = Some(value_for("--remote")?),
+            "--remote-timeout-ms" => {
+                let value = value_for("--remote-timeout-ms")?;
+                opts.remote_timeout_ms = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--remote-timeout-ms: `{value}` is not a non-negative integer")
+                })?);
+            }
+            "--remote-retries" => {
+                let value = value_for("--remote-retries")?;
+                opts.remote_retries = Some(value.parse::<u32>().map_err(|_| {
+                    format!("--remote-retries: `{value}` is not a non-negative integer")
+                })?);
+            }
+            "--stats" => opts.stats = true,
             "--jobs" | "-j" => {
                 let value = value_for("--jobs")?;
                 opts.jobs = value
@@ -120,14 +145,19 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.stats && opts.remote.is_none() {
+        return Err("--stats needs --remote ADDR (it queries a daemon)".to_string());
+    }
     if !opts.all
         && !opts.list
+        && !opts.stats
         && opts.figures.is_empty()
         && opts.validate.is_empty()
         && opts.normalize.is_empty()
     {
         return Err(
-            "nothing to do: pass --all, --figure, --list, --validate, or --normalize".to_string()
+            "nothing to do: pass --all, --figure, --list, --stats, --validate, or --normalize"
+                .to_string(),
         );
     }
     Ok(opts)
@@ -272,20 +302,61 @@ fn run_local(opts: &Options, ids: &[ExperimentId], params: RunParams) -> ExitCod
     }
 }
 
+/// The client resilience knobs from the command line: socket timeouts
+/// (`--remote-timeout-ms`, 0 disables) and the retry budget
+/// (`--remote-retries`).
+fn client_config(opts: &Options) -> ClientConfig {
+    let mut config = ClientConfig::default();
+    if let Some(ms) = opts.remote_timeout_ms {
+        config.io_timeout = std::time::Duration::from_millis(ms);
+        if ms != 0 {
+            config.connect_timeout = std::time::Duration::from_millis(ms);
+        }
+    }
+    if let Some(retries) = opts.remote_retries {
+        config.retries = retries;
+    }
+    config
+}
+
+/// Connects with retry/backoff; failures are terminal and explain the
+/// budget that was spent.
+fn connect_remote(opts: &Options, addr: &str) -> Result<Client, ExitCode> {
+    Client::connect_with(addr, &client_config(opts)).map_err(|e| {
+        eprintln!("straight-lab: cannot connect to {addr}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `--stats`: print the daemon's stats snapshot as pretty JSON.
+fn run_stats(opts: &Options, addr: &str) -> ExitCode {
+    let mut client = match connect_remote(opts, addr) {
+        Ok(client) => client,
+        Err(code) => return code,
+    };
+    match client.stats() {
+        Ok(stats) => {
+            println!("{}", stats.render_pretty());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("straight-lab: stats query failed on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The remote path: submit every experiment up front (the daemon's
 /// pool pipelines their cells), then wait, fetch, render and persist
 /// locally.
 fn run_remote(opts: &Options, addr: &str, ids: &[ExperimentId], params: RunParams) -> ExitCode {
-    let mut client = match Client::connect(addr) {
+    let mut client = match connect_remote(opts, addr) {
         Ok(client) => client,
-        Err(e) => {
-            eprintln!("straight-lab: cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let mut submitted = Vec::with_capacity(ids.len());
     for &id in ids {
-        match client.submit_experiment(id, &params) {
+        match client.submit_experiment_with_retry(id, &params) {
             Ok(job) => submitted.push((id, job)),
             Err(e) => {
                 eprintln!("straight-lab: submit {id} failed: {e}");
@@ -331,6 +402,10 @@ fn run_remote(opts: &Options, addr: &str, ids: &[ExperimentId], params: RunParam
     if opts.profile {
         print_profile(&runs);
     }
+    let (retries, timeouts) = client.retry_counters();
+    if retries > 0 || timeouts > 0 {
+        eprintln!("straight-lab: remote resilience: {retries} retries, {timeouts} timeouts");
+    }
     ExitCode::SUCCESS
 }
 
@@ -359,6 +434,11 @@ fn main() -> ExitCode {
         if code != ExitCode::SUCCESS || (!opts.all && opts.figures.is_empty()) {
             return code;
         }
+    }
+
+    if opts.stats {
+        let Some(addr) = &opts.remote else { unreachable!("parse_args enforces --remote") };
+        return run_stats(&opts, addr);
     }
 
     let ids: Vec<ExperimentId> = if opts.all {

@@ -26,10 +26,17 @@ OPTIONS:
     --jobs N             Worker-thread cap (default: all cores)
     --queue N            Job-queue bound; beyond it submissions get a
                          queue-full error (default: 64)
+    --store DIR          Crash-safe on-disk record store; completed
+                         pipeline simulations survive restarts (default:
+                         memory only)
+    --idle-timeout-ms N  Reap connections idle for N ms; 0 disables
+                         (default: 300000)
     --help               This text
 
 Clients: `straight-lab --remote ADDR ...`, or any newline-delimited-JSON
 speaker (see docs/SERVING.md). SIGTERM drains in-flight jobs and exits.
+STRAIGHT_CHAOS_PANIC_CELL=<cell-id|any> injects a worker panic into that
+cell's execution (fault-tolerance testing only).
 ";
 
 /// Set by the signal handler, polled by the accept loop.
@@ -58,12 +65,16 @@ struct Options {
     listen: String,
     jobs: Option<usize>,
     queue: Option<usize>,
+    store: Option<std::path::PathBuf>,
+    idle_timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut listen = None;
     let mut jobs = None;
     let mut queue = None;
+    let mut store = None;
+    let mut idle_timeout_ms = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_for = |flag: &str| {
@@ -91,6 +102,13 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or_else(|| format!("--queue: `{value}` is not a positive integer"))?,
                 );
             }
+            "--store" => store = Some(std::path::PathBuf::from(value_for("--store")?)),
+            "--idle-timeout-ms" => {
+                let value = value_for("--idle-timeout-ms")?;
+                idle_timeout_ms = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--idle-timeout-ms: `{value}` is not a non-negative integer")
+                })?);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -99,7 +117,7 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let listen = listen.ok_or_else(|| "--listen is required".to_string())?;
-    Ok(Options { listen, jobs, queue })
+    Ok(Options { listen, jobs, queue, store, idle_timeout_ms })
 }
 
 fn main() -> ExitCode {
@@ -117,6 +135,19 @@ fn main() -> ExitCode {
     if let Some(queue) = opts.queue {
         config.queue_cap = queue;
     }
+    config.store = opts.store;
+    if let Some(ms) = opts.idle_timeout_ms {
+        config.idle_timeout =
+            if ms == 0 { None } else { Some(std::time::Duration::from_millis(ms)) };
+    }
+    // Chaos injection is env-only (never a flag) so it cannot be
+    // reached for by accident from normal command lines.
+    if let Ok(victim) = std::env::var("STRAIGHT_CHAOS_PANIC_CELL") {
+        if !victim.is_empty() {
+            eprintln!("straightd: CHAOS: injecting panics into cell `{victim}`");
+            config.chaos_panic_cell = Some(victim);
+        }
+    }
     let daemon = match Daemon::bind(&config) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -131,6 +162,9 @@ fn main() -> ExitCode {
         config.jobs,
         config.queue_cap
     );
+    if let Some(report) = daemon.store_report() {
+        eprintln!("straightd: store: {}", report.summary());
+    }
     match daemon.run(&SHUTDOWN) {
         Ok(()) => {
             eprintln!("straightd: drained, exiting");

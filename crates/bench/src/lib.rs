@@ -29,8 +29,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod serve;
+pub mod store;
 
 use std::process::ExitCode;
 

@@ -34,18 +34,21 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use straight_core::experiment::{
     CellRecord, CellSpec, ExperimentId, ExperimentResult, RunParams, UnknownExperiment,
 };
-use straight_core::lab::{Batch, LabError, LabRun, LabSession};
+use straight_core::lab::{Batch, LabError, LabRun, LabSession, RecordCache};
+use straight_isa::rng::SplitMix64;
 use straight_json::{obj, FromJson, Json, JsonBuilder};
+
+use crate::store::{RecordStore, StoreReport};
 
 /// Upper bound on one request line, bytes. Requests are small (the
 /// largest is a `submit-cell` with explicit parameters); anything
@@ -88,16 +91,34 @@ pub struct DaemonConfig {
     /// Maximum number of jobs that may be queued or running at once;
     /// submissions beyond it get a `queue-full` error.
     pub queue_cap: usize,
+    /// Root of the crash-safe on-disk record store; `None` runs with
+    /// in-memory caches only (completed simulations die on restart).
+    pub store: Option<PathBuf>,
+    /// How long a connection may sit without sending a request before
+    /// it is reaped (so a stalled client cannot pin a handler thread
+    /// forever); `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Chaos injection for fault-tolerance tests: a cell id (or
+    /// `"any"`) whose execution deliberately panics. See
+    /// `LabSessionBuilder::chaos_panic_cell`.
+    pub chaos_panic_cell: Option<String>,
 }
 
 impl DaemonConfig {
-    /// A config listening on `listen` with [`default_jobs`] workers
-    /// and a queue bound of 64 jobs.
+    /// A config listening on `listen` with [`default_jobs`] workers, a
+    /// queue bound of 64 jobs, no store, and a 5-minute idle timeout.
     ///
     /// [`default_jobs`]: straight_core::lab::default_jobs
     #[must_use]
     pub fn new(listen: Listen) -> DaemonConfig {
-        DaemonConfig { listen, jobs: straight_core::lab::default_jobs(), queue_cap: 64 }
+        DaemonConfig {
+            listen,
+            jobs: straight_core::lab::default_jobs(),
+            queue_cap: 64,
+            store: None,
+            idle_timeout: Some(Duration::from_secs(300)),
+            chaos_panic_cell: None,
+        }
     }
 }
 
@@ -125,10 +146,35 @@ struct DaemonState {
     submitted: AtomicU64,
     queue_cap: usize,
     shutdown: AtomicBool,
+    /// The on-disk record store, when configured (also wired into the
+    /// session as its record cache).
+    store: Option<Arc<RecordStore>>,
+    /// Per-connection request deadline; see [`DaemonConfig::idle_timeout`].
+    idle_timeout: Option<Duration>,
+    /// Submissions refused with `queue-full` (each one is a client
+    /// retry trigger).
+    queue_full_refusals: AtomicU64,
+    /// Connections closed for sitting idle past the timeout.
+    idle_reaped: AtomicU64,
+    /// When the daemon bound its listener, for the `stats` uptime.
+    started: Instant,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Formats a fallible `Display` for logging, collapsing the error
+/// case to `<unknown>` — the one helper for peer/local-address and
+/// similar best-effort formatting.
+fn or_unknown<T: std::fmt::Display, E>(value: Result<T, E>) -> String {
+    value.map(|v| v.to_string()).unwrap_or_else(|_| "<unknown>".to_string())
+}
+
+/// Whether an I/O error is a blocking-socket timeout (both kinds
+/// occur, platform-dependently, for `set_read_timeout` expiries).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 impl DaemonState {
@@ -149,6 +195,32 @@ enum Conn {
     Tcp(TcpStream),
     /// A Unix-domain connection.
     Unix(UnixStream),
+}
+
+impl Conn {
+    /// Applies a read+write timeout to the underlying socket (`None`
+    /// clears it). A timed-out read surfaces as a `WouldBlock`/
+    /// `TimedOut` I/O error.
+    fn set_io_timeouts(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+
+    /// Best-effort peer description for log lines.
+    fn peer_name(&self) -> String {
+        match self {
+            Conn::Tcp(s) => or_unknown(s.peer_addr()),
+            Conn::Unix(s) => or_unknown(s.peer_addr().map(|a| format!("unix:{a:?}"))),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -327,6 +399,11 @@ fn handle_request(state: &DaemonState, line: &[u8]) -> Json {
             .field("jobs_active", &(state.active_jobs() as u64))
             .field("queue_cap", &(state.queue_cap as u64))
             .field("workers", &(state.session.jobs() as u64))
+            .field("uptime_ms", &(state.started.elapsed().as_millis() as u64))
+            .field("worker_panics", &state.session.panic_count())
+            .field("queue_full_refusals", &state.queue_full_refusals.load(Ordering::Relaxed))
+            .field("idle_reaped", &state.idle_reaped.load(Ordering::Relaxed))
+            .field("store", &state.store.as_ref().map(|s| s.stats()))
             .build(),
         "shutdown" => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -360,6 +437,7 @@ fn admit(state: &DaemonState) -> Result<(), Json> {
         return Err(error_response("shutting-down", "daemon is draining; resubmit elsewhere", None));
     }
     if state.active_jobs() >= state.queue_cap {
+        state.queue_full_refusals.fetch_add(1, Ordering::Relaxed);
         return Err(error_response(
             "queue-full",
             format!("job queue is at its bound ({}); retry later", state.queue_cap),
@@ -488,6 +566,10 @@ fn fetch_job(state: &DaemonState, job: u64, entry: &JobEntry) -> Json {
 }
 
 fn serve_connection(stream: Conn, state: &Arc<DaemonState>) {
+    let peer = stream.peer_name();
+    // The idle timeout doubles as the write timeout: a client that
+    // neither sends nor drains cannot pin this handler thread.
+    let _ = stream.set_io_timeouts(state.idle_timeout);
     // One BufReader per connection; writes go through the same stream
     // (requests and responses strictly alternate, so the read buffer
     // never hides a write).
@@ -512,6 +594,22 @@ fn serve_connection(stream: Conn, state: &Arc<DaemonState>) {
                 let _ = write_json_line(reader.get_mut(), &response);
                 return;
             }
+            Err(FrameError::Io(e)) if is_timeout(&e) => {
+                // Idle reap: answer structurally (best effort — the
+                // peer may be gone) and free the handler thread. Jobs
+                // the connection submitted keep running and stay
+                // fetchable from any later connection.
+                state.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                let timeout = state.idle_timeout.unwrap_or_default();
+                let response = error_response(
+                    "idle-timeout",
+                    format!("no request in {timeout:?}; closing idle connection"),
+                    None,
+                );
+                let _ = write_json_line(reader.get_mut(), &response);
+                eprintln!("straightd: reaped idle connection from {peer}");
+                return;
+            }
             Err(FrameError::Io(_)) => return,
         }
     }
@@ -534,19 +632,35 @@ enum ListenerKind {
 pub struct Daemon {
     state: Arc<DaemonState>,
     listener: ListenerKind,
+    store_report: Option<StoreReport>,
 }
 
 impl Daemon {
-    /// Binds the listener and starts the session's worker pool. A
-    /// pre-existing Unix socket file at the same path is replaced.
+    /// Binds the listener, opens the record store (when configured),
+    /// and starts the session's worker pool. A pre-existing Unix
+    /// socket file at the same path is replaced. An unusable store
+    /// directory does not fail the bind: the store opens in
+    /// memory-only mode and says so in [`Daemon::store_report`].
     ///
     /// # Errors
     ///
     /// [`LabError::InvalidJobs`] (as an `InvalidInput` I/O error) when
     /// `jobs` is 0; otherwise whatever binding the listener raised.
     pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
-        let session = LabSession::builder()
-            .jobs(config.jobs)
+        let mut builder = LabSession::builder().jobs(config.jobs);
+        let mut store = None;
+        let mut store_report = None;
+        if let Some(root) = &config.store {
+            let (opened, report) = RecordStore::open(root);
+            let opened = Arc::new(opened);
+            builder = builder.record_cache(Arc::clone(&opened) as Arc<dyn RecordCache>);
+            store = Some(opened);
+            store_report = Some(report);
+        }
+        if let Some(cell) = &config.chaos_panic_cell {
+            builder = builder.chaos_panic_cell(cell.clone());
+        }
+        let session = builder
             .build()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = match &config.listen {
@@ -572,8 +686,14 @@ impl Daemon {
                 submitted: AtomicU64::new(0),
                 queue_cap: config.queue_cap.max(1),
                 shutdown: AtomicBool::new(false),
+                store,
+                idle_timeout: config.idle_timeout,
+                queue_full_refusals: AtomicU64::new(0),
+                idle_reaped: AtomicU64::new(0),
+                started: Instant::now(),
             }),
             listener,
+            store_report,
         })
     }
 
@@ -582,12 +702,16 @@ impl Daemon {
     #[must_use]
     pub fn local_addr(&self) -> String {
         match &self.listener {
-            ListenerKind::Tcp(l) => l
-                .local_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "<unknown>".to_string()),
+            ListenerKind::Tcp(l) => or_unknown(l.local_addr()),
             ListenerKind::Unix(_, path) => path.display().to_string(),
         }
+    }
+
+    /// What the boot scan of the record store found (`None` when no
+    /// store is configured). The binary logs its summary.
+    #[must_use]
+    pub fn store_report(&self) -> Option<&StoreReport> {
+        self.store_report.as_ref()
     }
 
     /// Accepts and serves connections until a `shutdown` request
@@ -647,6 +771,12 @@ impl Drop for Daemon {
 pub enum ClientError {
     /// The transport failed (connect, read, or write).
     Io(io::Error),
+    /// A read or write did not complete within the configured
+    /// timeout — the daemon is wedged, overloaded, or unreachable.
+    Timeout {
+        /// The timeout that expired.
+        after: Duration,
+    },
     /// The server's bytes were not a valid protocol response.
     Protocol(String),
     /// The server answered with a structured error.
@@ -656,14 +786,28 @@ pub enum ClientError {
         /// Human-readable message.
         msg: String,
     },
+    /// The retry budget ran out. Terminal: carries the attempt count
+    /// and the last underlying failure.
+    Exhausted {
+        /// Total attempts made (initial try plus retries).
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::Timeout { after } => {
+                write!(f, "request timed out after {after:?} (daemon wedged or unreachable)")
+            }
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::Remote { kind, msg } => write!(f, "daemon error ({kind}): {msg}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -676,25 +820,165 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Client-side resilience parameters: connect/read/write timeouts and
+/// the bounded-retry budget with exponential backoff plus
+/// deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (Unix-socket connects are effectively
+    /// immediate and ignore this).
+    pub connect_timeout: Duration,
+    /// Per-read/per-write socket timeout; [`Duration::ZERO`] disables
+    /// it (the pre-timeout behavior: block forever on a wedged
+    /// daemon).
+    pub io_timeout: Duration,
+    /// Retries after the first attempt, for transient connect
+    /// failures and `queue-full` refusals.
+    pub retries: u32,
+    /// First backoff delay; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter sequence. Fixed per client, so chaos tests
+    /// replay identical schedules; defaults to the process id to
+    /// decorrelate concurrent clients.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+            retries: 4,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            jitter_seed: u64::from(std::process::id()),
+        }
+    }
+}
+
+/// The delay before retry number `attempt` (1-based): exponential in
+/// the attempt, capped, with deterministic jitter in the upper half
+/// of the window (so concurrent clients spread out but a fixed seed
+/// replays exactly).
+#[must_use]
+pub fn backoff_delay(config: &ClientConfig, attempt: u32, rng: &mut SplitMix64) -> Duration {
+    let base = config.backoff_base.as_millis() as u64;
+    let cap = config.backoff_cap.as_millis() as u64;
+    let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20)).min(cap).max(1);
+    let jitter = rng.next_u64() % (exp / 2 + 1);
+    Duration::from_millis(exp / 2 + jitter)
+}
+
+/// Whether a connect failure is worth retrying: the daemon may be
+/// restarting (refused / socket file not there yet) or briefly
+/// unresponsive (timeout).
+fn transient_connect(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(io) => {
+            is_timeout(io)
+                || matches!(
+                    io.kind(),
+                    io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::NotFound
+                        | io::ErrorKind::AddrNotAvailable
+                )
+        }
+        ClientError::Timeout { .. } => true,
+        _ => false,
+    }
+}
+
 /// A blocking protocol client over one connection. This is what
 /// `straight-lab --remote` uses; tests drive it directly.
 pub struct Client {
     reader: BufReader<Conn>,
+    config: ClientConfig,
+    retries_used: u64,
+    timeouts_seen: u64,
 }
 
 impl Client {
     /// Connects to `addr` (a `host:port` or, when it contains `/`, a
-    /// Unix-socket path).
+    /// Unix-socket path) with default timeouts ([`ClientConfig`]) and
+    /// no connect retries.
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_once(addr, &ClientConfig::default())
+    }
+
+    /// One connect attempt under `config`'s timeouts.
+    fn connect_once(addr: &str, config: &ClientConfig) -> io::Result<Client> {
         let conn = match parse_addr(addr) {
-            Listen::Tcp(a) => Conn::Tcp(TcpStream::connect(a.as_str())?),
+            Listen::Tcp(a) => {
+                if config.connect_timeout.is_zero() {
+                    Conn::Tcp(TcpStream::connect(a.as_str())?)
+                } else {
+                    let resolved = a.to_socket_addrs()?.next().ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::AddrNotAvailable,
+                            format!("`{a}` resolved to no addresses"),
+                        )
+                    })?;
+                    Conn::Tcp(TcpStream::connect_timeout(&resolved, config.connect_timeout)?)
+                }
+            }
             Listen::Unix(p) => Conn::Unix(UnixStream::connect(p)?),
         };
-        Ok(Client { reader: BufReader::new(conn) })
+        if !config.io_timeout.is_zero() {
+            conn.set_io_timeouts(Some(config.io_timeout))?;
+        }
+        Ok(Client {
+            reader: BufReader::new(conn),
+            config: config.clone(),
+            retries_used: 0,
+            timeouts_seen: 0,
+        })
+    }
+
+    /// Connects with `config`'s timeouts, retrying transient failures
+    /// (connection refused, socket file not yet created, timeouts)
+    /// with exponential backoff and jitter up to the retry budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] once the budget runs out; the first
+    /// non-transient failure immediately otherwise.
+    pub fn connect_with(addr: &str, config: &ClientConfig) -> Result<Client, ClientError> {
+        let mut rng = SplitMix64::new(config.jitter_seed);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match Client::connect_once(addr, config) {
+                Ok(mut client) => {
+                    client.retries_used = u64::from(attempt - 1);
+                    return Ok(client);
+                }
+                Err(e) => {
+                    let e = ClientError::Io(e);
+                    if !transient_connect(&e) {
+                        return Err(e);
+                    }
+                    if attempt > config.retries {
+                        return Err(ClientError::Exhausted { attempts: attempt, last: Box::new(e) });
+                    }
+                    std::thread::sleep(backoff_delay(config, attempt, &mut rng));
+                }
+            }
+        }
+    }
+
+    /// `(retries_used, timeouts_seen)` — how often this client had to
+    /// retry (connects and `queue-full` submissions) and how many
+    /// reads/writes timed out.
+    #[must_use]
+    pub fn retry_counters(&self) -> (u64, u64) {
+        (self.retries_used, self.timeouts_seen)
     }
 
     /// Sends one request object and reads one response object.
@@ -705,10 +989,19 @@ impl Client {
     /// when the response is not parseable, [`ClientError::Remote`] when
     /// the daemon answered `"ok": false`.
     pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
-        write_json_line(self.reader.get_mut(), request)?;
+        let io_timeout = self.config.io_timeout;
+        let mut classify = |io: io::Error| {
+            if is_timeout(&io) {
+                self.timeouts_seen += 1;
+                ClientError::Timeout { after: io_timeout }
+            } else {
+                ClientError::Io(io)
+            }
+        };
+        write_json_line(self.reader.get_mut(), request).map_err(&mut classify)?;
         let line = read_frame(&mut self.reader, MAX_RESPONSE_LINE)
             .map_err(|e| match e {
-                FrameError::Io(io) => ClientError::Io(io),
+                FrameError::Io(io) => classify(io),
                 FrameError::Oversized { limit } => {
                     ClientError::Protocol(format!("response exceeds {limit} bytes"))
                 }
@@ -755,6 +1048,42 @@ impl Client {
             .get("job")
             .and_then(Json::as_u64)
             .ok_or_else(|| ClientError::Protocol("submit response lacks `job`".to_string()))
+    }
+
+    /// Submits one experiment, retrying `queue-full` refusals with
+    /// exponential backoff and jitter up to the configured budget. A
+    /// `queue-full` refusal leaves the connection synced (one request,
+    /// one structured error response), so retrying on the same
+    /// connection is safe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] once the budget runs out; any other
+    /// failure immediately.
+    pub fn submit_experiment_with_retry(
+        &mut self,
+        id: ExperimentId,
+        params: &RunParams,
+    ) -> Result<u64, ClientError> {
+        let config = self.config.clone();
+        let mut rng = SplitMix64::new(config.jitter_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.submit_experiment(id, params) {
+                Ok(job) => return Ok(job),
+                Err(e @ ClientError::Remote { .. })
+                    if matches!(&e, ClientError::Remote { kind, .. } if kind == "queue-full") =>
+                {
+                    if attempt > config.retries {
+                        return Err(ClientError::Exhausted { attempts: attempt, last: Box::new(e) });
+                    }
+                    self.retries_used += 1;
+                    std::thread::sleep(backoff_delay(&config, attempt, &mut rng));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Polls `status` until the job leaves the queue/run states.

@@ -2,6 +2,8 @@
 //! validation happens at parse time with usage-style exits (code 2),
 //! and `--normalize` produces comparable output.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

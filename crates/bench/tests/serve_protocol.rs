@@ -1,8 +1,11 @@
 //! Integration tests of the `straightd` wire protocol: framing
 //! robustness (partial reads, oversized lines, malformed JSON,
 //! mid-job disconnects), the submit/status/fetch lifecycle,
-//! backpressure, cross-client deduplication, and byte-identity of
-//! daemon records with in-process records.
+//! backpressure, cross-client deduplication, shutdown/cancel races,
+//! idle-connection reaping, and byte-identity of daemon records with
+//! in-process records.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
@@ -11,7 +14,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use straight_bench::serve::{
-    read_frame, Client, ClientError, Daemon, DaemonConfig, Listen, MAX_REQUEST_LINE,
+    read_frame, Client, ClientConfig, ClientError, Daemon, DaemonConfig, Listen, MAX_REQUEST_LINE,
 };
 use straight_core::experiment::{CellKind, ExperimentId, RunParams};
 use straight_core::lab::LabSession;
@@ -31,11 +34,20 @@ impl TestDaemon {
     /// Binds on an ephemeral local port and runs the accept loop on a
     /// background thread.
     fn start(jobs: usize, queue_cap: usize) -> TestDaemon {
-        let config = DaemonConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            jobs,
-            queue_cap,
-        };
+        TestDaemon::start_with(jobs, queue_cap, |_| {})
+    }
+
+    /// As [`TestDaemon::start`], with a configuration hook for tests
+    /// that need a store, idle timeout, or chaos injection.
+    fn start_with(
+        jobs: usize,
+        queue_cap: usize,
+        tweak: impl FnOnce(&mut DaemonConfig),
+    ) -> TestDaemon {
+        let mut config = DaemonConfig::new(Listen::Tcp("127.0.0.1:0".to_string()));
+        config.jobs = jobs;
+        config.queue_cap = queue_cap;
+        tweak(&mut config);
         let daemon = Daemon::bind(&config).expect("bind ephemeral port");
         let addr = daemon.local_addr();
         let handle = std::thread::spawn(move || {
@@ -274,6 +286,161 @@ fn full_queue_pushes_back_with_a_structured_error() {
     let second = client.submit_experiment(ExperimentId::Table1, &tiny_params()).unwrap();
     assert_eq!(client.wait_job(second).unwrap(), "done");
     daemon.stop();
+}
+
+#[test]
+fn shutdown_with_queued_jobs_drains_them_to_terminal_states() {
+    // One worker, several queued jobs, then a shutdown from another
+    // connection: the drain must run every queued job to a terminal
+    // state — nothing may sit in `queued` forever — and the accept
+    // loop must only return after that.
+    let mut daemon = TestDaemon::start(1, 8);
+    let mut submitter = Client::connect(&daemon.addr).unwrap();
+    let jobs: Vec<u64> = (0..3)
+        .map(|_| submitter.submit_experiment(ExperimentId::Table1, &tiny_params()).unwrap())
+        .collect();
+
+    let mut other = Client::connect(&daemon.addr).unwrap();
+    other.shutdown().expect("shutdown accepted");
+    // Draining refuses new submissions with a structured error.
+    match other.submit_experiment(ExperimentId::Table1, &tiny_params()) {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "shutting-down"),
+        other => panic!("expected shutting-down, got {other:?}"),
+    }
+
+    // The already-open connection can watch the queued jobs finish.
+    for job in jobs {
+        assert_eq!(submitter.wait_job(job).unwrap(), "done", "job {job} left in queue");
+    }
+    daemon.handle.take().unwrap().join().unwrap().unwrap();
+}
+
+#[test]
+fn stats_stay_consistent_after_cancellation() {
+    let daemon = TestDaemon::start(1, 4);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let slow = RunParams { dhry_iters: 50, cm_iters: 1, ..RunParams::default() };
+    let cancelled = client.submit_experiment(ExperimentId::Fig17, &slow).unwrap();
+    client
+        .request(&straight_json::obj().field("op", "cancel").field("job", &cancelled).build())
+        .unwrap();
+    let state = client.wait_job(cancelled).unwrap();
+    assert!(state == "cancelled" || state == "done", "got {state}");
+
+    let finished = client.submit_experiment(ExperimentId::Table1, &tiny_params()).unwrap();
+    assert_eq!(client.wait_job(finished).unwrap(), "done");
+
+    let stats = client.stats().unwrap();
+    let get = |key: &str| stats.get(key).and_then(Json::as_u64).expect(key);
+    assert_eq!(get("jobs_submitted"), 2, "cancelled jobs still count as submitted");
+    assert_eq!(get("jobs_active"), 0, "cancellation must not leak an active job");
+    assert_eq!(get("worker_panics"), 0);
+    assert!(matches!(stats.get("store"), Some(Json::Null) | None), "no store configured");
+    assert!(get("uptime_ms") > 0);
+    daemon.stop();
+}
+
+#[test]
+fn idle_connections_are_reaped_with_a_structured_goodbye() {
+    let daemon =
+        TestDaemon::start_with(1, 4, |c| c.idle_timeout = Some(Duration::from_millis(100)));
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+    // Say nothing. The daemon must reap us, not pin a handler thread.
+    std::thread::sleep(Duration::from_millis(400));
+    let response = read_response(&mut stream);
+    assert_eq!(error_kind(&response), "idle-timeout");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection closes after the goodbye");
+
+    // The reap is counted, and fresh connections still work.
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.get("idle_reaped").and_then(Json::as_u64).unwrap() >= 1);
+    daemon.stop();
+}
+
+#[test]
+fn queue_full_submissions_retry_until_admitted() {
+    let daemon = TestDaemon::start(1, 1);
+    let addr = daemon.addr.clone();
+    let config = ClientConfig {
+        io_timeout: Duration::from_secs(60),
+        retries: 15,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(500),
+        jitter_seed: 7,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(&daemon.addr, &config).unwrap();
+    let slow = RunParams { dhry_iters: 50, cm_iters: 1, ..RunParams::default() };
+    let occupant = client.submit_experiment(ExperimentId::Fig17, &slow).unwrap();
+
+    // Free the slot shortly, from another connection.
+    let canceller = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        c.request(&straight_json::obj().field("op", "cancel").field("job", &occupant).build())
+            .unwrap();
+        c.wait_job(occupant).unwrap();
+    });
+
+    // The retrying submit rides out the queue-full refusals.
+    let job = client.submit_experiment_with_retry(ExperimentId::Table1, &tiny_params()).unwrap();
+    assert_eq!(client.wait_job(job).unwrap(), "done");
+    let (retries, timeouts) = client.retry_counters();
+    assert!(retries >= 1, "the first submit must have been refused at least once");
+    assert_eq!(timeouts, 0);
+    canceller.join().unwrap();
+    daemon.stop();
+}
+
+#[test]
+fn wedged_server_surfaces_a_timeout_not_a_hang() {
+    // A listener that accepts and then never answers: the client's
+    // io timeout must turn the stalled read into a typed error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_millis(800));
+        drop(stream);
+    });
+    let config = ClientConfig {
+        io_timeout: Duration::from_millis(100),
+        retries: 0,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(&addr, &config).unwrap();
+    match client.request(&straight_json::obj().field("op", "ping").build()) {
+        Err(ClientError::Timeout { after }) => assert_eq!(after, Duration::from_millis(100)),
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+    let (_, timeouts) = client.retry_counters();
+    assert_eq!(timeouts, 1);
+    hold.join().unwrap();
+}
+
+#[test]
+fn connect_retries_exhaust_into_a_terminal_error() {
+    // Nothing listens here; connects are refused immediately.
+    let free = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = free.local_addr().unwrap().to_string();
+    drop(free);
+    let config = ClientConfig {
+        retries: 2,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(20),
+        jitter_seed: 3,
+        ..ClientConfig::default()
+    };
+    match Client::connect_with(&addr, &config) {
+        Err(ClientError::Exhausted { attempts, last }) => {
+            assert_eq!(attempts, 3, "initial try plus two retries");
+            assert!(matches!(*last, ClientError::Io(_)));
+        }
+        other => panic!("expected exhaustion, got {:?}", other.map(|_| "a client")),
+    }
 }
 
 #[test]

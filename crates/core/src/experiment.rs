@@ -240,6 +240,16 @@ pub enum ExperimentError {
         /// Cell id (`experiment/group/label`).
         cell: String,
     },
+    /// The cell's execution panicked. The panic is caught at the
+    /// worker boundary (the pool survives; see `lab.rs`) and surfaced
+    /// as this structured terminal state instead of silently eating a
+    /// worker thread.
+    Panic {
+        /// Cell id (`experiment/group/label`).
+        cell: String,
+        /// The panic payload, when it was a string.
+        msg: String,
+    },
     /// An [`ExperimentResult`] is missing cells its figure needs (a
     /// truncated or foreign record file).
     Malformed {
@@ -267,6 +277,9 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::Cancelled { cell } => {
                 write!(f, "{cell}: cancelled before execution")
+            }
+            ExperimentError::Panic { cell, msg } => {
+                write!(f, "{cell}: worker panicked: {msg}")
             }
             ExperimentError::Malformed { experiment, msg } => {
                 write!(f, "{experiment}: malformed result: {msg}")

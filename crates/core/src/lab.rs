@@ -29,6 +29,7 @@
 //! The paper-shaped text report is re-rendered from those records.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -223,6 +224,34 @@ fn hex_digest(text: &str) -> String {
     format!("{:016x}", fnv1a64(text.as_bytes()))
 }
 
+/// A persistent cache of completed cell records, keyed by
+/// configuration fingerprint. The session consults it before running
+/// a cycle-accurate (pipeline) cell and offers every freshly computed
+/// pipeline record back to it, so an implementation backed by disk
+/// (the bench crate's `RecordStore`) survives process restarts and
+/// lets a rebooted daemon answer `fetch` without re-simulating.
+///
+/// Only pipeline cells go through the cache: their fingerprint
+/// captures everything that determines the measurement, and they are
+/// the expensive kind. Emulator and config-dump cells re-execute (the
+/// fingerprint does not distinguish emulator cell kinds, and they are
+/// cheap and deterministic anyway).
+///
+/// Implementations must be infallible at this boundary: a failing
+/// backend degrades (e.g. to memory-only mode) rather than erroring,
+/// so simulation always proceeds.
+pub trait RecordCache: Send + Sync {
+    /// The stored record for `fingerprint`, if any. Identity fields
+    /// (`id`, `group`, ...) of the returned record may describe a
+    /// different cell with the same fingerprint; callers take only the
+    /// measurement fields.
+    fn get(&self, fingerprint: &str) -> Option<CellRecord>;
+
+    /// Offers a freshly computed record. Implementations deduplicate
+    /// by fingerprint.
+    fn put(&self, fingerprint: &str, record: &CellRecord);
+}
+
 /// Compiles (or fetches) the image for a cell's workload/target.
 fn image_for(
     caches: &Caches,
@@ -241,7 +270,13 @@ fn image_for(
 }
 
 /// Executes one cell, producing its record.
-fn exec_cell(spec: &CellSpec, params: &RunParams, caches: &Caches) -> CellOutcome {
+fn exec_cell(spec: &CellSpec, params: &RunParams, shared: &SessionShared) -> CellOutcome {
+    let caches = &shared.caches;
+    if let Some(victim) = shared.chaos_panic_cell.as_deref() {
+        if victim == "any" || victim == spec.id() {
+            panic!("chaos: injected panic in {}", spec.id());
+        }
+    }
     let started = Instant::now();
     let fingerprint = spec.fingerprint(params);
     let mut record = CellRecord {
@@ -274,6 +309,21 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, caches: &Caches) -> CellOutcom
                     msg: "pipeline cell without a workload".to_string(),
                 })
             })?;
+            // A persisted record for this fingerprint (a previous
+            // process's simulation) short-circuits everything,
+            // including the workload build: only the measurement
+            // fields are taken, the identity fields stay this cell's.
+            if let Some(stored) = shared.record_cache.as_ref().and_then(|c| c.get(&fingerprint)) {
+                record.cycles = stored.cycles;
+                record.retired = stored.retired;
+                record.ipc = stored.ipc;
+                record.stats = stored.stats;
+                record.stdout_digest = stored.stdout_digest;
+                record.sim_wall_ms = stored.sim_wall_ms;
+                record.ksim_cycles_per_sec = stored.ksim_cycles_per_sec;
+                record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                return Ok(record);
+            }
             let image = image_for(caches, workload, *target, params)?;
             // Identical (workload, target, machine, iters) cells — the
             // same point appearing in several figures, or the same
@@ -363,10 +413,26 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, caches: &Caches) -> CellOutcom
         CellKind::ConfigDump { .. } => {}
     }
     record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let (CellKind::Pipeline { .. }, Some(cache)) = (&spec.kind, shared.record_cache.as_ref()) {
+        cache.put(&fingerprint, &record);
+    }
     Ok(record)
 }
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&str`, with a format string
+/// `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// State shared between a session handle and its worker threads.
 struct SessionShared {
@@ -374,6 +440,14 @@ struct SessionShared {
     queue: Mutex<SessionQueue>,
     available: Condvar,
     git_rev: String,
+    /// Optional persistent record cache (the daemon's on-disk store).
+    record_cache: Option<Arc<dyn RecordCache>>,
+    /// Caught worker panics (each one is also a structured
+    /// [`ExperimentError::Panic`] outcome).
+    panics: AtomicU64,
+    /// Chaos injection: a cell id (or `"any"`) whose execution
+    /// deliberately panics, exercising the panic-isolation path.
+    chaos_panic_cell: Option<String>,
 }
 
 struct SessionQueue {
@@ -481,12 +555,14 @@ impl Batch {
 
 /// Configures and constructs a [`LabSession`]; see
 /// [`LabSession::builder`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LabSessionBuilder {
     jobs: usize,
     profile: bool,
     out_dir: Option<PathBuf>,
     git_rev: Option<String>,
+    record_cache: Option<Arc<dyn RecordCache>>,
+    chaos_panic_cell: Option<String>,
 }
 
 impl LabSessionBuilder {
@@ -523,6 +599,26 @@ impl LabSessionBuilder {
         self
     }
 
+    /// Attaches a persistent record cache (see [`RecordCache`]):
+    /// pipeline cells consult it before simulating and offer their
+    /// records back to it, so a disk-backed implementation makes
+    /// completed simulations survive restarts.
+    #[must_use]
+    pub fn record_cache(mut self, cache: Arc<dyn RecordCache>) -> LabSessionBuilder {
+        self.record_cache = Some(cache);
+        self
+    }
+
+    /// Chaos injection for fault-tolerance tests: executing the cell
+    /// with this id (or any cell, when `"any"`) panics deliberately.
+    /// The panic must surface as a structured
+    /// [`ExperimentError::Panic`] outcome without harming the pool.
+    #[must_use]
+    pub fn chaos_panic_cell(mut self, cell: impl Into<String>) -> LabSessionBuilder {
+        self.chaos_panic_cell = Some(cell.into());
+        self
+    }
+
     /// Starts the session: spawns the worker pool and initializes
     /// empty caches.
     ///
@@ -541,6 +637,9 @@ impl LabSessionBuilder {
             }),
             available: Condvar::new(),
             git_rev: self.git_rev.unwrap_or_else(git_rev),
+            record_cache: self.record_cache,
+            panics: AtomicU64::new(0),
+            chaos_panic_cell: self.chaos_panic_cell,
         });
         let workers = (0..self.jobs)
             .map(|_| {
@@ -561,7 +660,15 @@ impl LabSessionBuilder {
                                 .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
-                    task();
+                    // Panic containment, second layer: tasks catch
+                    // cell panics themselves (and turn them into
+                    // structured outcomes), but even a panic escaping
+                    // a task must not take the worker thread with it —
+                    // the loop continues, which is equivalent to
+                    // respawning the worker without losing the queue.
+                    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        shared.panics.fetch_add(1, Ordering::Relaxed);
+                    }
                 })
             })
             .collect();
@@ -597,6 +704,8 @@ impl LabSession {
             profile: false,
             out_dir: None,
             git_rev: None,
+            record_cache: None,
+            chaos_panic_cell: None,
         }
     }
 
@@ -624,6 +733,15 @@ impl LabSession {
         self.shared.caches.stats()
     }
 
+    /// How many cell executions have panicked in this session. Each
+    /// panic is caught at the worker boundary: the submitter sees a
+    /// structured [`ExperimentError::Panic`] outcome and the pool
+    /// keeps its full worker count.
+    #[must_use]
+    pub fn panic_count(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Enqueues `cells` on the worker pool and returns immediately
     /// with a [`Batch`] handle. Cells of concurrent batches interleave
     /// in FIFO order; results are deduplicated through the session
@@ -649,7 +767,21 @@ impl LabSession {
                         Err(Arc::new(ExperimentError::Cancelled { cell: cell.id() }))
                     } else {
                         batch.started.fetch_add(1, Ordering::Relaxed);
-                        exec_cell(cell, &params, &shared.caches)
+                        // Panic containment, first layer: a panicking
+                        // cell becomes a structured failed outcome the
+                        // submitter can observe, never a dead worker
+                        // or a forever-pending batch slot.
+                        match catch_unwind(AssertUnwindSafe(|| exec_cell(cell, &params, &shared)))
+                        {
+                            Ok(outcome) => outcome,
+                            Err(payload) => {
+                                shared.panics.fetch_add(1, Ordering::Relaxed);
+                                Err(Arc::new(ExperimentError::Panic {
+                                    cell: cell.id(),
+                                    msg: panic_message(payload.as_ref()),
+                                }))
+                            }
+                        }
                     };
                     *lock(&batch.slots[index]) = Some(outcome);
                     let mut done = lock(&batch.done);
@@ -870,6 +1002,115 @@ mod tests {
                 Err(e) => assert!(matches!(*e, ExperimentError::Cancelled { .. })),
             }
         }
+    }
+
+    #[test]
+    fn panicking_cell_is_a_structured_outcome_and_the_pool_survives() {
+        let spec = ExperimentId::Table1.spec();
+        let cells = spec.cells();
+        let victim = cells[0].id();
+        // One worker: if the panic killed it, the remaining cells
+        // would never run and wait() would hang.
+        let session = LabSession::builder()
+            .jobs(1)
+            .chaos_panic_cell(victim.clone())
+            .build()
+            .unwrap();
+        let batch = session.submit(cells.clone(), RunParams::default());
+        let outcomes = batch.wait();
+        assert_eq!(outcomes.len(), 4);
+        match &outcomes[0] {
+            Err(e) => {
+                assert!(matches!(**e, ExperimentError::Panic { .. }), "got {e}");
+                let msg = e.to_string();
+                assert!(msg.contains("panicked") && msg.contains(&victim), "got {msg}");
+            }
+            Ok(_) => panic!("the chaos cell must fail"),
+        }
+        for outcome in &outcomes[1..] {
+            assert!(outcome.is_ok(), "non-victim cells still run on the surviving worker");
+        }
+        assert_eq!(session.panic_count(), 1);
+        // The same worker keeps serving subsequent jobs.
+        let survivors: Vec<_> = cells.into_iter().filter(|c| c.id() != victim).collect();
+        let again = session.submit(survivors, RunParams::default()).wait();
+        assert!(again.iter().all(Result::is_ok));
+        assert_eq!(session.panic_count(), 1, "only the injected panic fired");
+    }
+
+    #[test]
+    fn record_cache_hits_skip_simulation_and_keep_cell_identity() {
+        use crate::experiment::CellKind;
+
+        struct MemCache {
+            map: Mutex<HashMap<String, CellRecord>>,
+            puts: AtomicU64,
+        }
+        impl RecordCache for MemCache {
+            fn get(&self, fingerprint: &str) -> Option<CellRecord> {
+                lock(&self.map).get(fingerprint).cloned()
+            }
+            fn put(&self, fingerprint: &str, record: &CellRecord) {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+                lock(&self.map).insert(fingerprint.to_string(), record.clone());
+            }
+        }
+
+        let cell = ExperimentId::Fig17
+            .spec()
+            .cells()
+            .into_iter()
+            .find(|c| matches!(c.kind, CellKind::Pipeline { .. }))
+            .expect("fig17 has pipeline cells");
+        let params = RunParams { dhry_iters: 5, cm_iters: 1, ..RunParams::default() };
+        let fingerprint = cell.fingerprint(&params);
+        // A sentinel record under another cell's identity, as a
+        // restarted daemon would load it from disk.
+        let stored = CellRecord {
+            id: "other/Cell/Identity".to_string(),
+            experiment: "other".to_string(),
+            group: "Cell".to_string(),
+            label: "Identity".to_string(),
+            workload: Some("Dhrystone".to_string()),
+            target: None,
+            machine: None,
+            config_fingerprint: fingerprint.clone(),
+            param: None,
+            cycles: 424_242,
+            retired: 7,
+            ipc: 1.5,
+            stats: None,
+            kinds: None,
+            distances: None,
+            max_distance_used: None,
+            stdout_digest: Some("cafe".to_string()),
+            wall_ms: 99.0,
+            sim_wall_ms: Some(3.0),
+            ksim_cycles_per_sec: Some(141_414.0),
+        };
+        let cache = Arc::new(MemCache {
+            map: Mutex::new(HashMap::from([(fingerprint, stored)])),
+            puts: AtomicU64::new(0),
+        });
+        let session = LabSession::builder()
+            .jobs(1)
+            .record_cache(Arc::clone(&cache) as Arc<dyn RecordCache>)
+            .build()
+            .unwrap();
+        let outcomes = session.submit(vec![cell.clone()], params).wait();
+        let record = outcomes[0].as_ref().expect("cache hit succeeds");
+        // Measurement fields come from the cache...
+        assert_eq!(record.cycles, 424_242);
+        assert_eq!(record.stdout_digest.as_deref(), Some("cafe"));
+        assert_eq!(record.sim_wall_ms, Some(3.0));
+        // ...identity fields stay the requested cell's...
+        assert_eq!(record.id, cell.id());
+        assert_eq!(record.experiment, "fig17");
+        // ...and neither a build nor a simulation happened.
+        let stats = session.cache_stats();
+        assert_eq!(stats.image_lookups, 0);
+        assert_eq!(stats.run_lookups, 0);
+        assert_eq!(cache.puts.load(Ordering::Relaxed), 0, "a hit is not re-offered");
     }
 
     #[test]

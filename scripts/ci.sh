@@ -65,3 +65,77 @@ cmp "$SMOKE_DIR/local.norm" "$SMOKE_DIR/remote.norm"
 kill -TERM "$STRAIGHTD_PID"
 wait "$STRAIGHTD_PID"
 test ! -e "$SOCK"
+STRAIGHTD_PID=""
+
+# Crash-recovery smoke: a SIGKILL mid-run must leave the record store
+# either clean or quarantined — never serving torn bytes — and a
+# restarted daemon must answer the same figure byte-identically from
+# the store, without re-simulating.
+# The git revision is stamped into records and stable within one CI
+# run, so restarts compare byte-identically without pinning it.
+STORE="$SMOKE_DIR/store"
+target/release/straightd --listen "$SOCK" --jobs 2 --store "$STORE" &
+STRAIGHTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+# Kick off work, then SIGKILL the daemon mid-run; the client is
+# expected to fail — only the store's integrity matters here.
+target/release/straight-lab --remote "$SOCK" --figure fig11 --quiet --no-write \
+    --remote-timeout-ms 2000 --remote-retries 2 &
+CLIENT_PID=$!
+sleep 0.4
+kill -KILL "$STRAIGHTD_PID"
+wait "$STRAIGHTD_PID" || true
+wait "$CLIENT_PID" || true
+STRAIGHTD_PID=""
+
+# Restart over the same store: the boot scan must quarantine anything
+# torn (typically nothing: writes are atomic), then serve the figure.
+target/release/straightd --listen "$SOCK" --jobs 2 --store "$STORE" &
+STRAIGHTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+target/release/straight-lab --remote "$SOCK" --figure fig11 --quick --quiet \
+    --remote-retries 6 --out "$SMOKE_DIR/recovered"
+target/release/straight-lab --normalize "$SMOKE_DIR/recovered/BENCH_fig11.json" \
+    > "$SMOKE_DIR/recovered.norm"
+cmp "$SMOKE_DIR/local.norm" "$SMOKE_DIR/recovered.norm"
+
+# Restart once more: the rerun must be answered from the warm store
+# (store hits, zero run-cache lookups) and the stats op must carry the
+# durability counters.
+kill -TERM "$STRAIGHTD_PID"
+wait "$STRAIGHTD_PID"
+target/release/straightd --listen "$SOCK" --jobs 2 --store "$STORE" &
+STRAIGHTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+target/release/straight-lab --remote "$SOCK" --figure fig11 --quick --quiet --no-write
+target/release/straight-lab --remote "$SOCK" --stats > "$SMOKE_DIR/stats.json"
+python3 - "$SMOKE_DIR/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+store = stats["store"]
+assert store is not None, "stats must carry the store section"
+assert store["entries"] > 0, store
+assert store["quarantined"] == 0, store
+assert store["hits"] > 0, "warm boot must serve the rerun from the store"
+assert not store["memory_only"], store
+assert stats["cache"]["run_lookups"] == 0, "store hits must skip simulation"
+assert stats["worker_panics"] == 0, stats
+assert "queue_full_refusals" in stats and "idle_reaped" in stats, stats
+print("crash-recovery stats OK:", json.dumps(store))
+EOF
+kill -TERM "$STRAIGHTD_PID"
+wait "$STRAIGHTD_PID"
+STRAIGHTD_PID=""
+
+# The seeded chaos suite (store corruption, SIGKILL restarts, panic
+# injection) must pass deterministically.
+cargo test -p straight-bench --test chaos -q
