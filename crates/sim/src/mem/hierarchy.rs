@@ -78,23 +78,26 @@ impl StreamPrefetcher {
         StreamPrefetcher { depth, streams: vec![(u32::MAX, false); 8] }
     }
 
-    /// On an L1D miss of `line`, returns lines to prefetch.
-    fn on_miss(&mut self, line: u32) -> Vec<u32> {
+    /// On an L1D miss of `line`: true when an armed stream matched, in
+    /// which case the caller prefetches the next `depth` lines. (The
+    /// prefetch set is always the contiguous range `line+1 ..= line+depth`,
+    /// so no allocation is needed to communicate it.)
+    fn on_miss(&mut self, line: u32) -> bool {
         if self.depth == 0 {
-            return vec![];
+            return false;
         }
         // An existing stream expecting this line?
         for s in &mut self.streams {
             if s.0 != u32::MAX && s.0.wrapping_add(1) == line {
                 s.0 = line;
                 s.1 = true;
-                return (1..=self.depth).map(|k| line + k).collect();
+                return true;
             }
         }
         // Start tracking a new stream (round-robin victim).
         self.streams.rotate_right(1);
         self.streams[0] = (line, false);
-        vec![]
+        false
     }
 }
 
@@ -160,12 +163,14 @@ impl Hierarchy {
         }
         let extra = self.below_l1(addr);
         let line = self.l1d.line_number(addr);
-        for pf_line in self.prefetcher.on_miss(line) {
-            let pf_addr = pf_line.wrapping_mul(self.l1d.line());
-            if !self.l1d.probe(pf_addr) {
-                self.l1d.access(pf_addr);
-                self.l2.access(pf_addr);
-                self.prefetches += 1;
+        if self.prefetcher.on_miss(line) {
+            for k in 1..=self.prefetcher.depth {
+                let pf_addr = (line + k).wrapping_mul(self.l1d.line());
+                if !self.l1d.probe(pf_addr) {
+                    self.l1d.access(pf_addr);
+                    self.l2.access(pf_addr);
+                    self.prefetches += 1;
+                }
             }
         }
         l1_lat + extra

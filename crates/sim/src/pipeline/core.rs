@@ -23,9 +23,14 @@
 //! sanitizer cross-validates every retired instruction against a
 //! shadow functional emulator.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+
+use super::lsq::LsqSlab;
+use super::rob::{RState, RobSlab};
+use super::sched::Scheduler;
+use super::slab::{SlotBits, SlotHandle};
+use super::wheel::{CompletionWheel, Inflight, LoadSrc};
 
 use straight_asm::{Image, ImageIsa, MEM_SIZE, STACK_TOP};
 use straight_isa::{MemWidth, Trap, TrapKind};
@@ -82,207 +87,7 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RState {
-    /// Dispatched, waiting in the scheduler (or at the ROB head for
-    /// `SYS`/`HALT`/trap micro-ops).
-    Waiting,
-    /// Issued to a functional unit.
-    Issued,
-    /// Completed.
-    Done,
-}
-
-#[derive(Debug, Clone)]
-struct RobEntry {
-    seq: u64,
-    uop: UOp,
-    state: RState,
-    predicted_next: u32,
-    pred_taken: bool,
-    actual_taken: bool,
-    ras_cp: RasCheckpoint,
-    /// A typed fault observed while executing this entry (wild or
-    /// misaligned memory access); raised when the entry reaches the
-    /// ROB head, squashed with the entry otherwise.
-    trap: Option<TrapKind>,
-    /// Dispatch identity, never reused (sequence numbers are reused
-    /// after recovery, so wakeup-list entries validate against this).
-    uid: u64,
-    /// Source operands still outstanding before the entry can enter
-    /// the scheduler's ready queue (stores in the split-AGU data phase
-    /// wait on their data operand only).
-    pending: u8,
-    /// Currently occupies a scheduler (issue-queue) slot.
-    in_iq: bool,
-}
-
-/// A scheduler entry waiting on one physical-register tag.
 #[derive(Debug, Clone, Copy)]
-struct Waiter {
-    seq: u64,
-    uid: u64,
-}
-
-/// The wakeup/select scheduler state: instead of scanning every
-/// issue-queue entry each cycle, a dispatched uop subscribes to the
-/// wakeup list of each not-yet-ready source tag; the completion that
-/// readies its last operand moves it into the age-ordered ready
-/// queue, and select only ever examines ready entries.
-#[derive(Debug, Default)]
-struct Scheduler {
-    /// Per-physical-register wakeup lists.
-    wakeup: Vec<Vec<Waiter>>,
-    /// Operand-ready entries, kept sorted ascending so select walks
-    /// oldest (smallest seq) first. Loads blocked on LSQ conditions
-    /// and stores blocked on structural hazards stay here and retry,
-    /// exactly like the previous full-scan scheduler. A sorted `Vec`
-    /// beats a tree at issue-queue sizes (tens of entries).
-    ready: Vec<u64>,
-    /// Occupied scheduler slots (ready + waiting), for dispatch
-    /// backpressure.
-    occupancy: usize,
-    /// Recycled select-order snapshot, so issue() does not allocate
-    /// every cycle.
-    scratch: Vec<u64>,
-}
-
-impl Scheduler {
-    fn insert_ready(&mut self, seq: u64) {
-        if let Err(i) = self.ready.binary_search(&seq) {
-            self.ready.insert(i, seq);
-        }
-    }
-
-    fn remove_ready(&mut self, seq: u64) {
-        if let Ok(i) = self.ready.binary_search(&seq) {
-            self.ready.remove(i);
-        }
-    }
-}
-
-/// Heap ordering for in-flight completions: earliest `done_at` first,
-/// oldest `seq` first within a cycle.
-#[derive(Debug, Clone, Copy)]
-struct InflightOrd(Inflight);
-
-impl PartialEq for InflightOrd {
-    fn eq(&self, other: &InflightOrd) -> bool {
-        (self.0.done_at, self.0.seq) == (other.0.done_at, other.0.seq)
-    }
-}
-
-impl Eq for InflightOrd {}
-
-impl PartialOrd for InflightOrd {
-    fn partial_cmp(&self, other: &InflightOrd) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for InflightOrd {
-    fn cmp(&self, other: &InflightOrd) -> std::cmp::Ordering {
-        (self.0.done_at, self.0.seq).cmp(&(other.0.done_at, other.0.seq))
-    }
-}
-
-/// The load/store queue, split into separate age-ordered load and
-/// store queues (both ascending by sequence number), so occupancy
-/// checks are O(1), per-seq lookups binary-search a handful of
-/// entries, and the ordered scans (older stores for a load, younger
-/// loads for a store) walk only the relevant half with early exit —
-/// replacing the old single-vector O(LSQ) filters. Entries live
-/// inline in the deques: no hashing, no pointer chasing.
-#[derive(Debug, Default)]
-struct Lsq {
-    loads: VecDeque<LsqEntry>,
-    stores: VecDeque<LsqEntry>,
-}
-
-impl Lsq {
-    fn push(&mut self, e: LsqEntry) {
-        if e.is_store {
-            self.stores.push_back(e);
-        } else {
-            self.loads.push_back(e);
-        }
-    }
-
-    fn find(&self, is_store: bool, seq: u64) -> Option<&LsqEntry> {
-        let q = if is_store { &self.stores } else { &self.loads };
-        match q.binary_search_by_key(&seq, |e| e.seq) {
-            Ok(i) => q.get(i),
-            Err(_) => None,
-        }
-    }
-
-    fn find_mut(&mut self, is_store: bool, seq: u64) -> Option<&mut LsqEntry> {
-        let q = if is_store { &mut self.stores } else { &mut self.loads };
-        match q.binary_search_by_key(&seq, |e| e.seq) {
-            Ok(i) => q.get_mut(i),
-            Err(_) => None,
-        }
-    }
-
-    fn remove(&mut self, is_store: bool, seq: u64) -> Option<LsqEntry> {
-        let q = if is_store { &mut self.stores } else { &mut self.loads };
-        // Commit removes in dispatch order, so the front is the common
-        // case; recovery uses `squash_younger` instead.
-        if q.front().is_some_and(|e| e.seq == seq) {
-            return q.pop_front();
-        }
-        match q.binary_search_by_key(&seq, |e| e.seq) {
-            Ok(i) => q.remove(i),
-            Err(_) => None,
-        }
-    }
-
-    /// Drops every entry younger than `boundary` (recovery).
-    fn squash_younger(&mut self, boundary: u64) {
-        while self.loads.back().is_some_and(|e| e.seq > boundary) {
-            self.loads.pop_back();
-        }
-        while self.stores.back().is_some_and(|e| e.seq > boundary) {
-            self.stores.pop_back();
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.loads.len() + self.stores.len()
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum LoadSrc {
-    /// Read functional memory at completion.
-    Mem,
-    /// Forwarded from an in-flight store.
-    Fwd(u32),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Inflight {
-    seq: u64,
-    done_at: u64,
-    load_src: Option<LoadSrc>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct LsqEntry {
-    seq: u64,
-    is_store: bool,
-    pc: u32,
-    width: MemWidth,
-    addr: Option<u32>,
-    data: Option<u32>,
-    /// Load executed while older store addresses were unknown.
-    speculative: bool,
-    /// For executed loads: sequence number of the store the value was
-    /// forwarded from (`None` = read from memory).
-    fwd_src: Option<u64>,
-}
-
-#[derive(Debug, Clone)]
 struct FrontEntry {
     ready_at: u64,
     pc: u32,
@@ -328,25 +133,33 @@ pub struct Core {
     /// in the word, so this caches `RawInst`s (including illegal-word
     /// faults) per slot.
     predecoded: Vec<RawInst>,
+    /// Control classification per code slot, precomputed with
+    /// `predecoded`: fetch consults it for every instruction, and the
+    /// targets only depend on the (fixed) word and PC.
+    control: Vec<ControlInfo>,
     mem: Vec<u8>,
     hier: Hierarchy,
     bp: Box<dyn DirectionPredictor>,
     ras: Ras,
     memdep: StoreSets,
     prf: Vec<u32>,
-    prf_ready: Vec<bool>,
+    /// Physical-register readiness as a packed bitset (one bit per
+    /// register), matching the slot bitsets of the scheduler.
+    prf_ready: SlotBits,
     rp_state: RpState,
     arch_rp: RpState,
     rmt_state: RmtState,
-    rob: VecDeque<RobEntry>,
+    /// The reorder buffer as a structure-of-arrays ring slab; stages
+    /// index its flat columns by slot instead of chasing deque entries.
+    rob: RobSlab,
     next_seq: u64,
     /// Dispatch identity counter; unlike `next_seq` it never rewinds.
     next_uid: u64,
     sched: Scheduler,
-    inflight: BinaryHeap<Reverse<InflightOrd>>,
+    inflight: CompletionWheel,
     /// Reused per-cycle buffer for completions due this cycle.
     due_scratch: Vec<Inflight>,
-    lsq: Lsq,
+    lsq: LsqSlab,
     front_q: VecDeque<FrontEntry>,
     fetch_pc: u32,
     fetch_stall_until: u64,
@@ -365,6 +178,9 @@ pub struct Core {
     /// simulation.
     fatal: Option<Trap>,
     watchdog_report: Option<WatchdogReport>,
+    /// The sanitizer's oracle emulator, constructed lazily at the
+    /// first retirement when `cfg.sanitizer` is set: default runs
+    /// never clone the image into a shadow emulator at all.
     shadow: Option<Shadow>,
     shadow_done: bool,
     pending_faults: Vec<(u64, FaultKind)>,
@@ -425,36 +241,40 @@ impl Core {
                 },
             })
             .collect();
-        let shadow = if cfg.sanitizer {
-            Some(match cfg.isa {
-                IsaKind::Straight => Shadow::S(Box::new(StraightEmu::new(image.clone()))),
-                IsaKind::Ss => Shadow::R(Box::new(RiscvEmu::new(image.clone()))),
-            })
-        } else {
-            None
-        };
+        let control: Vec<ControlInfo> = predecoded
+            .iter()
+            .enumerate()
+            .map(|(idx, raw)| raw.control_info(image.code_base + 4 * idx as u32))
+            .collect();
+        let mut prf_ready = SlotBits::new(phys);
+        for p in 0..phys {
+            prf_ready.set(p);
+        }
+        let placeholder = UOp::trap(0, TrapKind::FetchFault, 0, 0);
+        let rob = RobSlab::new(cfg.rob_capacity as usize, placeholder);
         Ok(Core {
             bp: build(cfg.predictor),
             hier: Hierarchy::new(cfg.hierarchy),
             div_busy_until: vec![0; cfg.units.div as usize],
+            sched: Scheduler::new(phys, rob.slot_capacity()),
+            lsq: LsqSlab::new(cfg.lsq_ld as usize, cfg.lsq_st as usize),
             cfg,
             image,
             predecoded,
+            control,
             mem,
             ras: Ras::new(),
             memdep: StoreSets::new(),
             prf,
-            prf_ready: vec![true; phys],
+            prf_ready,
             rp_state: RpState { rp: 0, sp: STACK_TOP },
             arch_rp: RpState { rp: 0, sp: STACK_TOP },
             rmt_state,
-            rob: VecDeque::new(),
+            rob,
             next_seq: 0,
             next_uid: 0,
-            sched: Scheduler { wakeup: vec![Vec::new(); phys], ..Scheduler::default() },
-            inflight: BinaryHeap::new(),
+            inflight: CompletionWheel::new(),
             due_scratch: Vec::new(),
-            lsq: Lsq::default(),
             front_q: VecDeque::new(),
             fetch_pc,
             fetch_stall_until: 0,
@@ -467,7 +287,7 @@ impl Core {
             halted: None,
             fatal: None,
             watchdog_report: None,
-            shadow,
+            shadow: None,
             shadow_done: false,
             pending_faults: Vec::new(),
             faults_applied: 0,
@@ -480,23 +300,6 @@ impl Core {
 
     // -- helpers ----------------------------------------------------
 
-    /// ROB entries always hold contiguous sequence numbers (dispatch
-    /// appends, commit pops the front, recovery truncates the tail),
-    /// but squashed sequence numbers are never reused, so indexing is
-    /// relative to the current front entry.
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.seq;
-        if seq < front {
-            return None;
-        }
-        let idx = (seq - front) as usize;
-        if idx < self.rob.len() {
-            Some(idx)
-        } else {
-            None
-        }
-    }
-
     fn src_value(&self, src: Option<u16>) -> u32 {
         match src {
             Some(p) => self.prf[p as usize],
@@ -505,28 +308,24 @@ impl Core {
     }
 
     fn srcs_ready(&self, uop: &UOp) -> bool {
-        uop.srcs.iter().flatten().all(|&p| self.prf_ready[p as usize])
+        uop.srcs.iter().flatten().all(|&p| self.prf_ready.get(p as usize))
     }
 
     /// Physical register `p` just became ready: drain its wakeup list,
-    /// moving every waiter whose last outstanding operand this was into
-    /// the ready queue. Waiters are validated against the ROB by
-    /// dispatch identity — sequence numbers are reused after recovery,
-    /// `uid`s never are.
+    /// setting the ready bit of every waiter whose last outstanding
+    /// operand this was. Waiters are validated against the ROB by slot
+    /// generation (the dispatch uid) — sequence numbers and slots are
+    /// reused after recovery, generations never are.
     fn wake(&mut self, p: u16) {
         if self.sched.wakeup[p as usize].is_empty() {
             return;
         }
         let mut waiters = std::mem::take(&mut self.sched.wakeup[p as usize]);
         for w in waiters.drain(..) {
-            let Some(idx) = self.rob_index(w.seq) else { continue };
-            let e = &mut self.rob[idx];
-            if e.uid != w.uid || !e.in_iq {
-                continue;
-            }
-            e.pending = e.pending.saturating_sub(1);
-            if e.pending == 0 {
-                self.sched.insert_ready(w.seq);
+            let Some(slot) = self.rob.waiter_slot(w) else { continue };
+            self.rob.pending[slot] = self.rob.pending[slot].saturating_sub(1);
+            if self.rob.pending[slot] == 0 {
+                self.sched.ready.set(slot);
             }
         }
         // Hand the drained allocation back to the (now empty) list.
@@ -561,17 +360,6 @@ impl Core {
         }
     }
 
-    fn overlap(a_addr: u32, a_w: MemWidth, b_addr: u32, b_w: MemWidth) -> bool {
-        // Ends are computed in u64: an access butting against the top
-        // of the 32-bit address space (e.g. a wrong-path wild store at
-        // `0xffff_ffff`) must not wrap its end around to a small value
-        // — a wrapped end of 0 made such an access overlap nothing,
-        // silently skipping forwarding/violation checks against it.
-        let a_end = u64::from(a_addr) + u64::from(a_w.bytes());
-        let b_end = u64::from(b_addr) + u64::from(b_w.bytes());
-        u64::from(a_addr) < b_end && u64::from(b_addr) < a_end
-    }
-
     /// Raises a fatal trap with the current architectural context.
     /// The index is the retired-instruction count, which matches the
     /// functional emulators' dynamic instruction index at the same
@@ -587,41 +375,41 @@ impl Core {
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { return };
-            match head.state {
+            if self.rob.is_empty() {
+                return;
+            }
+            let hs = self.rob.head_slot();
+            match self.rob.state[hs] {
                 RState::Done => {
                     // Execution-time faults (wild/misaligned accesses)
                     // become precise here: the instruction reached the
                     // head un-squashed, so it really happens.
-                    if let Some(kind) = head.trap {
-                        let pc = head.uop.pc;
+                    if let Some(kind) = self.rob.trap[hs] {
+                        let pc = self.rob.uop[hs].pc;
                         self.raise(kind, pc);
                         return;
                     }
-                    let Some(entry) = self.rob.pop_front() else { return };
-                    self.retire(entry);
+                    self.retire_head();
                     if self.halted.is_some() || self.fatal.is_some() {
                         return;
                     }
                 }
-                RState::Waiting if head.uop.is_trap() => {
+                RState::Waiting if self.rob.uop[hs].is_trap() => {
                     // Fetch/decode/distance faults dispatched as trap
                     // micro-ops fire once they reach the head.
-                    if let FuncOp::Trap(kind) = head.uop.func {
-                        let pc = head.uop.pc;
+                    if let FuncOp::Trap(kind) = self.rob.uop[hs].func {
+                        let pc = self.rob.uop[hs].pc;
                         self.raise(kind, pc);
                     }
                     return;
                 }
-                RState::Waiting if head.uop.is_sys() || head.uop.is_halt() => {
+                RState::Waiting if self.rob.uop[hs].is_sys() || self.rob.uop[hs].is_halt() => {
                     // Environment calls and HALT execute
                     // non-speculatively at the ROB head.
-                    if head.uop.is_halt() {
-                        if let Some(e) = self.rob.front_mut() {
-                            e.state = RState::Done;
-                        }
-                    } else if self.srcs_ready(&head.uop) {
-                        let uop = head.uop.clone();
+                    let uop = self.rob.uop[hs];
+                    if uop.is_halt() {
+                        self.rob.state[hs] = RState::Done;
+                    } else if self.srcs_ready(&uop) {
                         let arg = self.src_value(uop.srcs[0]);
                         let code = match uop.func {
                             FuncOp::Sys { code: Some(c) } => c,
@@ -636,13 +424,11 @@ impl Core {
                         };
                         if let Some(d) = uop.dst {
                             self.prf[d as usize] = result;
-                            self.prf_ready[d as usize] = true;
+                            self.prf_ready.set(d as usize);
                             self.stats.events.prf_writes += 1;
                             self.wake(d);
                         }
-                        if let Some(e) = self.rob.front_mut() {
-                            e.state = RState::Done;
-                        }
+                        self.rob.state[hs] = RState::Done;
                     }
                     return; // retires next cycle
                 }
@@ -654,8 +440,11 @@ impl Core {
     /// Cross-validates one committing instruction against the shadow
     /// oracle emulator (and, for STRAIGHT, the architectural RP).
     /// Returns the sanitizer trap to raise if the machine diverged.
-    fn sanitize_retire(&mut self, entry: &RobEntry) -> Option<TrapKind> {
-        let uop = &entry.uop;
+    ///
+    /// The shadow emulator is constructed here, lazily, on the first
+    /// retirement: nothing has retired yet at that point, so an
+    /// emulator built from the initial image is exactly in sync.
+    fn sanitize_retire(&mut self, uop: &UOp) -> Option<TrapKind> {
         // RP-vs-ROB consistency: the committed destination must be
         // exactly the architectural RP (the RP after the previously
         // retired instruction). Catches any desync between the rename
@@ -670,6 +459,12 @@ impl Core {
         }
         if self.shadow_done {
             return None;
+        }
+        if self.shadow.is_none() {
+            self.shadow = Some(match self.cfg.isa {
+                IsaKind::Straight => Shadow::S(Box::new(StraightEmu::new(self.image.clone()))),
+                IsaKind::Ss => Shadow::R(Box::new(RiscvEmu::new(self.image.clone()))),
+            });
         }
         let committed = uop.dst.map(|d| self.prf[d as usize]);
         match &mut self.shadow {
@@ -726,28 +521,35 @@ impl Core {
         None
     }
 
-    fn retire(&mut self, entry: RobEntry) {
-        if self.shadow.is_some() {
-            if let Some(kind) = self.sanitize_retire(&entry) {
-                self.raise(kind, entry.uop.pc);
+    /// Retires the ROB head entry (which commit() has verified is
+    /// `Done` and trap-free).
+    fn retire_head(&mut self) {
+        let hs = self.rob.head_slot();
+        let seq = self.rob.seq[hs];
+        let uop = self.rob.uop[hs];
+        let actual_taken = self.rob.actual_taken[hs];
+        let pred_taken = self.rob.pred_taken[hs];
+        self.rob.pop_front();
+        if self.cfg.sanitizer {
+            if let Some(kind) = self.sanitize_retire(&uop) {
+                self.raise(kind, uop.pc);
                 return;
             }
         }
-        let uop = &entry.uop;
-        self.stats.bump_kind(uop.kind);
+        self.stats.bump_kind_idx(uop.kind);
         self.stats.events.rob_commits += 1;
         // Predictor training happens in order at retire.
         if uop.is_cond_branch() {
-            self.bp.update(uop.pc, entry.actual_taken, entry.pred_taken);
+            self.bp.update(uop.pc, actual_taken, pred_taken);
         }
         if uop.is_store() {
-            if let Some(e) = self.lsq.remove(true, entry.seq) {
+            if let Some(e) = self.lsq.stores.remove(seq) {
                 if let (Some(addr), Some(data)) = (e.addr, e.data) {
                     self.mem_write(e.width, addr, data);
                 }
             }
         } else if uop.is_load() {
-            if let Some(e) = self.lsq.remove(false, entry.seq) {
+            if let Some(e) = self.lsq.loads.remove(seq) {
                 if e.speculative && self.stats.retired.is_multiple_of(64) {
                     // Sparse decay: successful speculation slowly
                     // releases a trained dependence.
@@ -775,25 +577,24 @@ impl Core {
     // -- completion / writeback --------------------------------------
 
     fn complete(&mut self) {
-        if self.inflight.peek().is_none_or(|f| f.0 .0.done_at > self.cycle) {
-            return;
-        }
         let mut due = std::mem::take(&mut self.due_scratch);
         due.clear();
-        while self.inflight.peek().is_some_and(|f| f.0 .0.done_at <= self.cycle) {
-            if let Some(f) = self.inflight.pop() {
-                due.push(f.0 .0);
-            }
+        self.inflight.drain_due(self.cycle, &mut due);
+        if due.is_empty() {
+            self.due_scratch = due;
+            return;
         }
         due.sort_by_key(|f| f.seq);
         for &f in &due {
-            // Entry may have been squashed by an earlier recovery this
-            // cycle.
-            let Some(idx) = self.rob_index(f.seq) else { continue };
-            if self.rob[idx].state != RState::Issued {
+            // The entry may have been squashed (recovery leaves stale
+            // events in the wheel; the sequence number may even have
+            // been reissued to a different instruction since, which
+            // the generation check rejects).
+            let Some(slot) = self.rob.slot(f.seq) else { continue };
+            if self.rob.gen[slot] != f.uid || self.rob.state[slot] != RState::Issued {
                 continue;
             }
-            let uop = self.rob[idx].uop.clone();
+            let uop = self.rob.uop[slot];
             let s0 = self.src_value(uop.srcs[0]);
             let s1 = self.src_value(uop.srcs[1]);
             let mut actual_next = uop.pc.wrapping_add(4);
@@ -806,7 +607,7 @@ impl Core {
                 FuncOp::Const(v) => v,
                 FuncOp::Copy => s0,
                 FuncOp::Load { width, .. } => {
-                    let addr = self.lsq.find(false, f.seq).and_then(|e| e.addr).unwrap_or(0);
+                    let addr = self.lsq.loads.addr_of(f.seq).unwrap_or(0);
                     match check_load(width, addr, self.mem.len()) {
                         Some(kind) => {
                             trap = Some(kind);
@@ -848,19 +649,18 @@ impl Core {
             };
             if let Some(d) = uop.dst {
                 self.prf[d as usize] = result;
-                self.prf_ready[d as usize] = true;
+                self.prf_ready.set(d as usize);
                 self.stats.events.prf_writes += 1;
                 self.stats.events.iq_wakeups += 1;
                 self.wake(d);
             }
-            let e = &mut self.rob[idx];
-            e.state = RState::Done;
-            e.actual_taken = actual_taken;
+            self.rob.state[slot] = RState::Done;
+            self.rob.actual_taken[slot] = actual_taken;
             if trap.is_some() {
-                e.trap = trap;
+                self.rob.trap[slot] = trap;
             }
-            let predicted_next = e.predicted_next;
-            let cp = e.ras_cp;
+            let predicted_next = self.rob.predicted_next[slot];
+            let cp = self.rob.ras_cp[slot];
             if uop.is_control() {
                 if uop.is_cond_branch() {
                     self.stats.branches += 1;
@@ -896,31 +696,37 @@ impl Core {
             ExecUnit::Branch => 3,
             ExecUnit::Mem => 4,
         };
-        // Select walks only operand-ready entries, oldest first — the
-        // wakeup lists already filtered out anything still waiting on a
-        // source, and entries the old full scan would have skipped
-        // silently (operands pending) had no observable side effects,
-        // so the issue order and every stat bump are unchanged.
+        // Select walks only operand-ready entries, oldest first: the
+        // ready bitset is enumerated in ring order from the ROB head
+        // slot, which is exactly ascending sequence-number order
+        // (slots are `seq mod capacity` and the live window is
+        // contiguous), so the issue order and every stat bump match
+        // the old sorted ready queue.
         let mut candidates = std::mem::take(&mut self.sched.scratch);
         candidates.clear();
-        candidates.extend_from_slice(&self.sched.ready);
-        for &seq in &candidates {
+        if !self.rob.is_empty() {
+            self.sched.ready.collect_ring_order(self.rob.head_slot(), &mut candidates);
+        }
+        for &slot_u in &candidates {
             if budget_total == 0 {
                 break;
             }
-            let Some(idx) = self.rob_index(seq) else {
-                self.sched.remove_ready(seq);
-                continue;
-            };
-            if self.rob[idx].state != RState::Waiting {
-                self.sched.remove_ready(seq);
+            let slot = slot_u as usize;
+            let seq = self.rob.seq[slot];
+            // Defensive staleness check, mirroring the old per-seq
+            // revalidation (a ready bit never legitimately outlives
+            // its entry: recovery and issue both clear it).
+            if self.rob.slot(seq) != Some(slot) || self.rob.state[slot] != RState::Waiting {
+                self.sched.ready.clear(slot);
                 continue;
             }
-            let ui = unit_idx(self.rob[idx].uop.unit);
+            // Cheap rejections read single columns; the micro-op
+            // payload is only copied out for an entry that passes.
+            let ui = unit_idx(self.rob.uop[slot].unit);
             if budget[ui] == 0 {
                 continue;
             }
-            let uop = self.rob[idx].uop.clone();
+            let uop = self.rob.uop[slot];
             // Unpipelined divider occupancy.
             let mut div_slot = None;
             if uop.unit == ExecUnit::Div {
@@ -945,45 +751,48 @@ impl Core {
                 // in which younger loads see unknown store addresses:
                 // a store enters the ready queue on its base operand
                 // alone and picks up the data operand separately.
-                let addr_known = self.lsq.find(true, seq).is_some_and(|e| e.addr.is_some());
+                let addr_known = self.lsq.stores.addr_known(seq);
                 if !addr_known {
                     let violation = self.issue_store_addr(seq, &uop);
                     if violation {
-                        return; // the recovery consumed this cycle
+                        break; // the recovery consumed this cycle
                     }
                     // The address generation consumes this issue slot.
                     budget[ui] -= 1;
                     budget_total -= 1;
                     self.stats.events.fu_ops += 1;
-                    if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready[p as usize]) {
+                    if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready.get(p as usize)) {
                         // Data not ready yet: leave select and wait on
                         // the data tag alone.
-                        let uid = self.rob[idx].uid;
-                        self.rob[idx].pending = 1;
-                        self.sched.remove_ready(seq);
-                        self.sched.wakeup[p as usize].push(Waiter { seq, uid });
+                        self.rob.pending[slot] = 1;
+                        self.sched.ready.clear(slot);
+                        self.sched.wakeup[p as usize]
+                            .push(SlotHandle { slot: slot_u, gen: self.rob.gen[slot] });
                         continue;
                     }
                     self.record_store_data(seq, &uop);
-                    let Some(idx) = self.rob_index(seq) else { continue };
-                    self.rob[idx].state = RState::Issued;
-                    self.rob[idx].in_iq = false;
-                    self.sched.remove_ready(seq);
+                    self.rob.state[slot] = RState::Issued;
+                    self.rob.in_iq.clear(slot);
+                    self.sched.ready.clear(slot);
                     self.sched.occupancy -= 1;
-                    self.inflight.push(Reverse(InflightOrd(Inflight {
-                        seq,
-                        done_at: self.cycle + 1,
-                        load_src: None,
-                    })));
+                    self.inflight.push(
+                        self.cycle,
+                        Inflight {
+                            seq,
+                            uid: self.rob.gen[slot],
+                            done_at: self.cycle + 1,
+                            load_src: None,
+                        },
+                    );
                     continue;
                 }
                 // Address already generated (a violation recovery cut
                 // phase A short); the data operand may still be pending.
-                if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready[p as usize]) {
-                    let uid = self.rob[idx].uid;
-                    self.rob[idx].pending = 1;
-                    self.sched.remove_ready(seq);
-                    self.sched.wakeup[p as usize].push(Waiter { seq, uid });
+                if let Some(p) = uop.srcs[1].filter(|&p| !self.prf_ready.get(p as usize)) {
+                    self.rob.pending[slot] = 1;
+                    self.sched.ready.clear(slot);
+                    self.sched.wakeup[p as usize]
+                        .push(SlotHandle { slot: slot_u, gen: self.rob.gen[slot] });
                     continue;
                 }
                 self.record_store_data(seq, &uop);
@@ -998,16 +807,19 @@ impl Core {
             budget_total -= 1;
             self.stats.events.fu_ops += 1;
             self.stats.events.prf_reads += uop.srcs.iter().flatten().count() as u64;
-            let Some(idx) = self.rob_index(seq) else { continue };
-            self.rob[idx].state = RState::Issued;
-            self.rob[idx].in_iq = false;
-            self.sched.remove_ready(seq);
+            self.rob.state[slot] = RState::Issued;
+            self.rob.in_iq.clear(slot);
+            self.sched.ready.clear(slot);
             self.sched.occupancy -= 1;
-            self.inflight.push(Reverse(InflightOrd(Inflight {
-                seq,
-                done_at: self.cycle + u64::from(latency),
-                load_src,
-            })));
+            self.inflight.push(
+                self.cycle,
+                Inflight {
+                    seq,
+                    uid: self.rob.gen[slot],
+                    done_at: self.cycle + u64::from(latency),
+                    load_src,
+                },
+            );
         }
         self.sched.scratch = candidates;
     }
@@ -1019,47 +831,21 @@ impl Core {
         let FuncOp::Load { width, offset } = uop.func else { unreachable!() };
         let addr = self.src_value(uop.srcs[0]).wrapping_add(offset as u32);
         self.stats.events.lsq_searches += 1;
-        let mut unknown_older = false;
-        let mut best: Option<(u64, u32, MemWidth, u32)> = None; // (seq, addr, width, data)
-        // The store queue is ascending, so older stores are a prefix.
-        for e in &self.lsq.stores {
-            if e.seq >= seq {
-                break;
-            }
-            match e.addr {
-                None => unknown_older = true,
-                Some(sa) => {
-                    if Self::overlap(sa, e.width, addr, width) {
-                        if sa == addr && e.width == width {
-                            let Some(data) = e.data else {
-                                return None; // forwardable, data pending
-                            };
-                            if best.is_none_or(|(bs, ..)| e.seq > bs) {
-                                best = Some((e.seq, sa, e.width, data));
-                            }
-                        } else {
-                            // Partial overlap: wait for the store to
-                            // drain at commit.
-                            return None;
-                        }
-                    }
-                }
-            }
+        // The store ring is ascending, so older stores are a prefix.
+        let scan = self.lsq.stores.scan_older_stores(seq, addr, width);
+        if scan.blocked {
+            return None;
         }
-        if unknown_older && self.memdep.predict_dependent(uop.pc) {
+        if scan.unknown_older && self.memdep.predict_dependent(uop.pc) {
             // Predicted dependent: even with a forwardable match, an
             // unknown-address store in between could be the real
             // producer — wait for all older store addresses.
             return None;
         }
         // Record the load address for later violation checks.
-        if let Some(e) = self.lsq.find_mut(false, seq) {
-            e.addr = Some(addr);
-            e.speculative = unknown_older;
-            e.fwd_src = best.map(|(bs, ..)| bs);
-        }
-        match best {
-            Some((.., data)) => Some((2, LoadSrc::Fwd(data))),
+        self.lsq.loads.set_load_exec(seq, addr, scan.unknown_older, scan.best.map(|(bs, _)| bs));
+        match scan.best {
+            Some((_, data)) => Some((2, LoadSrc::Fwd(data))),
             None => {
                 let lat = 1 + self.hier.data_access(addr);
                 Some((lat, LoadSrc::Mem))
@@ -1073,35 +859,19 @@ impl Core {
     fn issue_store_addr(&mut self, seq: u64, uop: &UOp) -> bool {
         let FuncOp::Store { width, offset } = uop.func else { unreachable!() };
         let addr = self.src_value(uop.srcs[0]).wrapping_add(offset as u32);
-        if let Some(e) = self.lsq.find_mut(true, seq) {
-            e.addr = Some(addr);
-        }
+        self.lsq.stores.set_addr(seq, addr);
         // A wild or misaligned store address is recorded on the ROB
         // entry and raised precisely if the store reaches the head.
         if let Some(kind) = check_store(width, addr, self.mem.len()) {
-            if let Some(i) = self.rob_index(seq) {
-                self.rob[i].trap = Some(kind);
+            if let Some(slot) = self.rob.slot(seq) {
+                self.rob.trap[slot] = Some(kind);
             }
         }
         self.stats.events.lsq_searches += 1;
         // A younger load that already executed reading this address
-        // got stale data. The load queue is ascending, so the first
+        // got stale data. The load ring is ascending, so the first
         // match is the oldest victim.
-        let mut victim: Option<(u64, u32)> = None;
-        for e in &self.lsq.loads {
-            if e.seq <= seq {
-                continue;
-            }
-            if e.addr.is_some_and(|la| Self::overlap(addr, width, la, e.width))
-                // A load that forwarded from a store *younger* than
-                // this one already read the correct, newer value.
-                && e.fwd_src.is_none_or(|fs| fs < seq)
-            {
-                victim = Some((e.seq, e.pc));
-                break;
-            }
-        }
-        if let Some((load_seq, load_pc)) = victim {
+        if let Some((load_seq, load_pc)) = self.lsq.loads.find_violation_victim(seq, addr, width) {
             // Only an actual executed load matters; it re-executes.
             self.violation_log.push((load_pc, uop.pc));
             self.stats.memory_violations += 1;
@@ -1115,9 +885,7 @@ impl Core {
     /// Records a store's data once its value operand is ready.
     fn record_store_data(&mut self, seq: u64, uop: &UOp) {
         let data = self.src_value(uop.srcs[1]);
-        if let Some(e) = self.lsq.find_mut(true, seq) {
-            e.data = Some(data);
-        }
+        self.lsq.stores.set_data(seq, data);
     }
 
     // -- recovery ----------------------------------------------------
@@ -1126,25 +894,26 @@ impl Core {
     /// from `new_pc`. This is the mechanism whose cost separates the
     /// two machines.
     fn recover(&mut self, boundary_seq: u64, new_pc: u32, ras_cp: Option<RasCheckpoint>) {
-        let front_seq = self.rob.front().map(|e| e.seq).unwrap_or(boundary_seq + 1);
+        let front_seq = self.rob.front_seq().unwrap_or(boundary_seq + 1);
         let keep = ((boundary_seq + 1).saturating_sub(front_seq) as usize).min(self.rob.len());
         let n = (self.rob.len() - keep) as u64;
         self.stats.squashed += n;
+        let squash_begin = front_seq + keep as u64;
+        let squash_end = front_seq + self.rob.len() as u64;
         // The squashed tail is walked in place — no copies — and then
         // truncated away. Wakeup subscriptions of squashed entries are
         // deliberately NOT unhooked: a stale waiter is dead weight in
-        // its list until the tag's next completion drains it, and
-        // `wake` rejects it by dispatch uid (uids are never reused,
-        // unlike sequence numbers).
+        // its list until the tag's next completion drains it, and the
+        // ROB rejects it by slot generation (truncation invalidates
+        // the generations of the squashed range).
         match self.cfg.isa {
             IsaKind::Ss => {
                 // Walk the squashed entries from the tail, restoring
                 // previous mappings and refreeing destinations.
-                for e in self.rob.range(keep..).rev() {
+                for s in (squash_begin..squash_end).rev() {
                     self.stats.events.rob_walk_reads += 1;
-                    if let (Some(l), Some(prev), Some(d)) =
-                        (e.uop.logical_dst, e.uop.prev_phys, e.uop.dst)
-                    {
+                    let u = &self.rob.uop[self.rob.slot_of(s)];
+                    if let (Some(l), Some(prev), Some(d)) = (u.logical_dst, u.prev_phys, u.dst) {
                         self.rmt_state.rmt[l as usize] = prev;
                         self.rmt_state.freelist.push_back(d);
                         self.stats.events.freelist_ops += 1;
@@ -1160,14 +929,16 @@ impl Core {
             }
             IsaKind::Straight => {
                 // One ROB-entry read restores RP and SP (Figure 4).
-                let restore = match self.rob.get(keep.wrapping_sub(1)) {
-                    Some(e) => RpState { rp: e.uop.rp_after, sp: e.uop.sp_after },
-                    None => self.arch_rp,
+                let restore = if keep > 0 {
+                    let u = &self.rob.uop[self.rob.slot_of(squash_begin - 1)];
+                    RpState { rp: u.rp_after, sp: u.sp_after }
+                } else {
+                    self.arch_rp
                 };
                 self.rp_state = restore;
-                for e in self.rob.range(keep..) {
-                    if let Some(d) = e.uop.dst {
-                        self.prf_ready[d as usize] = true;
+                for s in squash_begin..squash_end {
+                    if let Some(d) = self.rob.uop[self.rob.slot_of(s)].dst {
+                        self.prf_ready.set(d as usize);
                     }
                 }
                 let stall = u64::from(!self.cfg.ideal_recovery);
@@ -1179,12 +950,21 @@ impl Core {
         // are reused, keeping ROB sequence numbers contiguous.
         self.next_seq = boundary_seq + 1;
         // Squashed entries still holding scheduler slots give them
-        // back.
-        self.sched.occupancy -= self.rob.range(keep..).filter(|e| e.in_iq).count();
+        // back, and their ready bits are cleared before the slots can
+        // be recycled.
+        for s in squash_begin..squash_end {
+            let slot = self.rob.slot_of(s);
+            if self.rob.in_iq.get(slot) {
+                self.sched.occupancy -= 1;
+            }
+            self.sched.ready.clear(slot);
+        }
         self.rob.truncate(keep);
-        let keep_ready = self.sched.ready.partition_point(|&s| s <= boundary_seq);
-        self.sched.ready.truncate(keep_ready);
-        self.inflight.retain(|f| f.0 .0.seq <= boundary_seq);
+        // Squashed in-flight completions are NOT removed from the
+        // timing wheel: their events stay filed and are rejected at
+        // drain time by the generation check (truncate invalidated
+        // the squashed generations), so recovery stays O(squashed)
+        // instead of O(inflight).
         self.lsq.squash_younger(boundary_seq);
         self.front_q.clear();
         self.bp.recover();
@@ -1206,7 +986,7 @@ impl Core {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            let Some(front) = self.front_q.front().cloned() else { return };
+            let Some(&front) = self.front_q.front() else { return };
             if front.ready_at > self.cycle {
                 return;
             }
@@ -1285,7 +1065,7 @@ impl Core {
             self.front_q.pop_front();
             self.stats.events.decoded += 1;
             if let Some(d) = uop.dst {
-                self.prf_ready[d as usize] = false;
+                self.prf_ready.clear(d as usize);
             }
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -1293,57 +1073,43 @@ impl Core {
             self.next_uid += 1;
             let goes_to_iq = !(uop.is_sys() || uop.is_halt() || uop.is_trap());
             if uop.is_load() || uop.is_store() {
-                self.lsq.push(LsqEntry {
-                    seq,
-                    is_store: uop.is_store(),
-                    pc: uop.pc,
-                    width: match uop.func {
-                        FuncOp::Load { width, .. } | FuncOp::Store { width, .. } => width,
-                        _ => MemWidth::W,
-                    },
-                    addr: None,
-                    data: None,
-                    speculative: false,
-                    fwd_src: None,
-                });
+                let width = match uop.func {
+                    FuncOp::Load { width, .. } | FuncOp::Store { width, .. } => width,
+                    _ => MemWidth::W,
+                };
+                if uop.is_store() {
+                    self.lsq.stores.push_back(seq, uop.pc, width);
+                } else {
+                    self.lsq.loads.push_back(seq, uop.pc, width);
+                }
             }
+            let slot = self.rob.push(seq, uid, uop);
+            self.rob.predicted_next[slot] = front.predicted_next;
+            self.rob.pred_taken[slot] = front.pred_taken;
+            self.rob.ras_cp[slot] = front.ras_cp;
             // Subscribe to the wakeup list of each not-yet-ready
-            // source; an entry with none goes straight to the ready
-            // queue. Stores watch their base operand only — the split
-            // AGU lets the address issue before the data is ready, and
-            // the data tag is picked up at that point.
+            // source; an entry with none gets its ready bit set
+            // immediately. Stores watch their base operand only — the
+            // split AGU lets the address issue before the data is
+            // ready, and the data tag is picked up at that point.
             let mut pending = 0u8;
             if goes_to_iq {
                 let watched: &[Option<u16>] =
                     if uop.is_store() { &uop.srcs[..1] } else { &uop.srcs[..] };
                 for &p in watched.iter().flatten() {
-                    if !self.prf_ready[p as usize] {
-                        self.sched.wakeup[p as usize].push(Waiter { seq, uid });
+                    if !self.prf_ready.get(p as usize) {
+                        self.sched.wakeup[p as usize].push(SlotHandle { slot: slot as u32, gen: uid });
                         pending += 1;
                     }
                 }
                 if pending == 0 {
-                    // Dispatch appends in ascending seq order; a
-                    // reused seq was truncated out at recovery, so a
-                    // plain push keeps the ready queue sorted.
-                    self.sched.ready.push(seq);
+                    self.sched.ready.set(slot);
                 }
                 self.sched.occupancy += 1;
                 self.stats.events.iq_inserts += 1;
+                self.rob.in_iq.set(slot);
             }
-            self.rob.push_back(RobEntry {
-                seq,
-                uop,
-                state: RState::Waiting,
-                predicted_next: front.predicted_next,
-                pred_taken: front.pred_taken,
-                actual_taken: false,
-                ras_cp: front.ras_cp,
-                trap: None,
-                uid,
-                pending,
-                in_iq: goes_to_iq,
-            });
+            self.rob.pending[slot] = pending;
             self.stats.events.rob_writes += 1;
         }
     }
@@ -1376,18 +1142,20 @@ impl Core {
             // word enters the pipe as a fault entry; fetch then parks
             // until a recovery redirects it (on the correct path the
             // fault commits and ends the simulation).
-            let raw = if pc < self.image.code_base || !pc.is_multiple_of(4) {
-                RawInst::Fault(TrapKind::FetchFault)
+            let (raw, info) = if pc < self.image.code_base || !pc.is_multiple_of(4) {
+                (RawInst::Fault(TrapKind::FetchFault), ControlInfo::None)
             } else {
                 let idx = ((pc - self.image.code_base) / 4) as usize;
-                self.predecoded
-                    .get(idx)
-                    .copied()
-                    .unwrap_or(RawInst::Fault(TrapKind::FetchFault))
+                match self.predecoded.get(idx) {
+                    // `control` is precomputed in lockstep with
+                    // `predecoded` (faults classify as None).
+                    Some(&r) => (r, self.control[idx]),
+                    None => (RawInst::Fault(TrapKind::FetchFault), ControlInfo::None),
+                }
             };
             let faulted = matches!(raw, RawInst::Fault(_));
             let ras_cp = self.ras.checkpoint();
-            let (predicted_next, pred_taken) = match raw.control_info(pc) {
+            let (predicted_next, pred_taken) = match info {
                 ControlInfo::None => (pc.wrapping_add(4), false),
                 ControlInfo::CondBranch { target } => {
                     let mut taken = self.bp.predict(pc);
@@ -1450,6 +1218,67 @@ impl Core {
         self.faults_applied
     }
 
+    /// True when the hazard sanitizer's shadow emulator exists. It is
+    /// built lazily at the first retirement with `cfg.sanitizer` set,
+    /// so default runs never clone the image into a shadow emulator.
+    #[must_use]
+    pub fn shadow_allocated(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Rewinds the core to its post-construction state, reusing the
+    /// slab and register-file allocations: memory is reloaded from the
+    /// image, predictors and caches are rebuilt, and every pipeline
+    /// structure is emptied. A subsequent run is bit-identical to a
+    /// fresh [`Core::new`] run of the same image and configuration.
+    pub fn reset(&mut self) {
+        self.mem.fill(0);
+        self.image.load_into(&mut self.mem);
+        self.hier = Hierarchy::new(self.cfg.hierarchy);
+        self.bp = build(self.cfg.predictor);
+        self.ras = Ras::new();
+        self.memdep = StoreSets::new();
+        self.prf.fill(0);
+        self.rmt_state = RmtState::new(self.cfg.phys_regs);
+        self.prf[self.rmt_state.rmt[2] as usize] = STACK_TOP;
+        self.rmt_state.freelist.make_contiguous();
+        for p in 0..self.prf.len() {
+            self.prf_ready.set(p);
+        }
+        self.rp_state = RpState { rp: 0, sp: STACK_TOP };
+        self.arch_rp = RpState { rp: 0, sp: STACK_TOP };
+        self.rob.clear();
+        self.sched.clear();
+        self.inflight.clear();
+        self.due_scratch.clear();
+        self.lsq.clear();
+        self.front_q.clear();
+        self.next_seq = 0;
+        self.next_uid = 0;
+        self.fetch_pc = self.image.entry;
+        self.fetch_stall_until = 0;
+        self.fetch_faulted = false;
+        self.rename_stall_until = 0;
+        self.div_busy_until.fill(0);
+        self.cycle = 0;
+        self.last_commit_cycle = 0;
+        self.sys = SysState::default();
+        self.stats = SimStats::default();
+        self.halted = None;
+        self.fatal = None;
+        self.watchdog_report = None;
+        self.shadow = None;
+        self.shadow_done = false;
+        self.pending_faults.clear();
+        self.faults_applied = 0;
+        self.force_flip_branch = false;
+        self.violation_log.clear();
+        #[cfg(feature = "stage-profile")]
+        {
+            self.stage_ns = [0; 5];
+        }
+    }
+
     fn apply_due_faults(&mut self) {
         if self.pending_faults.is_empty() {
             return;
@@ -1486,19 +1315,20 @@ impl Core {
 
     fn watchdog_fire(&mut self) {
         let stalled = self.cycle - self.last_commit_cycle;
-        let head = self.rob.front();
+        let head = (!self.rob.is_empty()).then(|| {
+            let hs = self.rob.head_slot();
+            let state = match self.rob.state[hs] {
+                RState::Waiting => "waiting",
+                RState::Issued => "issued",
+                RState::Done => "done",
+            };
+            (self.rob.seq[hs], self.rob.uop[hs].pc, state)
+        });
         let report = WatchdogReport {
             stalled_cycles: stalled,
             cycle: self.cycle,
             retired: self.stats.retired,
-            rob_head: head.map(|e| {
-                let state = match e.state {
-                    RState::Waiting => "waiting",
-                    RState::Issued => "issued",
-                    RState::Done => "done",
-                };
-                (e.seq, e.uop.pc, state)
-            }),
+            rob_head: head,
             rob_len: self.rob.len(),
             iq_len: self.sched.occupancy,
             inflight_len: self.inflight.len(),
@@ -1508,7 +1338,7 @@ impl Core {
             fetch_stall_until: self.fetch_stall_until,
             rename_stall_until: self.rename_stall_until,
         };
-        let pc = head.map_or(self.fetch_pc, |e| e.uop.pc);
+        let pc = head.map_or(self.fetch_pc, |(_, pc, _)| pc);
         self.watchdog_report = Some(report);
         self.raise(TrapKind::Watchdog { stalled_cycles: stalled }, pc);
     }
@@ -1518,14 +1348,16 @@ impl Core {
     /// One-line state summary for debugging stalls.
     #[must_use]
     pub fn debug_snapshot(&self) -> String {
-        let head = self.rob.front().map(|e| {
+        let head = (!self.rob.is_empty()).then(|| {
+            let hs = self.rob.head_slot();
+            let uop = self.rob.uop[hs];
             format!(
                 "head seq={} pc={:#x} {:?} state={:?} srcs_ready={}",
-                e.seq,
-                e.uop.pc,
-                e.uop.func,
-                e.state,
-                self.srcs_ready(&e.uop)
+                self.rob.seq[hs],
+                uop.pc,
+                uop.func,
+                self.rob.state[hs],
+                self.srcs_ready(&uop)
             )
         });
         format!(
@@ -1650,25 +1482,3 @@ pub fn simulate(image: Image, cfg: MachineConfig, max_cycles: u64) -> Result<Sim
     Ok(Core::new(image, cfg)?.run(max_cycles))
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn overlap_at_top_of_address_space_does_not_wrap() {
-        // Regression test: the interval ends were computed with
-        // `u32::wrapping_add`, so an access touching `0xffff_ffff`
-        // wrapped its end to ~0 and overlapped nothing. Such
-        // addresses are reachable on the wrong path (wild speculative
-        // stores), where the LSQ still must see the conflict.
-        assert!(Core::overlap(0xffff_fffe, MemWidth::W, 0xffff_ffff, MemWidth::B));
-        assert!(Core::overlap(0xffff_ffff, MemWidth::B, 0xffff_fffc, MemWidth::W));
-        assert!(Core::overlap(0xffff_ffff, MemWidth::B, 0xffff_ffff, MemWidth::B));
-        // Adjacent but disjoint accesses still do not overlap.
-        assert!(!Core::overlap(0xffff_fff8, MemWidth::W, 0xffff_fffc, MemWidth::W));
-        assert!(!Core::overlap(0xffff_fffc, MemWidth::W, 0x0000_0000, MemWidth::W));
-        // And the everyday cases are unchanged.
-        assert!(Core::overlap(0x100, MemWidth::W, 0x102, MemWidth::H));
-        assert!(!Core::overlap(0x100, MemWidth::W, 0x104, MemWidth::W));
-    }
-}

@@ -4,8 +4,13 @@
 
 mod config;
 mod core;
+mod lsq;
+mod rob;
+mod sched;
+mod slab;
 mod stats;
 mod uop;
+mod wheel;
 
 pub use config::{IsaKind, MachineConfig, UnitCfg};
 pub use core::{simulate, Core, CoreError, DEFAULT_MAX_CYCLES};

@@ -1,0 +1,184 @@
+//! Slab primitives for the data-oriented pipeline core: generational
+//! slot handles and packed slot bitsets.
+//!
+//! The ROB and LSQ are structure-of-arrays ring slabs (see [`super::rob`]
+//! and [`super::lsq`]); structures that need to refer to an individual
+//! in-flight instruction *across* cycles (the scheduler's wakeup lists)
+//! do so through a [`SlotHandle`]: a slot index plus the generation the
+//! slab stamped on that slot when the entry was pushed. Slots are
+//! recycled aggressively (sequence numbers rewind on recovery), so a
+//! handle is only honoured when its generation still matches — a stale
+//! handle to a squashed-and-reused slot is rejected instead of touching
+//! the wrong instruction.
+
+/// A generational reference to a slab slot.
+///
+/// `gen` is the dispatch identity (`uid`) of the entry the handle was
+/// created for; uids are never reused, so `gen` equality identifies
+/// "the same dynamic instruction" even though `slot` indices and
+/// sequence numbers are both recycled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotHandle {
+    /// Physical slot index in the slab.
+    pub slot: u32,
+    /// Generation stamped on the slot when this handle was issued.
+    pub gen: u64,
+}
+
+/// A packed bitset over slab slots.
+///
+/// Backs the scheduler's ready set (one bit per ROB slot) and supports
+/// the age-ordered select walk: set bits are enumerated in *ring*
+/// order starting from the ROB head slot, which — because ROB sequence
+/// numbers are contiguous and slots are `seq mod capacity` — is
+/// exactly ascending age. Scanning packed words with
+/// `trailing_zeros`/`w &= w - 1` replaces the old sorted-`Vec`
+/// insert/remove (each an `O(n)` memmove) with `O(1)` bit flips.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotBits {
+    words: Box<[u64]>,
+}
+
+impl SlotBits {
+    /// An empty bitset covering `cap` slots (rounded up to whole
+    /// 64-bit words).
+    pub fn new(cap: usize) -> SlotBits {
+        SlotBits { words: vec![0u64; cap.div_ceil(64).max(1)].into_boxed_slice() }
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// True when no bit is set.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Appends every set slot to `out` in ring order starting at
+    /// `start`: `start, start+1, …, cap-1, 0, …, start-1`. With
+    /// `start` = the ROB head slot this is ascending sequence-number
+    /// (age) order — the select order the scheduler contract requires.
+    pub fn collect_ring_order(&self, start: usize, out: &mut Vec<u32>) {
+        let nwords = self.words.len();
+        let sw = start / 64;
+        let sb = start % 64;
+        // Segment [start, cap): the first word keeps only bits >= sb.
+        let mut w = self.words[sw] & (u64::MAX << sb);
+        let mut wi = sw;
+        loop {
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push((wi * 64 + b) as u32);
+                w &= w - 1;
+            }
+            wi += 1;
+            if wi == nwords {
+                break;
+            }
+            w = self.words[wi];
+        }
+        // Segment [0, start): whole words below sw, then the partial
+        // word keeping only bits < sb.
+        for (i, &word) in self.words.iter().enumerate().take(sw) {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push((i * 64 + b) as u32);
+                w &= w - 1;
+            }
+        }
+        if sb != 0 {
+            let mut w = self.words[sw] & !(u64::MAX << sb);
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push((sw * 64 + b) as u32);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_get() {
+        let mut b = SlotBits::new(200);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(199));
+        assert!(!b.get(1) && !b.get(198));
+        b.clear(63);
+        assert!(!b.get(63));
+        assert!(!b.is_empty());
+        b.clear_all();
+        assert!(b.is_empty());
+    }
+
+    fn collected(bits: &SlotBits, start: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        bits.collect_ring_order(start, &mut out);
+        out
+    }
+
+    #[test]
+    fn ring_order_from_zero_is_ascending() {
+        let mut b = SlotBits::new(256);
+        for i in [3usize, 64, 65, 130, 255] {
+            b.set(i);
+        }
+        assert_eq!(collected(&b, 0), vec![3, 64, 65, 130, 255]);
+    }
+
+    #[test]
+    fn ring_order_wraps_at_start() {
+        let mut b = SlotBits::new(128);
+        for i in [2usize, 63, 70, 100] {
+            b.set(i);
+        }
+        // Start inside the set: everything >= 70 first, then the wrap.
+        assert_eq!(collected(&b, 70), vec![70, 100, 2, 63]);
+        // Start on a word boundary.
+        assert_eq!(collected(&b, 64), vec![70, 100, 2, 63]);
+        // Start just past a set bit excludes it until the wrap.
+        assert_eq!(collected(&b, 71), vec![100, 2, 63, 70]);
+    }
+
+    #[test]
+    fn ring_order_exhaustive_small() {
+        // Cross-check the word-scanning walk against a naive loop for
+        // every start position over a fixed pattern.
+        let cap = 192;
+        let mut b = SlotBits::new(cap);
+        for i in (0..cap).filter(|i| i % 7 == 0 || i % 31 == 3) {
+            b.set(i);
+        }
+        for start in 0..cap {
+            let naive: Vec<u32> =
+                (0..cap).map(|k| ((start + k) % cap) as u32).filter(|&s| b.get(s as usize)).collect();
+            assert_eq!(collected(&b, start), naive, "start={start}");
+        }
+    }
+}

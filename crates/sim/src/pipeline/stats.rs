@@ -119,6 +119,17 @@ impl SimStats {
         self.retired += 1;
     }
 
+    /// Bumps a retired-kind counter by its [`KIND_NAMES`] index — the
+    /// pipeline's hot path, which carries the category pre-encoded as
+    /// an index (the crate-internal `kind_idx` constants) instead of a
+    /// string.
+    #[inline]
+    pub fn bump_kind_idx(&mut self, idx: u8) {
+        debug_assert!((idx as usize) < KIND_NAMES.len(), "kind index out of range");
+        self.retired_kinds[idx as usize] += 1;
+        self.retired += 1;
+    }
+
     /// The retired count for one [`KIND_NAMES`] category.
     #[must_use]
     pub fn kind_count(&self, name: &str) -> u64 {
@@ -149,6 +160,25 @@ fn kind_slot(kind: &str) -> usize {
 /// these `&'static str`s, so deserialization interns incoming keys
 /// against this list.
 pub const KIND_NAMES: [&str; 7] = ["jump+branch", "alu", "ld", "st", "rmov", "nop", "other"];
+
+/// [`KIND_NAMES`] indices, for code that carries a category as a
+/// compact `u8` (the `UOp::kind` encoding) rather than a string.
+pub(crate) mod kind_idx {
+    /// `"jump+branch"`.
+    pub const JUMP_BRANCH: u8 = 0;
+    /// `"alu"`.
+    pub const ALU: u8 = 1;
+    /// `"ld"`.
+    pub const LD: u8 = 2;
+    /// `"st"`.
+    pub const ST: u8 = 3;
+    /// `"rmov"`.
+    pub const RMOV: u8 = 4;
+    /// `"nop"`.
+    pub const NOP: u8 = 5;
+    /// `"other"`.
+    pub const OTHER: u8 = 6;
+}
 
 /// Interns a category name against [`KIND_NAMES`].
 #[must_use]
@@ -339,6 +369,25 @@ mod tests {
         // The one-byte dispatch must stay in lockstep with KIND_NAMES.
         for (i, name) in KIND_NAMES.iter().enumerate() {
             assert_eq!(kind_slot(name), i, "kind {name} maps to the wrong slot");
+        }
+    }
+
+    #[test]
+    fn kind_idx_constants_match_names() {
+        // The compact `u8` encoding must stay in lockstep with
+        // KIND_NAMES too.
+        let pairs = [
+            (kind_idx::JUMP_BRANCH, "jump+branch"),
+            (kind_idx::ALU, "alu"),
+            (kind_idx::LD, "ld"),
+            (kind_idx::ST, "st"),
+            (kind_idx::RMOV, "rmov"),
+            (kind_idx::NOP, "nop"),
+            (kind_idx::OTHER, "other"),
+        ];
+        assert_eq!(pairs.len(), KIND_NAMES.len());
+        for (idx, name) in pairs {
+            assert_eq!(KIND_NAMES[idx as usize], name);
         }
     }
 

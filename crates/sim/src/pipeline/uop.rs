@@ -9,6 +9,8 @@ use std::collections::VecDeque;
 use straight_isa::{AluImmOp, AluOp, Dist, Inst, InstKind, MemWidth, TrapKind};
 use straight_riscv::{BranchOp, Reg, RvInst};
 
+use super::stats::kind_idx;
+
 /// A raw fetched instruction of either ISA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RawInst {
@@ -194,7 +196,11 @@ pub enum ExecUnit {
 }
 
 /// A renamed micro-op.
-#[derive(Debug, Clone)]
+///
+/// All fields are plain values (`Copy`): the data-oriented ROB stores
+/// uops in a flat column and the pipeline stages copy one out when
+/// they need it, instead of cloning through a heap indirection.
+#[derive(Debug, Clone, Copy)]
 pub struct UOp {
     /// Instruction PC.
     pub pc: u32,
@@ -208,8 +214,11 @@ pub struct UOp {
     pub srcs: [Option<u16>; 2],
     /// Physical destination.
     pub dst: Option<u16>,
-    /// Figure 15 category.
-    pub kind: &'static str,
+    /// Figure 15 category, encoded as an index into
+    /// [`KIND_NAMES`](crate::pipeline::KIND_NAMES). A compact `u8`
+    /// instead of a `&'static str` keeps the micro-op small — uops are
+    /// copied by value between the ROB columns and the pipeline stages.
+    pub kind: u8,
     /// SS: architectural destination register.
     pub logical_dst: Option<u8>,
     /// SS: previous mapping of `logical_dst` (for walk recovery and
@@ -277,7 +286,7 @@ impl UOp {
             latency: 1,
             srcs: [None, None],
             dst: None,
-            kind: "other",
+            kind: kind_idx::OTHER,
             logical_dst: None,
             prev_phys: None,
             rp_after,
@@ -316,17 +325,22 @@ pub fn rename_straight(inst: Inst, pc: u32, st: &mut RpState, phys: u32) -> UOp 
         if d.is_zero() {
             None
         } else {
-            Some(((rp + phys - u32::from(d.get())) % phys) as u16)
+            // `rp < phys` and `1 <= d <= phys` (distance bounding plus
+            // the config invariant `phys >= max_distance`), so the sum
+            // is in `[rp, rp + phys)` and one conditional subtract is
+            // the exact modulo — no hardware divide in the rename loop.
+            let x = rp + phys - u32::from(d.get());
+            Some(if x >= phys { x - phys } else { x } as u16)
         }
     };
     let kind = match inst.kind() {
-        InstKind::JumpBranch => "jump+branch",
-        InstKind::Alu => "alu",
-        InstKind::Ld => "ld",
-        InstKind::St => "st",
-        InstKind::Rmov => "rmov",
-        InstKind::Nop => "nop",
-        InstKind::Other => "other",
+        InstKind::JumpBranch => kind_idx::JUMP_BRANCH,
+        InstKind::Alu => kind_idx::ALU,
+        InstKind::Ld => kind_idx::LD,
+        InstKind::St => kind_idx::ST,
+        InstKind::Rmov => kind_idx::RMOV,
+        InstKind::Nop => kind_idx::NOP,
+        InstKind::Other => kind_idx::OTHER,
     };
     let (func, unit, latency, srcs): (FuncOp, ExecUnit, u32, [Option<u16>; 2]) = match inst {
         Inst::Nop => (FuncOp::Nop, ExecUnit::Alu, 1, [None, None]),
@@ -383,7 +397,7 @@ pub fn rename_straight(inst: Inst, pc: u32, st: &mut RpState, phys: u32) -> UOp 
         Inst::Sys { code, s } => (FuncOp::Sys { code: Some(code) }, ExecUnit::Alu, 1, [src(s), None]),
     };
     let dst = Some(rp as u16);
-    st.rp = (rp + 1) % phys;
+    st.rp = if rp + 1 == phys { 0 } else { rp + 1 };
     UOp {
         pc,
         func,
@@ -425,11 +439,11 @@ impl RmtState {
 #[must_use]
 pub fn rename_riscv(inst: RvInst, pc: u32, st: &mut RmtState) -> Option<UOp> {
     let kind = match inst {
-        RvInst::Jal { .. } | RvInst::Jalr { .. } | RvInst::Branch { .. } => "jump+branch",
-        RvInst::Load { .. } => "ld",
-        RvInst::Store { .. } => "st",
-        RvInst::Ecall | RvInst::Ebreak => "other",
-        _ => "alu",
+        RvInst::Jal { .. } | RvInst::Jalr { .. } | RvInst::Branch { .. } => kind_idx::JUMP_BRANCH,
+        RvInst::Load { .. } => kind_idx::LD,
+        RvInst::Store { .. } => kind_idx::ST,
+        RvInst::Ecall | RvInst::Ebreak => kind_idx::OTHER,
+        _ => kind_idx::ALU,
     };
     let src = |st: &RmtState, r: Reg| -> Option<u16> {
         if r.is_zero() {

@@ -1,0 +1,184 @@
+//! The completion timing wheel: in-flight (issued, not yet completed)
+//! operations filed by completion cycle.
+//!
+//! Every modeled latency is small and bounded — the worst case is the
+//! full miss path (L1 + L2 + L3 + memory, ≈260 cycles) — so a ring of
+//! [`WHEEL_SLOTS`] buckets indexed by `done_at mod WHEEL_SLOTS` holds
+//! every event less than one lap out, and the writeback stage drains
+//! exactly one bucket per cycle in O(due) with no comparisons. This
+//! replaces a `BinaryHeap` ordered by `(done_at, seq)`: the heap paid
+//! `O(log n)` sift per push/pop and, worse, an `O(n)` rebuild on every
+//! recovery to drop squashed entries. The wheel never removes on
+//! recovery at all — squashed events stay in their buckets and are
+//! rejected at drain time by the ROB's generation check (the same
+//! staleness protocol the scheduler's wakeup handles use), which is
+//! cheaper than eagerly filtering and keeps recovery O(squashed).
+
+/// Where a completing load takes its value from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LoadSrc {
+    /// Read functional memory at completion.
+    Mem,
+    /// Forwarded from an in-flight store.
+    Fwd(u32),
+}
+
+/// One in-flight operation, filed under its completion cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Inflight {
+    /// ROB sequence number (reused across recoveries).
+    pub seq: u64,
+    /// Dispatch identity of the issuing instruction. Sequence numbers
+    /// rewind on recovery, so a drained event only completes the ROB
+    /// entry whose generation still matches — a stale event for a
+    /// squashed-and-reissued sequence number is dropped.
+    pub uid: u64,
+    /// Cycle the operation's result is available.
+    pub done_at: u64,
+    /// Load value source (`None` for non-loads).
+    pub load_src: Option<LoadSrc>,
+}
+
+/// Bucket count; must exceed the largest modeled completion latency
+/// (the full miss path is ≈260 cycles) and be a power of two.
+const WHEEL_SLOTS: usize = 512;
+
+/// The timing wheel itself.
+#[derive(Debug)]
+pub(crate) struct CompletionWheel {
+    /// `buckets[done_at % WHEEL_SLOTS]`, drained once per cycle.
+    buckets: Vec<Vec<Inflight>>,
+    /// Events scheduled a full lap or more ahead (none of the modeled
+    /// latencies reach this; kept so an oversized latency is merely
+    /// slow instead of wrong).
+    overflow: Vec<Inflight>,
+    /// Live event count, *including* squashed events not yet drained
+    /// (diagnostics only — the watchdog report and debug snapshots).
+    len: usize,
+}
+
+impl CompletionWheel {
+    /// An empty wheel.
+    pub fn new() -> CompletionWheel {
+        CompletionWheel {
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of undrained events (squashed-but-undrained included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Files an event. `now` is the current cycle; `ev.done_at` must
+    /// be in the future (issue always schedules at least one cycle of
+    /// latency).
+    #[inline]
+    pub fn push(&mut self, now: u64, ev: Inflight) {
+        debug_assert!(ev.done_at > now);
+        self.len += 1;
+        if (ev.done_at - now) as usize >= WHEEL_SLOTS {
+            self.overflow.push(ev);
+        } else {
+            self.buckets[(ev.done_at as usize) & (WHEEL_SLOTS - 1)].push(ev);
+        }
+    }
+
+    /// Drains every event due at `now` into `out` (order unspecified —
+    /// the writeback stage sorts by sequence number). Must be called
+    /// for every cycle value exactly once, which the in-order `step()`
+    /// loop guarantees.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Inflight>) {
+        let bucket = &mut self.buckets[(now as usize) & (WHEEL_SLOTS - 1)];
+        self.len -= bucket.len();
+        out.append(bucket);
+        if !self.overflow.is_empty() {
+            let mut i = 0;
+            while i < self.overflow.len() {
+                if self.overflow[i].done_at <= now {
+                    out.push(self.overflow.swap_remove(i));
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every event (core reset, or the `LoseCompletion` injected
+    /// fault). Bucket allocations are kept.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, done_at: u64) -> Inflight {
+        Inflight { seq, uid: seq, done_at, load_src: None }
+    }
+
+    fn drain(w: &mut CompletionWheel, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        w.drain_due(now, &mut out);
+        let mut seqs: Vec<u64> = out.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    #[test]
+    fn events_fire_exactly_at_their_cycle() {
+        let mut w = CompletionWheel::new();
+        w.push(10, ev(1, 11));
+        w.push(10, ev(2, 13));
+        w.push(10, ev(3, 11));
+        assert_eq!(w.len(), 3);
+        assert_eq!(drain(&mut w, 11), vec![1, 3]);
+        assert_eq!(drain(&mut w, 12), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, 13), vec![2]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn wrap_around_keeps_laps_separate() {
+        let mut w = CompletionWheel::new();
+        // Two events one lap apart in wheel position but pushed at
+        // times where each lands within its own horizon.
+        w.push(0, ev(1, 5));
+        assert_eq!(drain(&mut w, 5), vec![1]);
+        let later = 5 + WHEEL_SLOTS as u64;
+        w.push(later - 3, ev(2, later));
+        assert_eq!(drain(&mut w, later), vec![2]);
+    }
+
+    #[test]
+    fn overflow_horizon_still_fires() {
+        let mut w = CompletionWheel::new();
+        let far = 10 + WHEEL_SLOTS as u64 * 2;
+        w.push(10, ev(7, far));
+        assert_eq!(w.len(), 1);
+        // Nothing fires while the event is beyond the horizon.
+        assert_eq!(drain(&mut w, far - 1), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, far), vec![7]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut w = CompletionWheel::new();
+        w.push(0, ev(1, 3));
+        w.push(0, ev(2, 1000));
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(drain(&mut w, 3), Vec::<u64>::new());
+    }
+}

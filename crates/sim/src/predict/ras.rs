@@ -14,7 +14,11 @@ pub struct Ras {
 }
 
 /// A checkpoint of the RAS state taken at prediction time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Default` is the checkpoint of a freshly constructed [`Ras`]
+/// (empty stack), used to pre-fill the data-oriented ROB's checkpoint
+/// column before any entry is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RasCheckpoint {
     top: usize,
     value: u32,

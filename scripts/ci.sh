@@ -42,6 +42,18 @@ for c in cells:
 print(f"throughput fields OK on {len(piped)} pipeline cells")
 EOF
 
+# Golden-record gate: a live --quick fig11 run (git rev pinned) must be
+# byte-identical, after --normalize, to the committed golden record.
+# Any accidental change to simulated behaviour fails here; intentional
+# changes must regenerate the record (tests/golden/README.md).
+STRAIGHT_GIT_REV=golden target/release/straight-lab --figure fig11 --quick \
+    --quiet --out "$SMOKE_DIR/golden-live"
+target/release/straight-lab --normalize tests/golden/BENCH_fig11_quick.json \
+    > "$SMOKE_DIR/golden.norm"
+target/release/straight-lab --normalize "$SMOKE_DIR/golden-live/BENCH_fig11.json" \
+    > "$SMOKE_DIR/golden-live.norm"
+cmp "$SMOKE_DIR/golden.norm" "$SMOKE_DIR/golden-live.norm"
+
 # Daemon smoke: start straightd on a Unix socket, run the same figure
 # through `straight-lab --remote`, and require the fetched record to be
 # byte-identical (after normalization) to the in-process one above.

@@ -4,12 +4,15 @@
 
 use std::collections::BTreeMap;
 
+use straight_compiler::StraightOptions;
 use straight_core::experiment::{
     CellRecord, ExperimentId, ExperimentResult, RunParams, SCHEMA_VERSION,
 };
 use straight_core::lab::{validate_file, LabRun, LabSession};
 use straight_json::{FromJson, Json, ToJson};
-use straight_sim::pipeline::SimStats;
+use straight_sim::pipeline::{Core, MachineConfig, SimStats};
+use straight_tests::{build_ir, build_riscv, build_straight};
+use straight_workloads::dhrystone;
 
 /// Tiny parameters so pipeline cells finish quickly in debug builds.
 fn tiny_params() -> RunParams {
@@ -201,6 +204,57 @@ fn written_files_validate_and_re_render() {
     std::fs::write(&path, "not json at all").unwrap();
     assert!(validate_file(&path).is_err());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The data-oriented core's slabs/wheel/register files are reused
+/// across runs through [`Core::reset`]: a replay after an in-process
+/// reset must serialize to exactly the same record bytes as the fresh
+/// run (the bit-identity contract DESIGN.md's "Data-oriented core"
+/// section documents).
+#[test]
+fn core_reset_replay_is_byte_identical() {
+    let module = build_ir(&dhrystone(5));
+    let cells: [(straight_asm::Image, MachineConfig); 2] = [
+        (build_straight(&module, &StraightOptions::default()), MachineConfig::straight_4way()),
+        (build_riscv(&module), MachineConfig::ss_4way()),
+    ];
+    for (image, cfg) in cells {
+        let name = cfg.name.clone();
+        let mut core = Core::new(image, cfg).expect("core builds");
+        let fresh = core.run_in_place(50_000_000);
+        assert_eq!(fresh.exit_code, Some(0), "{name}: fresh run completes");
+        core.reset();
+        let replay = core.run_in_place(50_000_000);
+        let a = fresh.stats.to_json().render_pretty();
+        let b = replay.stats.to_json().render_pretty();
+        assert_eq!(a, b, "{name}: reset replay diverged from the fresh run");
+        assert_eq!(fresh.stdout, replay.stdout, "{name}: stdout diverged");
+        assert_eq!(fresh.exit_code, replay.exit_code, "{name}: exit code diverged");
+    }
+}
+
+/// Regression test for the lazily-built sanitizer oracle: a default
+/// (unsanitized) run must never clone the image into a shadow
+/// emulator, while a sanitized run builds it at first retirement.
+#[test]
+fn shadow_emulator_is_only_built_when_sanitizing() {
+    let module = build_ir(&dhrystone(1));
+    let image = build_straight(&module, &StraightOptions::default());
+
+    let mut core =
+        Core::new(image.clone(), MachineConfig::straight_4way()).expect("core builds");
+    let r = core.run_in_place(50_000_000);
+    assert_eq!(r.exit_code, Some(0));
+    assert!(
+        !core.shadow_allocated(),
+        "a default run must not allocate the sanitizer's shadow emulator"
+    );
+
+    let mut core =
+        Core::new(image, MachineConfig::straight_4way().with_sanitizer()).expect("core builds");
+    let r = core.run_in_place(50_000_000);
+    assert_eq!(r.exit_code, Some(0));
+    assert!(core.shadow_allocated(), "a sanitized run builds the shadow oracle");
 }
 
 #[test]
