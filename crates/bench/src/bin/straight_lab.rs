@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use straight_bench::serve::{Client, ClientConfig};
 use straight_core::experiment::{self, ExperimentId, RunParams};
 use straight_core::lab::{default_jobs, validate_file, write_result, LabRun, LabSession};
+use straight_sim::emu::TierConfig;
 
 const USAGE: &str = "\
 straight-lab — unified parallel experiment runner for the STRAIGHT reproduction
@@ -45,6 +46,10 @@ OPTIONS:
     --stats              With --remote: print the daemon's stats JSON and exit
     --jobs N             Worker-thread cap (default: all cores)
     --quick              Reduced iteration counts for smoke runs (dhry 50, cm 1)
+    --emu-tier TIER      Emulator tier for mix cells: interp (default), fast,
+                         or fast-lockstep (fast, cross-checked against the
+                         interpreter every few thousand instructions).
+                         Local runs only; a daemon configures its own session
     --out DIR            Where to write BENCH_<name>.json (default: .)
     --no-write           Render reports without writing JSON records
     --quiet              Suppress the text reports (records still written)
@@ -73,6 +78,7 @@ struct Options {
     no_write: bool,
     quiet: bool,
     profile: bool,
+    emu_tier: TierConfig,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -92,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
         no_write: false,
         quiet: false,
         profile: false,
+        emu_tier: TierConfig::interp(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -134,6 +141,19 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| format!("--jobs: `{value}` is not a positive integer"))?;
             }
             "--quick" => opts.quick = true,
+            "--emu-tier" => {
+                let value = value_for("--emu-tier")?;
+                opts.emu_tier = match value.as_str() {
+                    "interp" => TierConfig::interp(),
+                    "fast" => TierConfig::fast(),
+                    "fast-lockstep" => TierConfig::fast_lockstep(),
+                    other => {
+                        return Err(format!(
+                            "--emu-tier: `{other}` is not interp, fast, or fast-lockstep"
+                        ))
+                    }
+                };
+            }
             "--out" | "-o" => opts.out = PathBuf::from(value_for("--out")?),
             "--no-write" => opts.no_write = true,
             "--quiet" | "-q" => opts.quiet = true,
@@ -277,6 +297,7 @@ fn run_local(opts: &Options, ids: &[ExperimentId], params: RunParams) -> ExitCod
         .jobs(opts.jobs)
         .profile(opts.profile)
         .out_dir((!opts.no_write).then(|| opts.out.clone()))
+        .emu_tier(opts.emu_tier)
         .build()
     {
         Ok(session) => session,

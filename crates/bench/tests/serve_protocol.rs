@@ -157,8 +157,10 @@ fn unknown_experiment_and_cell_errors_list_valid_ids() {
     let valid = response.get("error").and_then(|e| e.get("valid")).unwrap();
     let Json::Arr(valid) = valid else { panic!("`valid` should be an array") };
     let names: Vec<&str> = valid.iter().filter_map(Json::as_str).collect();
-    assert_eq!(names.len(), 9);
-    assert!(names.contains(&"fig11") && names.contains(&"table1"));
+    assert_eq!(names.len(), 10);
+    assert!(
+        names.contains(&"fig11") && names.contains(&"table1") && names.contains(&"sampled")
+    );
 
     let response =
         raw_request(&mut stream, b"{\"op\": \"submit-cell\", \"cell\": \"fig15/Nope/Nope\"}\n");

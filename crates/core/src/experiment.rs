@@ -22,7 +22,8 @@ use std::str::FromStr;
 
 use straight_json::{fnv1a64, obj, read_field, FromJson, Json, JsonError, ToJson};
 use straight_power::figure17;
-use straight_sim::pipeline::{CoreError, MachineConfig, SimResult, SimStats};
+use straight_sim::emu::{EmuExit, ExecBackend, RiscvEmu, StraightEmu, TierConfig};
+use straight_sim::pipeline::{Core, CoreError, MachineConfig, SimExit, SimResult, SimStats};
 use straight_workloads::{coremark, dhrystone};
 
 use crate::report;
@@ -70,11 +71,13 @@ pub enum ExperimentId {
     Sensitivity,
     /// Table I: evaluated machine models.
     Table1,
+    /// Methodology check: checkpoint-sampled simulation vs full runs.
+    Sampled,
 }
 
 impl ExperimentId {
     /// Every experiment of the grid, in run order.
-    pub const ALL: [ExperimentId; 9] = [
+    pub const ALL: [ExperimentId; 10] = [
         ExperimentId::Fig11,
         ExperimentId::Fig12,
         ExperimentId::Fig13,
@@ -84,6 +87,7 @@ impl ExperimentId {
         ExperimentId::Fig17,
         ExperimentId::Sensitivity,
         ExperimentId::Table1,
+        ExperimentId::Sampled,
     ];
 
     /// The grid name (what [`FromStr`] parses and [`std::fmt::Display`]
@@ -100,6 +104,7 @@ impl ExperimentId {
             ExperimentId::Fig17 => "fig17",
             ExperimentId::Sensitivity => "sensitivity",
             ExperimentId::Table1 => "table1",
+            ExperimentId::Sampled => "sampled",
         }
     }
 
@@ -148,6 +153,11 @@ impl ExperimentId {
                 FigureKind::Sensitivity,
             ),
             ExperimentId::Table1 => ("Table I: evaluated models", "Table I", FigureKind::Table),
+            ExperimentId::Sampled => (
+                "Sampled: checkpoint-sampled simulation vs full runs",
+                "Methodology",
+                FigureKind::Sampled,
+            ),
         };
         ExperimentSpec { id: self, title, paper_ref, kind }
     }
@@ -332,6 +342,110 @@ pub(crate) fn run_checked(
     Ok(result)
 }
 
+/// How many evenly spaced checkpoints a sampled cell simulates.
+pub const SAMPLE_COUNT: u64 = 10;
+
+/// Upper bound on the retired instructions each sampled interval
+/// cycle-simulates (intervals shorter than this use their full
+/// length).
+pub const SAMPLE_WINDOW: u64 = 50_000;
+
+/// The numbers a checkpoint-sampled cell records (see
+/// [`CellKind::Sampled`]).
+pub(crate) struct SampledOutcome {
+    /// Extrapolated whole-program cycles (`retired / ipc_est`).
+    pub cycles_est: u64,
+    /// Aggregate IPC over the simulated sample intervals.
+    pub ipc_est: f64,
+    /// Total dynamic instructions of the program (from the emulator
+    /// fast-forward, not an estimate).
+    pub retired: u64,
+    /// Program output, captured by the emulator pass.
+    pub stdout: String,
+}
+
+/// Checkpoint-sampled simulation: one fast-tier emulator pass measures
+/// the dynamic length `N` and the program output; a second pass drops
+/// [`SAMPLE_COUNT`] checkpoints at `k * (N / SAMPLE_COUNT)`; the
+/// cycle-accurate core resumes from each and simulates up to
+/// [`SAMPLE_WINDOW`] retired instructions. Aggregate sample IPC
+/// extrapolates to whole-program cycles.
+pub(crate) fn run_sampled(
+    workload: &str,
+    image: &straight_asm::Image,
+    cfg: MachineConfig,
+    target: Target,
+) -> Result<SampledOutcome, ExperimentError> {
+    match target {
+        Target::Riscv => sample_on(workload, image, cfg, || RiscvEmu::new(image.clone())),
+        _ => sample_on(workload, image, cfg, || StraightEmu::new(image.clone())),
+    }
+}
+
+fn sample_on<E: ExecBackend>(
+    workload: &str,
+    image: &straight_asm::Image,
+    cfg: MachineConfig,
+    mut fresh: impl FnMut() -> E,
+) -> Result<SampledOutcome, ExperimentError> {
+    let abnormal = |exit: String| ExperimentError::Abnormal {
+        workload: workload.to_string(),
+        machine: format!("{} (sampled)", cfg.name),
+        exit,
+    };
+    // Pass 1: the whole program on the fast tier, for its dynamic
+    // length and functional output.
+    let mut full = fresh();
+    let exit = full.run_with(u64::MAX, TierConfig::fast());
+    if !matches!(exit, EmuExit::Done { .. }) {
+        return Err(abnormal(format!("emulator fast-forward: {exit:?}")));
+    }
+    let total = full.executed();
+    let stdout = full.stdout().to_string();
+    let interval = (total / SAMPLE_COUNT).max(1);
+    let window = interval.min(SAMPLE_WINDOW);
+    // Pass 2: checkpoint at each sample point and cycle-simulate a
+    // bounded interval from it.
+    let mut ff = fresh();
+    let mut sampled_retired = 0u64;
+    let mut sampled_cycles = 0u64;
+    for k in 0..SAMPLE_COUNT {
+        if ff.run_with(k * interval, TierConfig::fast()) != EmuExit::StepLimit {
+            break; // The program ended before this sample point.
+        }
+        let cp = ff.checkpoint();
+        let mut core = Core::resume_from(image.clone(), cfg.clone(), &cp).map_err(|source| {
+            ExperimentError::Machine {
+                workload: workload.to_string(),
+                machine: cfg.name.clone(),
+                source,
+            }
+        })?;
+        // A resumed core starts with an empty pipeline and cold
+        // predictors/caches; the first half of the window warms the
+        // microarchitectural state and is excluded from the estimate
+        // (the retire/cycle budgets of `run_retired` are cumulative,
+        // so the second call measures the delta).
+        let warm = core.run_retired(window / 2, MAX_CYCLES);
+        if let SimExit::Trap(trap) = &warm.exit {
+            return Err(abnormal(format!("sample at {}: {trap:?}", cp.executed())));
+        }
+        let (warm_retired, warm_cycles) = (warm.stats.retired, warm.stats.cycles);
+        let sample = core.run_retired(window, MAX_CYCLES);
+        if let SimExit::Trap(trap) = &sample.exit {
+            return Err(abnormal(format!("sample at {}: {trap:?}", cp.executed())));
+        }
+        sampled_retired += sample.stats.retired - warm_retired;
+        sampled_cycles += sample.stats.cycles - warm_cycles;
+    }
+    if sampled_cycles == 0 || sampled_retired == 0 {
+        return Err(abnormal("no instructions were cycle-simulated".to_string()));
+    }
+    let ipc_est = sampled_retired as f64 / sampled_cycles as f64;
+    let cycles_est = (total as f64 / ipc_est).round() as u64;
+    Ok(SampledOutcome { cycles_est, ipc_est, retired: total, stdout })
+}
+
 /// Iteration counts (and the cycle budget) one grid run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunParams {
@@ -443,6 +557,17 @@ pub enum CellKind {
         /// Machine model.
         machine: MachineConfig,
     },
+    /// Checkpoint-sampled cycle simulation: a fast-tier emulator run
+    /// finds the dynamic instruction count and drops architectural
+    /// checkpoints at evenly spaced points; the cycle-accurate core
+    /// resumes from each and simulates a bounded interval, and the
+    /// recorded cycles/IPC are the extrapolated estimates.
+    Sampled {
+        /// Compilation target / ISA profile.
+        target: Target,
+        /// Machine model the sampled intervals run on.
+        machine: MachineConfig,
+    },
 }
 
 /// One point of the experiment grid.
@@ -477,7 +602,8 @@ impl CellSpec {
         match &self.kind {
             CellKind::Pipeline { target, .. }
             | CellKind::EmuMix { target }
-            | CellKind::EmuDistance { target } => Some(*target),
+            | CellKind::EmuDistance { target }
+            | CellKind::Sampled { target, .. } => Some(*target),
             CellKind::ConfigDump { .. } => None,
         }
     }
@@ -486,7 +612,9 @@ impl CellSpec {
     #[must_use]
     pub fn machine(&self) -> Option<&MachineConfig> {
         match &self.kind {
-            CellKind::Pipeline { machine, .. } | CellKind::ConfigDump { machine } => Some(machine),
+            CellKind::Pipeline { machine, .. }
+            | CellKind::ConfigDump { machine }
+            | CellKind::Sampled { machine, .. } => Some(machine),
             _ => None,
         }
     }
@@ -498,8 +626,16 @@ impl CellSpec {
     pub fn fingerprint(&self, params: &RunParams) -> String {
         let iters = self.workload.map(|w| w.iters(params));
         let machine = self.machine().map(|m| format!("{m:?}"));
+        // Sampled cells carry a suffix so their estimate never shares
+        // a fingerprint with the full simulation of the same
+        // configuration; every other kind keeps the historical text
+        // (stored records reference these hashes).
+        let kind = match &self.kind {
+            CellKind::Sampled { .. } => "|sampled",
+            _ => "",
+        };
         let text = format!(
-            "{:?}|{:?}|{:?}|{:?}|{}",
+            "{:?}|{:?}|{:?}|{:?}|{}{kind}",
             self.target(),
             machine,
             iters,
@@ -706,6 +842,9 @@ pub enum FigureKind {
     Sensitivity,
     /// Table I configuration dump.
     Table,
+    /// Sampled-vs-full comparison table (pairs of `X (full)` /
+    /// `X (sampled)` cells per workload group).
+    Sampled,
 }
 
 /// One named experiment of the grid (obtained from
@@ -942,6 +1081,33 @@ impl ExperimentSpec {
                 kind: CellKind::ConfigDump { machine },
             })
             .collect(),
+            ExperimentId::Sampled => {
+                let mut cells = Vec::new();
+                for workload in [WorkloadKind::Dhrystone, WorkloadKind::Coremark] {
+                    for (prefix, target, machine) in [
+                        ("SS", Target::Riscv, machines::ss_2way()),
+                        ("STRAIGHT(RE+)", re_plus(EVAL_MAX_DISTANCE), machines::straight_2way()),
+                    ] {
+                        cells.push(CellSpec {
+                            experiment: ExperimentId::Sampled,
+                            group: workload.name().to_string(),
+                            label: format!("{prefix} (full)"),
+                            workload: Some(workload),
+                            param: None,
+                            kind: CellKind::Pipeline { target, machine: machine.clone() },
+                        });
+                        cells.push(CellSpec {
+                            experiment: ExperimentId::Sampled,
+                            group: workload.name().to_string(),
+                            label: format!("{prefix} (sampled)"),
+                            workload: Some(workload),
+                            param: None,
+                            kind: CellKind::Sampled { target, machine },
+                        });
+                    }
+                }
+                cells
+            }
         }
     }
 
@@ -985,6 +1151,9 @@ impl ExperimentSpec {
                 machines::ss_4way(),
                 machines::straight_4way(),
             ])),
+            FigureKind::Sampled => {
+                Ok(report::render_sampled(&assemble_sampled(self, result)?))
+            }
         }
     }
 }
@@ -1090,6 +1259,45 @@ fn assemble_distances(
         .collect()
 }
 
+fn assemble_sampled(
+    spec: &ExperimentSpec,
+    result: &ExperimentResult,
+) -> Result<Vec<report::SampledRow>, ExperimentError> {
+    let mut rows = Vec::new();
+    for (group, members) in grouped(&result.cells) {
+        for full in &members {
+            let Some(prefix) = full.label.strip_suffix(" (full)") else { continue };
+            let sampled = members
+                .iter()
+                .find(|c| c.label == format!("{prefix} (sampled)"))
+                .ok_or_else(|| {
+                    malformed(spec, format!("missing sampled cell for {group}/{prefix}"))
+                })?;
+            // Functional cross-check: the emulator that fast-forwarded
+            // the sampled cell must print exactly what the full
+            // cycle-accurate run printed.
+            if sampled.stdout_digest != full.stdout_digest {
+                return Err(ExperimentError::Divergence {
+                    workload: group.to_string(),
+                    variant: sampled.label.clone(),
+                });
+            }
+            rows.push(report::SampledRow {
+                workload: group.to_string(),
+                label: prefix.to_string(),
+                full_cycles: full.cycles,
+                full_ipc: full.ipc,
+                est_cycles: sampled.cycles,
+                est_ipc: sampled.ipc,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err(malformed(spec, "no (full)/(sampled) cell pairs"));
+    }
+    Ok(rows)
+}
+
 /// The full [`SimStats`] of two labeled cells (the Figure 17 pair).
 fn stats_pair(
     spec: &ExperimentSpec,
@@ -1117,10 +1325,46 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|e| e.id.name()).collect();
         assert_eq!(
             names,
-            ["fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sensitivity", "table1"]
+            [
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "sensitivity",
+                "table1",
+                "sampled"
+            ]
         );
         let total: usize = all().iter().map(|e| e.cells().len()).sum();
-        assert_eq!(total, 39);
+        assert_eq!(total, 47);
+    }
+
+    #[test]
+    fn sampled_cells_pair_full_and_estimate() {
+        let spec = find("sampled").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8);
+        let p = RunParams::default();
+        for pair in cells.chunks(2) {
+            let (full, sampled) = (&pair[0], &pair[1]);
+            assert!(full.label.ends_with(" (full)"));
+            assert!(sampled.label.ends_with(" (sampled)"));
+            assert!(matches!(full.kind, CellKind::Pipeline { .. }));
+            assert!(matches!(sampled.kind, CellKind::Sampled { .. }));
+            // Same configuration, but the estimate must never collide
+            // with the full run in the record caches.
+            assert_eq!(full.target(), sampled.target());
+            assert_ne!(full.fingerprint(&p), sampled.fingerprint(&p));
+        }
+        // The full cells reuse fig12's configurations, so the run
+        // cache deduplicates them against that figure.
+        let fig12 = find("fig12").unwrap().cells();
+        let ss_full = &cells[0];
+        let fig12_ss = &fig12[0];
+        assert_eq!(ss_full.fingerprint(&p), fig12_ss.fingerprint(&p));
     }
 
     #[test]

@@ -37,12 +37,13 @@ use std::time::Instant;
 
 use straight_asm::Image;
 use straight_json::{fnv1a64, obj, FromJson, Json, ToJson};
-use straight_sim::emu::{RiscvEmu, StraightEmu};
+use straight_sim::emu::{ExecBackend, RiscvEmu, StraightEmu, TierConfig};
 use straight_sim::pipeline::SimResult;
 
 use crate::experiment::{
-    build_for, run_checked, target_name, CellKind, CellRecord, CellSpec, ExperimentError,
-    ExperimentId, ExperimentResult, ExperimentSpec, RunParams, WorkloadKind, SCHEMA_VERSION,
+    build_for, run_checked, run_sampled, target_name, CellKind, CellRecord, CellSpec,
+    ExperimentError, ExperimentId, ExperimentResult, ExperimentSpec, RunParams, WorkloadKind,
+    SCHEMA_VERSION,
 };
 use crate::Target;
 
@@ -364,8 +365,10 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, shared: &SessionShared) -> Cel
             })?;
             let image = image_for(caches, workload, *target, params)?;
             let result = match target {
-                Target::Riscv => RiscvEmu::new((*image).clone()).run(u64::MAX),
-                _ => StraightEmu::new((*image).clone()).run(u64::MAX),
+                Target::Riscv => {
+                    RiscvEmu::new((*image).clone()).run_tiered(u64::MAX, shared.emu_tier)
+                }
+                _ => StraightEmu::new((*image).clone()).run_tiered(u64::MAX, shared.emu_tier),
             };
             if result.exit_code().is_none() {
                 return Err(Arc::new(ExperimentError::Abnormal {
@@ -376,7 +379,7 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, shared: &SessionShared) -> Cel
             }
             record.retired = result.stats.retired;
             record.kinds = Some(
-                result.stats.kinds.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+                result.stats.kinds().into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             );
             record.stdout_digest = Some(hex_digest(&result.stdout));
         }
@@ -390,6 +393,8 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, shared: &SessionShared) -> Cel
             let image = image_for(caches, workload, *target, params)?;
             let mut emu = StraightEmu::new((*image).clone());
             emu.profile_distances = true;
+            // Distance profiling needs per-operand hooks, so this runs
+            // on the interpreter tier regardless of the session tier.
             let result = emu.run(u64::MAX);
             if result.exit_code().is_none() {
                 return Err(Arc::new(ExperimentError::Abnormal {
@@ -411,6 +416,24 @@ fn exec_cell(spec: &CellSpec, params: &RunParams, shared: &SessionShared) -> Cel
             record.stdout_digest = Some(hex_digest(&result.stdout));
         }
         CellKind::ConfigDump { .. } => {}
+        // Sampled cells bypass both the run cache and the record cache:
+        // their estimate is cheap relative to a full simulation, and
+        // intentionally re-derived every run.
+        CellKind::Sampled { target, machine } => {
+            let workload = spec.workload.ok_or_else(|| {
+                Arc::new(ExperimentError::Malformed {
+                    experiment: spec.experiment.to_string(),
+                    msg: "sampled cell without a workload".to_string(),
+                })
+            })?;
+            let image = image_for(caches, workload, *target, params)?;
+            let outcome = run_sampled(workload.name(), &image, machine.clone(), *target)
+                .map_err(Arc::new)?;
+            record.cycles = outcome.cycles_est;
+            record.retired = outcome.retired;
+            record.ipc = outcome.ipc_est;
+            record.stdout_digest = Some(hex_digest(&outcome.stdout));
+        }
     }
     record.wall_ms = started.elapsed().as_secs_f64() * 1e3;
     if let (CellKind::Pipeline { .. }, Some(cache)) = (&spec.kind, shared.record_cache.as_ref()) {
@@ -448,6 +471,10 @@ struct SessionShared {
     /// Chaos injection: a cell id (or `"any"`) whose execution
     /// deliberately panics, exercising the panic-isolation path.
     chaos_panic_cell: Option<String>,
+    /// Execution tier emulator-mix cells run on (sampled cells always
+    /// fast-forward on the fast tier; distance profiling always
+    /// interprets).
+    emu_tier: TierConfig,
 }
 
 struct SessionQueue {
@@ -563,6 +590,7 @@ pub struct LabSessionBuilder {
     git_rev: Option<String>,
     record_cache: Option<Arc<dyn RecordCache>>,
     chaos_panic_cell: Option<String>,
+    emu_tier: TierConfig,
 }
 
 impl LabSessionBuilder {
@@ -619,6 +647,17 @@ impl LabSessionBuilder {
         self
     }
 
+    /// Execution tier for emulator-mix cells (default: the
+    /// interpreter, which the golden records were produced on). The
+    /// fast tier is bit-equivalent by construction and cross-checked
+    /// by the lockstep suite; `TierConfig::fast_lockstep()` validates
+    /// it on every run.
+    #[must_use]
+    pub fn emu_tier(mut self, tier: TierConfig) -> LabSessionBuilder {
+        self.emu_tier = tier;
+        self
+    }
+
     /// Starts the session: spawns the worker pool and initializes
     /// empty caches.
     ///
@@ -640,6 +679,7 @@ impl LabSessionBuilder {
             record_cache: self.record_cache,
             panics: AtomicU64::new(0),
             chaos_panic_cell: self.chaos_panic_cell,
+            emu_tier: self.emu_tier,
         });
         let workers = (0..self.jobs)
             .map(|_| {
@@ -706,6 +746,7 @@ impl LabSession {
             git_rev: None,
             record_cache: None,
             chaos_panic_cell: None,
+            emu_tier: TierConfig::interp(),
         }
     }
 

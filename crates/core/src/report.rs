@@ -56,6 +56,25 @@ pub struct DistanceProfile {
     pub max_used: usize,
 }
 
+/// One full-vs-sampled comparison of the methodology experiment: the
+/// same (workload, target, machine) point simulated to completion and
+/// estimated from checkpointed sample intervals.
+#[derive(Debug, Clone)]
+pub struct SampledRow {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label ("SS", "STRAIGHT(RE+)").
+    pub label: String,
+    /// Cycles of the full cycle-accurate run.
+    pub full_cycles: u64,
+    /// IPC of the full run.
+    pub full_ipc: f64,
+    /// Extrapolated cycles from the sampled intervals.
+    pub est_cycles: u64,
+    /// Aggregate IPC over the sampled intervals.
+    pub est_ipc: f64,
+}
+
 /// Renders a performance-bar figure (Figures 11–14).
 #[must_use]
 pub fn render_perf(title: &str, groups: &[PerfGroup]) -> String {
@@ -145,6 +164,28 @@ pub fn render_sensitivity(rows: &[(u16, u64)]) -> String {
     let base = rows.iter().map(|&(_, c)| c).min().unwrap_or(1) as f64;
     for &(d, cycles) in rows {
         let _ = writeln!(out, "  max_distance={d:>5}: {cycles:>12} cycles ({:+.2} %)", (cycles as f64 / base - 1.0) * 100.0);
+    }
+    out
+}
+
+/// Renders the sampled-vs-full comparison table.
+#[must_use]
+pub fn render_sampled(rows: &[SampledRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Sampled: checkpoint-sampled simulation vs full runs ==");
+    let _ = writeln!(
+        out,
+        "  {:<12}{:<18}{:>14}{:>14}{:>10}{:>9}{:>9}{:>10}",
+        "workload", "model", "full cycles", "est cycles", "err %", "full ipc", "est ipc", "err %"
+    );
+    for r in rows {
+        let cycle_err = (r.est_cycles as f64 / r.full_cycles as f64 - 1.0) * 100.0;
+        let ipc_err = (r.est_ipc / r.full_ipc - 1.0) * 100.0;
+        let _ = writeln!(
+            out,
+            "  {:<12}{:<18}{:>14}{:>14}{:>+10.2}{:>9.3}{:>9.3}{:>+10.2}",
+            r.workload, r.label, r.full_cycles, r.est_cycles, cycle_err, r.full_ipc, r.est_ipc, ipc_err
+        );
     }
     out
 }

@@ -135,6 +135,15 @@ pub enum TrapKind {
         /// Commit-free cycles observed when the watchdog fired.
         stalled_cycles: u64,
     },
+    /// Lockstep validation caught the fast (pre-translated) execution
+    /// tier diverging from the reference interpreter — a translation
+    /// or fusion bug in the emulator itself, never a fault of the
+    /// program.
+    TierDivergence {
+        /// Dynamic instructions the fast tier had executed when the
+        /// divergence was detected.
+        executed: u64,
+    },
 }
 
 impl TrapKind {
@@ -199,6 +208,9 @@ impl fmt::Display for TrapKind {
             }
             TrapKind::Watchdog { stalled_cycles } => {
                 write!(f, "watchdog: no commit for {stalled_cycles} cycles")
+            }
+            TrapKind::TierDivergence { executed } => {
+                write!(f, "fast tier diverged from the interpreter after {executed} instructions")
             }
         }
     }

@@ -1,21 +1,137 @@
 //! Functional emulator for the RV32IM baseline.
+//!
+//! Same two-tier structure as the STRAIGHT emulator: the interpreter
+//! fetches and decodes every instruction; the fast tier translates
+//! traces of lowered [`FastOp`] micro-ops — one dispatch per op, all
+//! PC-relative values (`AUIPC`, links, branch targets) folded to
+//! constants at translation time, `LUI`/`li` folded to constant
+//! writes, `x0`-target writes redirected to a dead sink slot so the
+//! hot path writes unconditionally, load/store widths specialized,
+//! and unconditional `JAL`s fused *through* (the trace continues into
+//! the static target) — with statistics batched per trace.
 
 use straight_asm::{Image, MEM_SIZE, STACK_TOP};
-use straight_isa::{Trap, TrapKind};
+use straight_isa::{AluOp, Trap, TrapKind};
 use straight_riscv::{decode, MemWidth, Reg, RvInst};
 
-use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
+use super::checkpoint::{self, ArchSnap, Checkpoint, CheckpointError, DirtyMap};
+use super::sys::SysState;
+use super::{memops, EmuExit, EmuKind, EmuStats, ExecBackend, Tier, TierConfig};
+
+/// Longest translated trace, in instructions.
+const BLOCK_CAP: usize = 256;
+/// Retired instructions per lockstep comparison window.
+const LOCKSTEP_CHUNK: u64 = 4096;
+/// Architectural registers are `x0..x31`; slot 32 is the fast tier's
+/// write sink for `x0`-target instructions (never read, excluded from
+/// checkpoints), letting lowered ops write unconditionally. The file
+/// is 64 slots so fast-tier indices can be masked with `& 63` (an
+/// identity for every real index), which lets the compiler drop the
+/// bounds check on every hot-loop register access.
+const SINK: u8 = 32;
+
+/// A lowered micro-op of the fast tier. Register numbers are raw
+/// indices (writes pre-redirected to [`SINK`] for `x0`), immediates
+/// pre-extended, branch/link values absolute.
+#[derive(Debug, Clone)]
+enum FastOp {
+    /// `x0`-target ALU/`LUI` instructions (architectural no-ops), and
+    /// fused `jal x0` (plain `j`).
+    Nop,
+    /// Constant write: `LUI`, `AUIPC` (PC folded), `li`
+    /// (`OpImm` on `x0`), and fused `JAL` link writes.
+    Li { rd: u8, value: u32 },
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    Sll { rd: u8, rs1: u8, rs2: u8 },
+    Slt { rd: u8, rs1: u8, rs2: u8 },
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    Srl { rd: u8, rs1: u8, rs2: u8 },
+    Sra { rd: u8, rs1: u8, rs2: u8 },
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    And { rd: u8, rs1: u8, rs2: u8 },
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    /// Reg-reg ops without a dedicated variant (M-extension
+    /// high/div/rem): second dispatch through [`AluOp::eval`].
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    Addi { rd: u8, rs1: u8, imm: u32 },
+    Slli { rd: u8, rs1: u8, imm: u32 },
+    Slti { rd: u8, rs1: u8, imm: u32 },
+    Sltiu { rd: u8, rs1: u8, imm: u32 },
+    Xori { rd: u8, rs1: u8, imm: u32 },
+    Srli { rd: u8, rs1: u8, imm: u32 },
+    Srai { rd: u8, rs1: u8, imm: u32 },
+    Ori { rd: u8, rs1: u8, imm: u32 },
+    Andi { rd: u8, rs1: u8, imm: u32 },
+    /// Unreachable in practice ([`AluImmOp::base`] is covered by the
+    /// dedicated variants above); kept as a safety net.
+    AluImm { op: AluOp, rd: u8, rs1: u8, imm: u32 },
+    LdB { rd: u8, rs1: u8, offset: u32 },
+    LdBu { rd: u8, rs1: u8, offset: u32 },
+    LdH { rd: u8, rs1: u8, offset: u32 },
+    LdHu { rd: u8, rs1: u8, offset: u32 },
+    LdW { rd: u8, rs1: u8, offset: u32 },
+    /// `width` is the encoded width, kept for byte-identical traps.
+    StB { rs2: u8, rs1: u8, offset: u32, width: MemWidth },
+    StH { rs2: u8, rs1: u8, offset: u32, width: MemWidth },
+    StW { rs2: u8, rs1: u8, offset: u32 },
+    Beq { rs1: u8, rs2: u8, target: u32 },
+    Bne { rs1: u8, rs2: u8, target: u32 },
+    Blt { rs1: u8, rs2: u8, target: u32 },
+    Bge { rs1: u8, rs2: u8, target: u32 },
+    Bltu { rs1: u8, rs2: u8, target: u32 },
+    Bgeu { rs1: u8, rs2: u8, target: u32 },
+    Jalr { rd: u8, rs1: u8, offset: u32, link: u32 },
+    Ecall,
+    Ebreak,
+}
+
+/// A translated trace: instructions ending at the first conditional
+/// branch, indirect jump, environment call, undecodable word,
+/// code-end, or [`BLOCK_CAP`]. Unconditional `JAL` does not end a
+/// trace — its target is static, so translation continues there.
+#[derive(Debug, Clone)]
+struct Block {
+    /// PC after the last instruction when no terminator redirects
+    /// (follows fused jumps, so not simply `start_pc + 4 * len`).
+    end_pc: u32,
+    ops: Vec<FastOp>,
+    /// Per instruction: its PC and Figure 15 category. Cold paths
+    /// only (mid-trace traps need the interpreter's exact PC and
+    /// per-instruction statistics).
+    meta: Vec<(u32, EmuKind)>,
+    /// Precomputed Figure 15 category counts for a full execution.
+    kind_counts: [u64; EmuKind::COUNT],
+    /// Ends in `EBREAK`.
+    ends_break: bool,
+}
 
 /// RV32IM functional emulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RiscvEmu {
     image: Image,
     mem: Vec<u8>,
-    regs: [u32; 32],
+    /// `x0..x31` plus the fast tier's [`SINK`] slot; padded to 64
+    /// for mask-based bounds-check elimination (slots 33..64 unused).
+    regs: [u32; 64],
     count: u64,
     pc: u32,
     sys: SysState,
     stats: EmuStats,
+    dirty: DirtyMap,
+    /// Fast-tier trace cache, indexed by code-segment slot. Sized
+    /// lazily on the first fast-tier run.
+    blocks: Vec<Option<Box<Block>>>,
+}
+
+/// Write-side register lowering: `x0` writes go to the sink slot.
+fn wreg(rd: Reg) -> u8 {
+    if rd.is_zero() {
+        SINK
+    } else {
+        rd.num()
+    }
 }
 
 impl RiscvEmu {
@@ -25,27 +141,25 @@ impl RiscvEmu {
         let mut mem = vec![0u8; MEM_SIZE as usize];
         image.load_into(&mut mem);
         let pc = image.entry;
-        let mut regs = [0u32; 32];
+        let mut regs = [0u32; 64];
         regs[Reg::SP.num() as usize] = STACK_TOP;
-        RiscvEmu { image, mem, regs, count: 0, pc, sys: SysState::default(), stats: EmuStats::default() }
-    }
-
-    /// Current program counter (the next instruction to execute).
-    #[must_use]
-    pub fn pc(&self) -> u32 {
-        self.pc
+        RiscvEmu {
+            image,
+            mem,
+            regs,
+            count: 0,
+            pc,
+            sys: SysState::default(),
+            stats: EmuStats::default(),
+            dirty: DirtyMap::new(),
+            blocks: Vec::new(),
+        }
     }
 
     /// Architectural value of `reg`.
     #[must_use]
     pub fn reg(&self, reg: Reg) -> u32 {
         self.r(reg)
-    }
-
-    /// Dynamic instructions executed so far.
-    #[must_use]
-    pub fn executed(&self) -> u64 {
-        self.count
     }
 
     fn r(&self, reg: Reg) -> u32 {
@@ -56,6 +170,13 @@ impl RiscvEmu {
         if !reg.is_zero() {
             self.regs[reg.num() as usize] = val;
         }
+    }
+
+    /// Fast-tier register read. `& 63` is an identity for every real
+    /// index and lets the compiler elide the bounds check.
+    #[inline(always)]
+    fn rr(&self, r: u8) -> u32 {
+        self.regs[usize::from(r & 63)]
     }
 
     fn load(&self, width: MemWidth, addr: u32) -> Result<u32, TrapKind> {
@@ -90,51 +211,31 @@ impl RiscvEmu {
             MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
             MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
         }
+        // Aligned accesses never straddle a page, so one mark suffices.
+        self.dirty.mark(a);
         Ok(())
     }
 
-    fn kind_name(inst: &RvInst) -> &'static str {
-        match inst {
-            RvInst::Jal { .. } | RvInst::Jalr { .. } | RvInst::Branch { .. } => "jump+branch",
-            RvInst::Load { .. } => "ld",
-            RvInst::Store { .. } => "st",
-            RvInst::Ecall | RvInst::Ebreak => "other",
-            _ => "alu",
-        }
-    }
-
-    /// Executes one instruction. Returns `Some(exit)` when the program
-    /// stops.
-    pub fn step(&mut self) -> Option<EmuExit> {
-        match self.step_trapping() {
-            Ok(exit) => exit,
-            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
-        }
-    }
-
-    fn step_trapping(&mut self) -> Result<Option<EmuExit>, TrapKind> {
-        let Some(word) = self.image.fetch(self.pc) else {
-            return Err(TrapKind::FetchFault);
-        };
-        let Ok(inst) = decode(word) else {
-            return Err(TrapKind::IllegalInstruction { word });
-        };
-        let mut next_pc = self.pc.wrapping_add(4);
-        match inst {
+    /// Executes one already-decoded instruction at `pc`. Returns the
+    /// next PC; `Ok(None)` in the `exit` slot distinction is handled
+    /// by the caller via `sys.exit_code` and the `Ebreak` flag.
+    fn exec_inst(&mut self, inst: &RvInst, pc: u32) -> Result<u32, TrapKind> {
+        let mut next_pc = pc.wrapping_add(4);
+        match *inst {
             RvInst::Lui { rd, imm } => self.w(rd, imm),
-            RvInst::Auipc { rd, imm } => self.w(rd, self.pc.wrapping_add(imm)),
+            RvInst::Auipc { rd, imm } => self.w(rd, pc.wrapping_add(imm)),
             RvInst::Jal { rd, offset } => {
-                self.w(rd, self.pc.wrapping_add(4));
-                next_pc = self.pc.wrapping_add(offset as u32);
+                self.w(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
             }
             RvInst::Jalr { rd, rs1, offset } => {
                 let target = self.r(rs1).wrapping_add(offset as u32) & !1;
-                self.w(rd, self.pc.wrapping_add(4));
+                self.w(rd, pc.wrapping_add(4));
                 next_pc = target;
             }
             RvInst::Branch { op, rs1, rs2, offset } => {
                 if op.eval(self.r(rs1), self.r(rs2)) {
-                    next_pc = self.pc.wrapping_add(offset as u32);
+                    next_pc = pc.wrapping_add(offset as u32);
                 }
             }
             RvInst::Load { width, rd, rs1, offset } => {
@@ -163,43 +264,532 @@ impl RiscvEmu {
                     None => return Err(TrapKind::UnknownSys { code }),
                 }
             }
-            RvInst::Ebreak => {
-                self.stats.bump_kind(Self::kind_name(&inst));
-                self.count += 1;
-                self.pc = next_pc;
-                return Ok(Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) }));
-            }
+            RvInst::Ebreak => {}
         }
-        self.stats.bump_kind(Self::kind_name(&inst));
+        Ok(next_pc)
+    }
+
+    fn step_trapping(&mut self) -> Result<Option<EmuExit>, TrapKind> {
+        let Some(word) = self.image.fetch(self.pc) else {
+            return Err(TrapKind::FetchFault);
+        };
+        let Ok(inst) = decode(word) else {
+            return Err(TrapKind::IllegalInstruction { word });
+        };
+        let next_pc = self.exec_inst(&inst, self.pc)?;
+        // Statistics count only instructions that complete without
+        // trapping, keeping the retired count equal to the trap index.
+        self.stats.bump_kind(EmuKind::of_riscv(&inst));
+        self.stats.count_retired(1);
         self.count += 1;
         self.pc = next_pc;
+        if matches!(inst, RvInst::Ebreak) {
+            return Ok(Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) }));
+        }
         if let Some(code) = self.sys.exit_code {
             return Ok(Some(EmuExit::Done { code }));
         }
         Ok(None)
     }
 
-    /// Runs until exit, trap, or the step limit.
-    pub fn run(mut self, max_steps: u64) -> EmuResult {
+    fn run_interp(&mut self, max_steps: u64) -> EmuExit {
         loop {
             if self.stats.retired >= max_steps {
-                return self.finish(EmuExit::StepLimit);
+                return EmuExit::StepLimit;
             }
             if let Some(exit) = self.step() {
-                return self.finish(exit);
+                return exit;
             }
         }
     }
 
-    fn finish(self, exit: EmuExit) -> EmuResult {
-        EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    /// Translates the trace starting at `start_pc`. An empty trace
+    /// (first word unfetchable/undecodable) makes the caller fall
+    /// back to the interpreter, which raises the proper trap.
+    fn translate(&self, start_pc: u32) -> Block {
+        let mut ops = Vec::new();
+        let mut meta: Vec<(u32, EmuKind)> = Vec::new();
+        let mut kind_counts = [0u64; EmuKind::COUNT];
+        let mut ends_break = false;
+        let mut pc = start_pc;
+        while meta.len() < BLOCK_CAP {
+            let Some(word) = self.image.fetch(pc) else { break };
+            let Ok(inst) = decode(word) else { break };
+            kind_counts[EmuKind::of_riscv(&inst) as usize] += 1;
+            meta.push((pc, EmuKind::of_riscv(&inst)));
+            let mut next = pc.wrapping_add(4);
+            let terminator = matches!(
+                inst,
+                RvInst::Jalr { .. } | RvInst::Branch { .. } | RvInst::Ecall | RvInst::Ebreak
+            );
+            match inst {
+                RvInst::Lui { rd, imm } => ops.push(if rd.is_zero() {
+                    FastOp::Nop
+                } else {
+                    FastOp::Li { rd: rd.num(), value: imm }
+                }),
+                RvInst::Auipc { rd, imm } => ops.push(if rd.is_zero() {
+                    FastOp::Nop
+                } else {
+                    // The PC is a translation-time constant here.
+                    FastOp::Li { rd: rd.num(), value: pc.wrapping_add(imm) }
+                }),
+                RvInst::Jal { rd, offset } => {
+                    // Unconditional with a static target: fold the
+                    // link write and keep translating at the target.
+                    ops.push(if rd.is_zero() {
+                        FastOp::Nop
+                    } else {
+                        FastOp::Li { rd: rd.num(), value: pc.wrapping_add(4) }
+                    });
+                    next = pc.wrapping_add(offset as u32);
+                }
+                RvInst::Jalr { rd, rs1, offset } => ops.push(FastOp::Jalr {
+                    rd: wreg(rd),
+                    rs1: rs1.num(),
+                    offset: offset as u32,
+                    link: pc.wrapping_add(4),
+                }),
+                RvInst::Branch { op, rs1, rs2, offset } => {
+                    let (rs1, rs2) = (rs1.num(), rs2.num());
+                    let target = pc.wrapping_add(offset as u32);
+                    use straight_riscv::BranchOp;
+                    ops.push(match op {
+                        BranchOp::Beq => FastOp::Beq { rs1, rs2, target },
+                        BranchOp::Bne => FastOp::Bne { rs1, rs2, target },
+                        BranchOp::Blt => FastOp::Blt { rs1, rs2, target },
+                        BranchOp::Bge => FastOp::Bge { rs1, rs2, target },
+                        BranchOp::Bltu => FastOp::Bltu { rs1, rs2, target },
+                        BranchOp::Bgeu => FastOp::Bgeu { rs1, rs2, target },
+                    });
+                }
+                RvInst::Load { width, rd, rs1, offset } => {
+                    let (rd, rs1, offset) = (wreg(rd), rs1.num(), offset as u32);
+                    ops.push(match width {
+                        MemWidth::B => FastOp::LdB { rd, rs1, offset },
+                        MemWidth::Bu => FastOp::LdBu { rd, rs1, offset },
+                        MemWidth::H => FastOp::LdH { rd, rs1, offset },
+                        MemWidth::Hu => FastOp::LdHu { rd, rs1, offset },
+                        MemWidth::W => FastOp::LdW { rd, rs1, offset },
+                    });
+                }
+                RvInst::Store { width, rs2, rs1, offset } => {
+                    let (rs2, rs1, offset) = (rs2.num(), rs1.num(), offset as u32);
+                    ops.push(match width {
+                        MemWidth::B | MemWidth::Bu => FastOp::StB { rs2, rs1, offset, width },
+                        MemWidth::H | MemWidth::Hu => FastOp::StH { rs2, rs1, offset, width },
+                        MemWidth::W => FastOp::StW { rs2, rs1, offset },
+                    });
+                }
+                RvInst::OpImm { op, rd, rs1, imm } => ops.push(if rd.is_zero() {
+                    FastOp::Nop
+                } else if rs1.is_zero() {
+                    // `li` and friends: fold to a constant write.
+                    FastOp::Li { rd: rd.num(), value: op.eval(0, imm) }
+                } else {
+                    let (rd, rs1, imm) = (rd.num(), rs1.num(), imm as u32);
+                    match op.base() {
+                        AluOp::Add => FastOp::Addi { rd, rs1, imm },
+                        AluOp::Sll => FastOp::Slli { rd, rs1, imm },
+                        AluOp::Slt => FastOp::Slti { rd, rs1, imm },
+                        AluOp::Sltu => FastOp::Sltiu { rd, rs1, imm },
+                        AluOp::Xor => FastOp::Xori { rd, rs1, imm },
+                        AluOp::Srl => FastOp::Srli { rd, rs1, imm },
+                        AluOp::Sra => FastOp::Srai { rd, rs1, imm },
+                        AluOp::Or => FastOp::Ori { rd, rs1, imm },
+                        AluOp::And => FastOp::Andi { rd, rs1, imm },
+                        base => FastOp::AluImm { op: base, rd, rs1, imm },
+                    }
+                }),
+                RvInst::Op { op, rd, rs1, rs2 } => ops.push(if rd.is_zero() {
+                    FastOp::Nop
+                } else {
+                    let (rd, rs1, rs2) = (rd.num(), rs1.num(), rs2.num());
+                    match op {
+                        AluOp::Add => FastOp::Add { rd, rs1, rs2 },
+                        AluOp::Sub => FastOp::Sub { rd, rs1, rs2 },
+                        AluOp::Sll => FastOp::Sll { rd, rs1, rs2 },
+                        AluOp::Slt => FastOp::Slt { rd, rs1, rs2 },
+                        AluOp::Sltu => FastOp::Sltu { rd, rs1, rs2 },
+                        AluOp::Xor => FastOp::Xor { rd, rs1, rs2 },
+                        AluOp::Srl => FastOp::Srl { rd, rs1, rs2 },
+                        AluOp::Sra => FastOp::Sra { rd, rs1, rs2 },
+                        AluOp::Or => FastOp::Or { rd, rs1, rs2 },
+                        AluOp::And => FastOp::And { rd, rs1, rs2 },
+                        AluOp::Mul => FastOp::Mul { rd, rs1, rs2 },
+                        op => FastOp::Alu { op, rd, rs1, rs2 },
+                    }
+                }),
+                RvInst::Ecall => ops.push(FastOp::Ecall),
+                RvInst::Ebreak => {
+                    ends_break = true;
+                    ops.push(FastOp::Ebreak);
+                }
+            }
+            pc = next;
+            if terminator {
+                break;
+            }
+        }
+        Block { end_pc: pc, ops, meta, kind_counts, ends_break }
     }
 
-    /// Console output captured so far (used by the in-pipeline oracle,
-    /// which steps the emulator incrementally instead of via [`RiscvEmu::run`]).
-    #[must_use]
-    pub fn stdout(&self) -> &str {
+    /// Flushes statistics for the first `done` instructions of a
+    /// partially executed trace (cold path: traps only).
+    fn flush_partial(&mut self, b: &Block, done: u64) {
+        for &(_, kind) in &b.meta[..done as usize] {
+            self.stats.bump_kind(kind);
+        }
+        self.stats.count_retired(done);
+    }
+
+    /// Finalizes a mid-trace trap: syncs count/PC/stats to the
+    /// completed prefix and produces the trap exit the interpreter
+    /// would have raised at the same instruction.
+    fn block_trap(&mut self, b: &Block, entry: u64, done: u32, kind: TrapKind) -> Option<EmuExit> {
+        self.flush_partial(b, u64::from(done));
+        self.count = entry + u64::from(done);
+        self.pc = b.meta[done as usize].0;
+        Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count)))
+    }
+
+    /// Executes one translated trace; the caller guarantees enough
+    /// step budget for the whole trace.
+    fn exec_block(&mut self, b: &Block) -> Option<EmuExit> {
+        let entry = self.count;
+        let mut next_pc = b.end_pc;
+        for (idx, op) in (0_u32..).zip(b.ops.iter()) {
+            match *op {
+                FastOp::Nop => {}
+                FastOp::Li { rd, value } => self.regs[usize::from(rd & 63)] = value,
+                FastOp::Add { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] =
+                        self.rr(rs1).wrapping_add(self.rr(rs2));
+                }
+                FastOp::Sub { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_sub(self.rr(rs2));
+                }
+                FastOp::Sll { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_shl(self.rr(rs2) & 31);
+                }
+                FastOp::Slt { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = u32::from((self.rr(rs1) as i32) < (self.rr(rs2) as i32));
+                }
+                FastOp::Sltu { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = u32::from(self.rr(rs1) < self.rr(rs2));
+                }
+                FastOp::Xor { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) ^ self.rr(rs2);
+                }
+                FastOp::Srl { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_shr(self.rr(rs2) & 31);
+                }
+                FastOp::Sra { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = ((self.rr(rs1) as i32).wrapping_shr(self.rr(rs2) & 31)) as u32;
+                }
+                FastOp::Or { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) | self.rr(rs2);
+                }
+                FastOp::And { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) & self.rr(rs2);
+                }
+                FastOp::Mul { rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_mul(self.rr(rs2));
+                }
+                FastOp::Alu { op, rd, rs1, rs2 } => {
+                    self.regs[usize::from(rd & 63)] =
+                        op.eval(self.rr(rs1), self.rr(rs2));
+                }
+                FastOp::Addi { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_add(imm);
+                }
+                FastOp::Slli { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_shl(imm & 31);
+                }
+                FastOp::Slti { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = u32::from((self.rr(rs1) as i32) < (imm as i32));
+                }
+                FastOp::Sltiu { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = u32::from(self.rr(rs1) < imm);
+                }
+                FastOp::Xori { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) ^ imm;
+                }
+                FastOp::Srli { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1).wrapping_shr(imm & 31);
+                }
+                FastOp::Srai { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = ((self.rr(rs1) as i32).wrapping_shr(imm & 31)) as u32;
+                }
+                FastOp::Ori { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) | imm;
+                }
+                FastOp::Andi { rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = self.rr(rs1) & imm;
+                }
+                FastOp::AluImm { op, rd, rs1, imm } => {
+                    self.regs[usize::from(rd & 63)] = op.eval(self.rr(rs1), imm);
+                }
+                FastOp::LdB { rd, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    match memops::load_b(&self.mem, a) {
+                        Ok(v) => self.regs[usize::from(rd & 63)] = v,
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::LdBu { rd, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    match memops::load_bu(&self.mem, a) {
+                        Ok(v) => self.regs[usize::from(rd & 63)] = v,
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::LdH { rd, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    match memops::load_h(&self.mem, a) {
+                        Ok(v) => self.regs[usize::from(rd & 63)] = v,
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::LdHu { rd, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    match memops::load_hu(&self.mem, a) {
+                        Ok(v) => self.regs[usize::from(rd & 63)] = v,
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::LdW { rd, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    match memops::load_w(&self.mem, a) {
+                        Ok(v) => self.regs[usize::from(rd & 63)] = v,
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::StB { rs2, rs1, offset, width } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    let v = self.rr(rs2);
+                    match memops::store_b(&mut self.mem, a, v, width) {
+                        Ok(()) => self.dirty.mark(a as usize),
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::StH { rs2, rs1, offset, width } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    let v = self.rr(rs2);
+                    match memops::store_h(&mut self.mem, a, v, width) {
+                        Ok(()) => self.dirty.mark(a as usize),
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::StW { rs2, rs1, offset } => {
+                    let a = self.rr(rs1).wrapping_add(offset);
+                    let v = self.rr(rs2);
+                    match memops::store_w(&mut self.mem, a, v) {
+                        Ok(()) => self.dirty.mark(a as usize),
+                        Err(kind) => return self.block_trap(b, entry, idx, kind),
+                    }
+                }
+                FastOp::Beq { rs1, rs2, target } => {
+                    if self.rr(rs1) == self.rr(rs2) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Bne { rs1, rs2, target } => {
+                    if self.rr(rs1) != self.rr(rs2) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Blt { rs1, rs2, target } => {
+                    if (self.rr(rs1) as i32) < (self.rr(rs2) as i32) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Bge { rs1, rs2, target } => {
+                    if (self.rr(rs1) as i32) >= (self.rr(rs2) as i32) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Bltu { rs1, rs2, target } => {
+                    if self.rr(rs1) < self.rr(rs2) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Bgeu { rs1, rs2, target } => {
+                    if self.rr(rs1) >= self.rr(rs2) {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Jalr { rd, rs1, offset, link } => {
+                    // Target before link write: rd may alias rs1.
+                    next_pc = self.rr(rs1).wrapping_add(offset) & !1;
+                    self.regs[usize::from(rd & 63)] = link;
+                }
+                FastOp::Ecall => {
+                    let code = self.rr(Reg::A7.num()) as u16;
+                    let arg = self.rr(Reg::A0.num());
+                    match self.sys.apply(code, arg) {
+                        Some(r) => self.regs[usize::from(Reg::A0.num() & 63)] = r,
+                        None => {
+                            return self.block_trap(b, entry, idx, TrapKind::UnknownSys { code })
+                        }
+                    }
+                }
+                FastOp::Ebreak => {}
+            }
+        }
+        let done = b.meta.len() as u64;
+        self.count = entry + done;
+        self.pc = next_pc;
+        self.stats.add_kind_counts(&b.kind_counts);
+        self.stats.count_retired(done);
+        if b.ends_break {
+            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+        }
+        if let Some(code) = self.sys.exit_code {
+            return Some(EmuExit::Done { code });
+        }
+        None
+    }
+
+    fn run_fast(&mut self, max_steps: u64) -> EmuExit {
+        if self.blocks.len() != self.image.code.len() {
+            self.blocks = (0..self.image.code.len()).map(|_| None).collect();
+        }
+        // Move the cache out of `self` so a cached trace can stay
+        // borrowed across `exec_block(&mut self, ..)` without a
+        // per-dispatch take/put-back of the slot.
+        let mut blocks = std::mem::take(&mut self.blocks);
+        let exit = self.run_fast_cached(max_steps, &mut blocks);
+        self.blocks = blocks;
+        exit
+    }
+
+    fn run_fast_cached(&mut self, max_steps: u64, blocks: &mut [Option<Box<Block>>]) -> EmuExit {
+        loop {
+            if self.stats.retired >= max_steps {
+                return EmuExit::StepLimit;
+            }
+            let pc = self.pc;
+            let in_code =
+                pc >= self.image.code_base && pc < self.image.code_end() && pc.is_multiple_of(4);
+            if !in_code {
+                match self.step() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            }
+            let slot = ((pc - self.image.code_base) / 4) as usize;
+            if blocks[slot].is_none() {
+                blocks[slot] = Some(Box::new(self.translate(pc)));
+            }
+            let Some(block) = blocks[slot].as_deref() else {
+                return EmuExit::StepLimit; // unreachable: slot just filled
+            };
+            // Single-step when the trace would overshoot the step
+            // budget (preserving exact StepLimit semantics) or is
+            // empty (first word faults — let the interpreter trap).
+            let budget = max_steps - self.stats.retired;
+            if block.meta.is_empty() || block.meta.len() as u64 > budget {
+                match self.step() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            }
+            if let Some(exit) = self.exec_block(block) {
+                return exit;
+            }
+        }
+    }
+
+    /// Fast tier cross-checked against a cloned interpreter twin in
+    /// [`LOCKSTEP_CHUNK`]-instruction windows; any divergence in exit
+    /// or full architectural checkpoint is a
+    /// [`TrapKind::TierDivergence`] trap.
+    fn run_lockstep(&mut self, max_steps: u64) -> EmuExit {
+        let mut twin = self.clone();
+        loop {
+            let target = self.stats.retired.saturating_add(LOCKSTEP_CHUNK).min(max_steps);
+            let fast = self.run_fast(target);
+            let interp = twin.run_interp(target);
+            if fast != interp || self.checkpoint() != twin.checkpoint() {
+                return EmuExit::Trap(Trap::untimed(
+                    TrapKind::TierDivergence { executed: self.count },
+                    self.pc,
+                    self.count,
+                ));
+            }
+            match fast {
+                EmuExit::StepLimit if target < max_steps => {}
+                exit => return exit,
+            }
+        }
+    }
+}
+
+impl ExecBackend for RiscvEmu {
+    /// Executes one instruction on the interpreter tier. Returns
+    /// `Some(exit)` when the program stops.
+    fn step(&mut self) -> Option<EmuExit> {
+        match self.step_trapping() {
+            Ok(exit) => exit,
+            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
+        }
+    }
+
+    fn run_with(&mut self, max_steps: u64, tier: TierConfig) -> EmuExit {
+        match tier.tier {
+            Tier::Interp => self.run_interp(max_steps),
+            Tier::Fast if tier.lockstep => self.run_lockstep(max_steps),
+            Tier::Fast => self.run_fast(max_steps),
+        }
+    }
+
+    fn stats(&self) -> &EmuStats {
+        &self.stats
+    }
+
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn executed(&self) -> u64 {
+        self.count
+    }
+
+    fn stdout(&self) -> &str {
         &self.sys.stdout
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        // Snapshot only the 32 architectural registers; the fast
+        // tier's sink slot is never architecturally visible.
+        let mut regs = [0u32; 32];
+        regs.copy_from_slice(&self.regs[..32]);
+        Checkpoint {
+            pc: self.pc,
+            executed: self.count,
+            arch: ArchSnap::Riscv { regs },
+            sys: self.sys.clone(),
+            stats: self.stats.clone(),
+            pages: checkpoint::collect_pages(&self.dirty, &self.mem),
+        }
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) -> Result<(), CheckpointError> {
+        let ArchSnap::Riscv { regs } = &cp.arch else {
+            return Err(CheckpointError::IsaMismatch);
+        };
+        self.pc = cp.pc;
+        self.count = cp.executed;
+        self.regs[..32].copy_from_slice(regs);
+        self.regs[32] = 0;
+        self.sys = cp.sys.clone();
+        self.stats = cp.stats.clone();
+        self.mem.fill(0);
+        self.image.load_into(&mut self.mem);
+        cp.apply_pages(&mut self.mem);
+        self.dirty = cp.dirty_map();
+        Ok(())
     }
 }
 
@@ -228,10 +818,9 @@ mod tests {
         assert_eq!(r.exit_code(), Some(42));
     }
 
-    #[test]
-    fn memory_and_branches() {
+    fn sum_loop_program() -> RvProgram {
         // Loop: sum 1..=5 into a1, store/load through sp, return it.
-        let prog = RvProgram {
+        RvProgram {
             funcs: vec![RvFunc {
                 name: "main".into(),
                 items: vec![
@@ -266,11 +855,39 @@ mod tests {
                 labels: vec![("loop".into(), 2)],
             }],
             data: vec![],
-        };
-        let image = link_riscv(&prog).unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_and_branches() {
+        let image = link_riscv(&sum_loop_program()).unwrap();
         let r = RiscvEmu::new(image).run(10_000);
         assert_eq!(r.exit_code(), Some(15));
-        assert!(r.stats.kinds["jump+branch"] >= 5);
+        assert!(r.stats.kinds()["jump+branch"] >= 5);
+    }
+
+    #[test]
+    fn fast_tier_matches_interpreter_exactly() {
+        let image = link_riscv(&sum_loop_program()).unwrap();
+        let interp = RiscvEmu::new(image.clone()).run(10_000);
+        let fast = RiscvEmu::new(image).run_tiered(10_000, TierConfig::fast_lockstep());
+        assert_eq!(interp.exit, fast.exit);
+        assert_eq!(interp.stdout, fast.stdout);
+        assert_eq!(interp.stats, fast.stats);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_run() {
+        let image = link_riscv(&sum_loop_program()).unwrap();
+        let mut emu = RiscvEmu::new(image.clone());
+        assert_eq!(emu.run_until(6), EmuExit::StepLimit);
+        let cp = emu.checkpoint();
+        let done = emu.run_until(u64::MAX);
+
+        let mut resumed = RiscvEmu::new(image);
+        resumed.restore(&cp).expect("same ISA");
+        assert_eq!(resumed.checkpoint().to_bytes(), cp.to_bytes());
+        assert_eq!(resumed.run_until(u64::MAX), done);
     }
 
     #[test]

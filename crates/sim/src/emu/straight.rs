@@ -12,22 +12,138 @@
 //! return ring garbage), and the opt-in sanitizer additionally checks
 //! each operand distance against the bound the binary was compiled
 //! for and the stack pointer against the stack region.
+//!
+//! Two execution tiers implement the same semantics (see
+//! `docs/EXECUTION_TIERS.md`). The interpreter fetches and decodes
+//! every instruction and is the reference. The fast tier pre-translates
+//! traces into lowered [`FastOp`] micro-ops — branch targets resolved
+//! to absolute PCs, `LUI` folded to a constant, immediates pre-extended,
+//! load/store widths specialized, consecutive `RMOV`s fused into one
+//! chain macro-op, and unconditional `J`/`JAL` fused *through* (their
+//! ring results are the constants 0 and the link PC, so a trace
+//! continues into the jump target) — and executes them with unchecked
+//! ring reads (legal once `executed` exceeds the trace's maximum
+//! operand distance; younger traces fall back to the interpreter) and
+//! per-trace batched statistics. Code is immutable (fetch reads the
+//! image, not memory), so translated traces never need invalidation.
 
 use straight_asm::{Image, MEM_SIZE, STACK_TOP};
-use straight_isa::{decode, Dist, Inst, InstKind, MemWidth, Trap, TrapKind, MAX_DISTANCE};
+use straight_isa::{
+    decode, AluImmOp, AluOp, Dist, Inst, MemWidth, Trap, TrapKind, MAX_DISTANCE,
+};
 
-use super::{sys::SysState, EmuExit, EmuResult, EmuStats};
+use super::checkpoint::{self, ArchSnap, Checkpoint, CheckpointError, DirtyMap};
+use super::sys::SysState;
+use super::{memops, EmuExit, EmuKind, EmuStats, ExecBackend, Tier, TierConfig};
 
 const RING: usize = (MAX_DISTANCE as usize + 1).next_power_of_two();
+const RING_MASK: u64 = RING as u64 - 1;
+
+/// Longest translated trace, in architectural instructions.
+const BLOCK_CAP: usize = 256;
+/// Retired instructions per lockstep comparison window.
+const LOCKSTEP_CHUNK: u64 = 4096;
+
+/// A lowered micro-op of the fast tier — one dispatch per op, with
+/// everything the translator can pre-resolve folded in: distances are
+/// raw `u16`s (zero = "reads the constant 0"), branch targets are
+/// absolute PCs, `AluImm` immediates are pre-extended (STRAIGHT's
+/// logical group zero-extends) to the 32-bit value the base op takes,
+/// and load/store widths are specialized into separate variants. The
+/// common ALU ops get dedicated variants so the hot loop is a single
+/// match dispatch, skipping the inner [`AluOp::eval`] match.
+#[derive(Debug, Clone)]
+enum FastOp {
+    /// `NOP`, and fused unconditional `J` (ring result 0).
+    Nop,
+    /// `LUI` with the shift pre-applied, and fused `JAL` (ring result
+    /// is the link PC, a translation-time constant).
+    Const { value: u32 },
+    Add { s1: u16, s2: u16 },
+    Sub { s1: u16, s2: u16 },
+    Sll { s1: u16, s2: u16 },
+    Slt { s1: u16, s2: u16 },
+    Sltu { s1: u16, s2: u16 },
+    Xor { s1: u16, s2: u16 },
+    Srl { s1: u16, s2: u16 },
+    Sra { s1: u16, s2: u16 },
+    Or { s1: u16, s2: u16 },
+    And { s1: u16, s2: u16 },
+    Mul { s1: u16, s2: u16 },
+    /// Reg-reg ops without a dedicated variant (M-extension
+    /// high/div/rem): second dispatch through [`AluOp::eval`].
+    Alu { op: AluOp, s1: u16, s2: u16 },
+    Addi { s1: u16, imm: u32 },
+    Slli { s1: u16, imm: u32 },
+    Slti { s1: u16, imm: u32 },
+    Sltiu { s1: u16, imm: u32 },
+    Xori { s1: u16, imm: u32 },
+    Srli { s1: u16, imm: u32 },
+    Srai { s1: u16, imm: u32 },
+    Ori { s1: u16, imm: u32 },
+    Andi { s1: u16, imm: u32 },
+    /// Unreachable in practice ([`AluImmOp::base`] is covered by the
+    /// dedicated variants above); kept as a safety net.
+    AluImm { op: AluOp, s1: u16, imm: u32 },
+    LdB { addr: u16, offset: u32 },
+    LdBu { addr: u16, offset: u32 },
+    LdH { addr: u16, offset: u32 },
+    LdHu { addr: u16, offset: u32 },
+    LdW { addr: u16, offset: u32 },
+    /// `width` is the encoded width (`B` or `Bu`), kept for
+    /// byte-identical trap values.
+    StB { val: u16, addr: u16, width: MemWidth },
+    StH { val: u16, addr: u16, width: MemWidth },
+    StW { val: u16, addr: u16 },
+    /// `len` consecutive `RMOV`s; their distances live in the block's
+    /// `chain_dists[first..first + len]`.
+    RmovChain { first: u32, len: u32 },
+    SpAdd { imm: i16 },
+    Bez { s: u16, target: u32 },
+    Bnz { s: u16, target: u32 },
+    Jr { s: u16 },
+    Jalr { s: u16, link: u32 },
+    Sys { code: u16, s: u16 },
+    Halt,
+}
+
+/// A translated trace: instructions ending at the first *conditional*
+/// or *indirect* control transfer, `HALT`, `SYS`, undecodable word,
+/// code-end, or [`BLOCK_CAP`]. Unconditional `J`/`JAL` do not end a
+/// trace — their targets are static, so translation continues there.
+#[derive(Debug, Clone)]
+struct Block {
+    /// PC after the last instruction when no terminator redirects
+    /// (follows fused jumps, so not simply `start_pc + 4 * len`).
+    end_pc: u32,
+    ops: Vec<FastOp>,
+    /// Fused RMOV-chain distances, indexed by `RmovChain::first`.
+    chain_dists: Vec<u16>,
+    /// Per architectural instruction: its PC and Figure 15 category.
+    /// Cold paths only (mid-trace traps need the interpreter's exact
+    /// PC and per-instruction statistics).
+    meta: Vec<(u32, EmuKind)>,
+    /// Precomputed Figure 15 category counts for a full execution.
+    kind_counts: [u64; EmuKind::COUNT],
+    /// Architectural instructions in the trace (chains expanded).
+    len_insts: u32,
+    /// Largest source distance any instruction uses; executing the
+    /// trace with unchecked ring reads is legal once at least this
+    /// many instructions have retired.
+    max_dist: u16,
+    /// Ends in `HALT`.
+    ends_halt: bool,
+}
 
 /// STRAIGHT functional emulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StraightEmu {
     image: Image,
     mem: Vec<u8>,
     /// Results of the most recent instructions, indexed by retired
-    /// count modulo `RING`.
-    ring: Vec<u32>,
+    /// count masked by `RING - 1` (fixed size so indexing needs no
+    /// bounds check in the fast tier).
+    ring: Box<[u32; RING]>,
     count: u64,
     pc: u32,
     sp: u32,
@@ -36,15 +152,33 @@ pub struct StraightEmu {
     stack_floor: u32,
     sys: SysState,
     stats: EmuStats,
+    dirty: DirtyMap,
+    /// Fast-tier block cache, indexed by code-segment slot. Sized
+    /// lazily on the first fast-tier run.
+    blocks: Vec<Option<Box<Block>>>,
     /// Collect the per-operand distance histogram (Figure 16).
+    /// Forces the interpreter tier (the histogram needs per-operand
+    /// hooks).
     pub profile_distances: bool,
     /// Sanitizer: trap with [`TrapKind::DistanceAboveBound`] on any
     /// operand distance above this bound (the distance limit the
-    /// binary was compiled for). `None` disables the check.
+    /// binary was compiled for). `None` disables the check. Forces
+    /// the interpreter tier.
     pub distance_bound: Option<u16>,
     /// Sanitizer: trap with [`TrapKind::SpMisuse`] when `SPADD` moves
     /// the stack pointer out of the stack region.
     pub check_sp: bool,
+}
+
+/// Unchecked ring read: distance zero reads 0, anything else reads the
+/// masked slot. Only legal when `d <= count` is already established.
+#[inline]
+fn src(ring: &[u32; RING], count: u64, d: u16) -> u32 {
+    if d == 0 {
+        0
+    } else {
+        ring[((count - u64::from(d)) & RING_MASK) as usize]
+    }
 }
 
 impl StraightEmu {
@@ -58,35 +192,25 @@ impl StraightEmu {
         StraightEmu {
             image,
             mem,
-            ring: vec![0; RING],
+            ring: Box::new([0; RING]),
             count: 0,
             pc,
             sp: STACK_TOP,
             stack_floor,
             sys: SysState::default(),
             stats: EmuStats { dist_hist: vec![0; MAX_DISTANCE as usize + 1], ..EmuStats::default() },
+            dirty: DirtyMap::new(),
+            blocks: Vec::new(),
             profile_distances: false,
             distance_bound: None,
             check_sp: false,
         }
     }
 
-    /// Current program counter (the next instruction to execute).
-    #[must_use]
-    pub fn pc(&self) -> u32 {
-        self.pc
-    }
-
     /// Current stack pointer.
     #[must_use]
     pub fn sp(&self) -> u32 {
         self.sp
-    }
-
-    /// Dynamic instructions executed so far.
-    #[must_use]
-    pub fn executed(&self) -> u64 {
-        self.count
     }
 
     /// Result of the most recently executed instruction (the value at
@@ -96,7 +220,7 @@ impl StraightEmu {
         if self.count == 0 {
             0
         } else {
-            self.ring[((self.count - 1) % RING as u64) as usize]
+            self.ring[((self.count - 1) & RING_MASK) as usize]
         }
     }
 
@@ -117,7 +241,7 @@ impl StraightEmu {
                 return Err(TrapKind::DistanceAboveBound { dist: d.get(), bound });
             }
         }
-        Ok(self.ring[((self.count - back) % RING as u64) as usize])
+        Ok(self.ring[((self.count - back) & RING_MASK) as usize])
     }
 
     fn load(&self, width: MemWidth, addr: u32) -> Result<u32, TrapKind> {
@@ -152,6 +276,8 @@ impl StraightEmu {
             MemWidth::H | MemWidth::Hu => self.mem[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
             MemWidth::W => self.mem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
         }
+        // Aligned accesses never straddle a page, so one mark suffices.
+        self.dirty.mark(a);
         Ok(())
     }
 
@@ -160,27 +286,6 @@ impl StraightEmu {
             if !s.is_zero() {
                 self.stats.dist_hist[s.get() as usize] += 1;
             }
-        }
-    }
-
-    fn kind_name(kind: InstKind) -> &'static str {
-        match kind {
-            InstKind::JumpBranch => "jump+branch",
-            InstKind::Alu => "alu",
-            InstKind::Ld => "ld",
-            InstKind::St => "st",
-            InstKind::Rmov => "rmov",
-            InstKind::Nop => "nop",
-            InstKind::Other => "other",
-        }
-    }
-
-    /// Executes one instruction. Returns `Some(exit)` when the program
-    /// stops.
-    pub fn step(&mut self) -> Option<EmuExit> {
-        match self.step_trapping() {
-            Ok(exit) => exit,
-            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
         }
     }
 
@@ -259,8 +364,9 @@ impl StraightEmu {
         };
         // Statistics count only instructions that complete without
         // trapping, keeping the retired count equal to the trap index.
-        self.stats.bump_kind(Self::kind_name(inst.kind()));
-        self.ring[(self.count % RING as u64) as usize] = result;
+        self.stats.bump_kind(EmuKind::of_straight(inst.kind()));
+        self.stats.count_retired(1);
+        self.ring[(self.count & RING_MASK) as usize] = result;
         self.count += 1;
         self.pc = next_pc;
         if matches!(inst, Inst::Halt) {
@@ -272,39 +378,638 @@ impl StraightEmu {
         Ok(None)
     }
 
-    /// Runs until exit, trap, or the step limit.
-    pub fn run(mut self, max_steps: u64) -> EmuResult {
+    fn run_interp(&mut self, max_steps: u64) -> EmuExit {
         loop {
             if self.stats.retired >= max_steps {
-                return self.finish(EmuExit::StepLimit);
+                return EmuExit::StepLimit;
             }
             if let Some(exit) = self.step() {
-                return self.finish(exit);
+                return exit;
             }
         }
     }
 
-    fn finish(self, exit: EmuExit) -> EmuResult {
-        EmuResult { exit, stdout: self.sys.stdout, stats: self.stats }
+    /// Translates the trace starting at `start_pc`. An empty trace
+    /// (first word unfetchable/undecodable) makes the caller fall back
+    /// to the interpreter, which raises the proper trap.
+    fn translate(&self, start_pc: u32) -> Block {
+        let mut ops = Vec::new();
+        let mut chain_dists: Vec<u16> = Vec::new();
+        let mut meta: Vec<(u32, EmuKind)> = Vec::new();
+        let mut kind_counts = [0u64; EmuKind::COUNT];
+        let mut max_dist: u16 = 0;
+        let mut ends_halt = false;
+        let mut pc = start_pc;
+        while meta.len() < BLOCK_CAP {
+            let Some(word) = self.image.fetch(pc) else { break };
+            let Ok(inst) = decode(word) else { break };
+            let kind = EmuKind::of_straight(inst.kind());
+            kind_counts[kind as usize] += 1;
+            meta.push((pc, kind));
+            for s in inst.sources().into_iter().flatten() {
+                max_dist = max_dist.max(s.get());
+            }
+            let mut next = pc.wrapping_add(4);
+            let terminator = matches!(
+                inst,
+                Inst::Bez { .. }
+                    | Inst::Bnz { .. }
+                    | Inst::Jr { .. }
+                    | Inst::Jalr { .. }
+                    | Inst::Sys { .. }
+                    | Inst::Halt
+            );
+            match inst {
+                Inst::Nop => ops.push(FastOp::Nop),
+                Inst::Alu { op, s1, s2 } => {
+                    let (s1, s2) = (s1.get(), s2.get());
+                    ops.push(match op {
+                        AluOp::Add => FastOp::Add { s1, s2 },
+                        AluOp::Sub => FastOp::Sub { s1, s2 },
+                        AluOp::Sll => FastOp::Sll { s1, s2 },
+                        AluOp::Slt => FastOp::Slt { s1, s2 },
+                        AluOp::Sltu => FastOp::Sltu { s1, s2 },
+                        AluOp::Xor => FastOp::Xor { s1, s2 },
+                        AluOp::Srl => FastOp::Srl { s1, s2 },
+                        AluOp::Sra => FastOp::Sra { s1, s2 },
+                        AluOp::Or => FastOp::Or { s1, s2 },
+                        AluOp::And => FastOp::And { s1, s2 },
+                        AluOp::Mul => FastOp::Mul { s1, s2 },
+                        op => FastOp::Alu { op, s1, s2 },
+                    });
+                }
+                Inst::AluImm { op, s1, imm } => {
+                    // Pre-extend the immediate exactly as
+                    // `AluImmOp::eval_straight` would.
+                    let imm32 = match op {
+                        AluImmOp::Andi | AluImmOp::Ori | AluImmOp::Xori => u32::from(imm as u16),
+                        _ => imm as i32 as u32,
+                    };
+                    let (s1, imm) = (s1.get(), imm32);
+                    ops.push(match op.base() {
+                        AluOp::Add => FastOp::Addi { s1, imm },
+                        AluOp::Sll => FastOp::Slli { s1, imm },
+                        AluOp::Slt => FastOp::Slti { s1, imm },
+                        AluOp::Sltu => FastOp::Sltiu { s1, imm },
+                        AluOp::Xor => FastOp::Xori { s1, imm },
+                        AluOp::Srl => FastOp::Srli { s1, imm },
+                        AluOp::Sra => FastOp::Srai { s1, imm },
+                        AluOp::Or => FastOp::Ori { s1, imm },
+                        AluOp::And => FastOp::Andi { s1, imm },
+                        base => FastOp::AluImm { op: base, s1, imm },
+                    });
+                }
+                Inst::Lui { imm } => ops.push(FastOp::Const { value: u32::from(imm) << 16 }),
+                Inst::Ld { width, addr, offset } => {
+                    let (addr, offset) = (addr.get(), offset as i32 as u32);
+                    ops.push(match width {
+                        MemWidth::B => FastOp::LdB { addr, offset },
+                        MemWidth::Bu => FastOp::LdBu { addr, offset },
+                        MemWidth::H => FastOp::LdH { addr, offset },
+                        MemWidth::Hu => FastOp::LdHu { addr, offset },
+                        MemWidth::W => FastOp::LdW { addr, offset },
+                    });
+                }
+                Inst::St { width, val, addr } => {
+                    let (val, addr) = (val.get(), addr.get());
+                    ops.push(match width {
+                        MemWidth::B | MemWidth::Bu => FastOp::StB { val, addr, width },
+                        MemWidth::H | MemWidth::Hu => FastOp::StH { val, addr, width },
+                        MemWidth::W => FastOp::StW { val, addr },
+                    });
+                }
+                Inst::Rmov { s } => {
+                    // Fuse runs of RMOVs (the compiler's distance-fixing
+                    // pads) into one macro-op.
+                    if let Some(FastOp::RmovChain { len: l, .. }) = ops.last_mut() {
+                        *l += 1;
+                    } else {
+                        ops.push(FastOp::RmovChain { first: chain_dists.len() as u32, len: 1 });
+                    }
+                    chain_dists.push(s.get());
+                }
+                Inst::SpAdd { imm } => ops.push(FastOp::SpAdd { imm }),
+                Inst::Bez { s, offset } => ops.push(FastOp::Bez {
+                    s: s.get(),
+                    target: pc.wrapping_add((offset as i32 as u32).wrapping_mul(4)),
+                }),
+                Inst::Bnz { s, offset } => ops.push(FastOp::Bnz {
+                    s: s.get(),
+                    target: pc.wrapping_add((offset as i32 as u32).wrapping_mul(4)),
+                }),
+                Inst::J { offset } => {
+                    // Unconditional with a static target: the ring
+                    // result is 0, so fuse and keep translating there.
+                    ops.push(FastOp::Nop);
+                    next = pc.wrapping_add((offset as u32).wrapping_mul(4));
+                }
+                Inst::Jal { offset } => {
+                    // Ring result is the link PC, a constant here.
+                    ops.push(FastOp::Const { value: pc.wrapping_add(4) });
+                    next = pc.wrapping_add((offset as u32).wrapping_mul(4));
+                }
+                Inst::Jr { s } => ops.push(FastOp::Jr { s: s.get() }),
+                Inst::Jalr { s } => {
+                    ops.push(FastOp::Jalr { s: s.get(), link: pc.wrapping_add(4) });
+                }
+                Inst::Sys { code, s } => ops.push(FastOp::Sys { code, s: s.get() }),
+                Inst::Halt => {
+                    ends_halt = true;
+                    ops.push(FastOp::Halt);
+                }
+            }
+            pc = next;
+            if terminator {
+                break;
+            }
+        }
+        Block {
+            end_pc: pc,
+            ops,
+            chain_dists,
+            len_insts: meta.len() as u32,
+            meta,
+            kind_counts,
+            max_dist,
+            ends_halt,
+        }
     }
 
-    /// Console output captured so far (used by the in-pipeline oracle,
-    /// which steps the emulator incrementally instead of via [`StraightEmu::run`]).
-    #[must_use]
-    pub fn stdout(&self) -> &str {
+    /// Flushes statistics for the first `done` architectural
+    /// instructions of a partially executed trace (cold path: traps
+    /// and early exits only).
+    fn flush_partial(&mut self, b: &Block, done: u64) {
+        for &(_, kind) in &b.meta[..done as usize] {
+            self.stats.bump_kind(kind);
+        }
+        self.stats.count_retired(done);
+    }
+
+    /// Finalizes a mid-trace trap: syncs count/PC/stats to the
+    /// completed prefix and produces the trap exit the interpreter
+    /// would have raised at the same instruction.
+    fn block_trap(&mut self, b: &Block, entry: u64, count: u64, kind: TrapKind) -> Option<EmuExit> {
+        let done = count - entry;
+        self.flush_partial(b, done);
+        self.count = count;
+        self.pc = b.meta[done as usize].0;
+        Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count)))
+    }
+
+    /// Executes one translated trace. Requires `self.count >=
+    /// block.max_dist` (unchecked ring reads) and enough step budget
+    /// for the whole trace — both enforced by [`StraightEmu::run_fast`].
+    fn exec_block(&mut self, b: &Block) -> Option<EmuExit> {
+        let entry = self.count;
+        let mut count = entry;
+        let mut next_pc = b.end_pc;
+        for op in &b.ops {
+            match *op {
+                FastOp::Nop => {
+                    self.ring[(count & RING_MASK) as usize] = 0;
+                    count += 1;
+                }
+                FastOp::Const { value } => {
+                    self.ring[(count & RING_MASK) as usize] = value;
+                    count += 1;
+                }
+                FastOp::Add { s1, s2 } => {
+                    let v = src(&self.ring, count, s1).wrapping_add(src(&self.ring, count, s2));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Sub { s1, s2 } => {
+                    let v = src(&self.ring, count, s1).wrapping_sub(src(&self.ring, count, s2));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Sll { s1, s2 } => {
+                    let v = src(&self.ring, count, s1).wrapping_shl(src(&self.ring, count, s2) & 31);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Slt { s1, s2 } => {
+                    let v = u32::from((src(&self.ring, count, s1) as i32) < (src(&self.ring, count, s2) as i32));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Sltu { s1, s2 } => {
+                    let v = u32::from(src(&self.ring, count, s1) < src(&self.ring, count, s2));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Xor { s1, s2 } => {
+                    let v = src(&self.ring, count, s1) ^ src(&self.ring, count, s2);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Srl { s1, s2 } => {
+                    let v = src(&self.ring, count, s1).wrapping_shr(src(&self.ring, count, s2) & 31);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Sra { s1, s2 } => {
+                    let v = ((src(&self.ring, count, s1) as i32).wrapping_shr(src(&self.ring, count, s2) & 31)) as u32;
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Or { s1, s2 } => {
+                    let v = src(&self.ring, count, s1) | src(&self.ring, count, s2);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::And { s1, s2 } => {
+                    let v = src(&self.ring, count, s1) & src(&self.ring, count, s2);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Mul { s1, s2 } => {
+                    let v = src(&self.ring, count, s1).wrapping_mul(src(&self.ring, count, s2));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Alu { op, s1, s2 } => {
+                    let v = op.eval(src(&self.ring, count, s1), src(&self.ring, count, s2));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Addi { s1, imm } => {
+                    let v = src(&self.ring, count, s1).wrapping_add(imm);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Slli { s1, imm } => {
+                    let v = src(&self.ring, count, s1).wrapping_shl(imm & 31);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Slti { s1, imm } => {
+                    let v = u32::from((src(&self.ring, count, s1) as i32) < (imm as i32));
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Sltiu { s1, imm } => {
+                    let v = u32::from(src(&self.ring, count, s1) < imm);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Xori { s1, imm } => {
+                    let v = src(&self.ring, count, s1) ^ imm;
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Srli { s1, imm } => {
+                    let v = src(&self.ring, count, s1).wrapping_shr(imm & 31);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Srai { s1, imm } => {
+                    let v = ((src(&self.ring, count, s1) as i32).wrapping_shr(imm & 31)) as u32;
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Ori { s1, imm } => {
+                    let v = src(&self.ring, count, s1) | imm;
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::Andi { s1, imm } => {
+                    let v = src(&self.ring, count, s1) & imm;
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::AluImm { op, s1, imm } => {
+                    let v = op.eval(src(&self.ring, count, s1), imm);
+                    self.ring[(count & RING_MASK) as usize] = v;
+                    count += 1;
+                }
+                FastOp::LdB { addr, offset } => {
+                    let a = src(&self.ring, count, addr).wrapping_add(offset);
+                    match memops::load_b(&self.mem, a) {
+                        Ok(v) => {
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::LdBu { addr, offset } => {
+                    let a = src(&self.ring, count, addr).wrapping_add(offset);
+                    match memops::load_bu(&self.mem, a) {
+                        Ok(v) => {
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::LdH { addr, offset } => {
+                    let a = src(&self.ring, count, addr).wrapping_add(offset);
+                    match memops::load_h(&self.mem, a) {
+                        Ok(v) => {
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::LdHu { addr, offset } => {
+                    let a = src(&self.ring, count, addr).wrapping_add(offset);
+                    match memops::load_hu(&self.mem, a) {
+                        Ok(v) => {
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::LdW { addr, offset } => {
+                    let a = src(&self.ring, count, addr).wrapping_add(offset);
+                    match memops::load_w(&self.mem, a) {
+                        Ok(v) => {
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::StB { val, addr, width } => {
+                    let v = src(&self.ring, count, val);
+                    let a = src(&self.ring, count, addr);
+                    match memops::store_b(&mut self.mem, a, v, width) {
+                        Ok(()) => {
+                            self.dirty.mark(a as usize);
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::StH { val, addr, width } => {
+                    let v = src(&self.ring, count, val);
+                    let a = src(&self.ring, count, addr);
+                    match memops::store_h(&mut self.mem, a, v, width) {
+                        Ok(()) => {
+                            self.dirty.mark(a as usize);
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::StW { val, addr } => {
+                    let v = src(&self.ring, count, val);
+                    let a = src(&self.ring, count, addr);
+                    match memops::store_w(&mut self.mem, a, v) {
+                        Ok(()) => {
+                            self.dirty.mark(a as usize);
+                            self.ring[(count & RING_MASK) as usize] = v;
+                            count += 1;
+                        }
+                        Err(kind) => return self.block_trap(b, entry, count, kind),
+                    }
+                }
+                FastOp::RmovChain { first, len } => {
+                    for &d in &b.chain_dists[first as usize..(first + len) as usize] {
+                        let v = src(&self.ring, count, d);
+                        self.ring[(count & RING_MASK) as usize] = v;
+                        count += 1;
+                    }
+                }
+                FastOp::SpAdd { imm } => {
+                    let sp = self.sp.wrapping_add(imm as i32 as u32);
+                    if self.check_sp && !(self.stack_floor..=STACK_TOP).contains(&sp) {
+                        return self.block_trap(b, entry, count, TrapKind::SpMisuse { sp });
+                    }
+                    self.sp = sp;
+                    self.ring[(count & RING_MASK) as usize] = sp;
+                    count += 1;
+                }
+                FastOp::Bez { s, target } => {
+                    let c = src(&self.ring, count, s);
+                    self.ring[(count & RING_MASK) as usize] = 0;
+                    count += 1;
+                    if c == 0 {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Bnz { s, target } => {
+                    let c = src(&self.ring, count, s);
+                    self.ring[(count & RING_MASK) as usize] = 0;
+                    count += 1;
+                    if c != 0 {
+                        next_pc = target;
+                    }
+                }
+                FastOp::Jr { s } => {
+                    let target = src(&self.ring, count, s);
+                    self.ring[(count & RING_MASK) as usize] = target;
+                    count += 1;
+                    next_pc = target;
+                }
+                FastOp::Jalr { s, link } => {
+                    let target = src(&self.ring, count, s);
+                    self.ring[(count & RING_MASK) as usize] = link;
+                    count += 1;
+                    next_pc = target;
+                }
+                FastOp::Sys { code, s } => {
+                    let arg = src(&self.ring, count, s);
+                    match self.sys.apply(code, arg) {
+                        Some(r) => {
+                            self.ring[(count & RING_MASK) as usize] = r;
+                            count += 1;
+                        }
+                        None => {
+                            return self.block_trap(b, entry, count, TrapKind::UnknownSys { code })
+                        }
+                    }
+                }
+                FastOp::Halt => {
+                    self.ring[(count & RING_MASK) as usize] = 0;
+                    count += 1;
+                }
+            }
+        }
+        self.count = count;
+        self.pc = next_pc;
+        self.stats.add_kind_counts(&b.kind_counts);
+        self.stats.count_retired(count - entry);
+        if b.ends_halt {
+            return Some(EmuExit::Done { code: self.sys.exit_code.unwrap_or(0) });
+        }
+        if let Some(code) = self.sys.exit_code {
+            return Some(EmuExit::Done { code });
+        }
+        None
+    }
+
+    fn run_fast(&mut self, max_steps: u64) -> EmuExit {
+        if self.blocks.len() != self.image.code.len() {
+            self.blocks = (0..self.image.code.len()).map(|_| None).collect();
+        }
+        // Move the cache out of `self` so a cached trace can stay
+        // borrowed across `exec_block(&mut self, ..)` without a
+        // per-dispatch take/put-back of the slot.
+        let mut blocks = std::mem::take(&mut self.blocks);
+        let exit = self.run_fast_cached(max_steps, &mut blocks);
+        self.blocks = blocks;
+        exit
+    }
+
+    fn run_fast_cached(&mut self, max_steps: u64, blocks: &mut [Option<Box<Block>>]) -> EmuExit {
+        loop {
+            if self.stats.retired >= max_steps {
+                return EmuExit::StepLimit;
+            }
+            let pc = self.pc;
+            let in_code =
+                pc >= self.image.code_base && pc < self.image.code_end() && pc.is_multiple_of(4);
+            if !in_code {
+                // Out of the code segment: the interpreter raises the
+                // fetch fault with the proper context.
+                match self.step() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            }
+            let slot = ((pc - self.image.code_base) / 4) as usize;
+            if blocks[slot].is_none() {
+                blocks[slot] = Some(Box::new(self.translate(pc)));
+            }
+            let Some(block) = blocks[slot].as_deref() else {
+                return EmuExit::StepLimit; // unreachable: slot just filled
+            };
+            // Fall back to single-stepping when the trace would
+            // overshoot the step budget (preserving exact StepLimit
+            // semantics), when distance reads are not yet provably in
+            // range (warm-up: fewer instructions retired than the
+            // trace's deepest read), or when the trace is empty (the
+            // first word faults — let the interpreter trap).
+            let budget = max_steps - self.stats.retired;
+            if block.len_insts == 0
+                || u64::from(block.len_insts) > budget
+                || self.count < u64::from(block.max_dist)
+            {
+                match self.step() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            }
+            if let Some(exit) = self.exec_block(block) {
+                return exit;
+            }
+        }
+    }
+
+    /// Fast tier cross-checked against a cloned interpreter twin in
+    /// [`LOCKSTEP_CHUNK`]-instruction windows; any divergence in exit
+    /// or full architectural checkpoint is a
+    /// [`TrapKind::TierDivergence`] trap.
+    fn run_lockstep(&mut self, max_steps: u64) -> EmuExit {
+        let mut twin = self.clone();
+        loop {
+            let target = self.stats.retired.saturating_add(LOCKSTEP_CHUNK).min(max_steps);
+            let fast = self.run_fast(target);
+            let interp = twin.run_interp(target);
+            if fast != interp || self.checkpoint() != twin.checkpoint() {
+                return EmuExit::Trap(Trap::untimed(
+                    TrapKind::TierDivergence { executed: self.count },
+                    self.pc,
+                    self.count,
+                ));
+            }
+            match fast {
+                EmuExit::StepLimit if target < max_steps => {}
+                exit => return exit,
+            }
+        }
+    }
+}
+
+impl ExecBackend for StraightEmu {
+    /// Executes one instruction on the interpreter tier. Returns
+    /// `Some(exit)` when the program stops.
+    fn step(&mut self) -> Option<EmuExit> {
+        match self.step_trapping() {
+            Ok(exit) => exit,
+            Err(kind) => Some(EmuExit::Trap(Trap::untimed(kind, self.pc, self.count))),
+        }
+    }
+
+    fn run_with(&mut self, max_steps: u64, tier: TierConfig) -> EmuExit {
+        let fast = matches!(tier.tier, Tier::Fast)
+            && !self.profile_distances
+            && self.distance_bound.is_none();
+        if !fast {
+            self.run_interp(max_steps)
+        } else if tier.lockstep {
+            self.run_lockstep(max_steps)
+        } else {
+            self.run_fast(max_steps)
+        }
+    }
+
+    fn stats(&self) -> &EmuStats {
+        &self.stats
+    }
+
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn executed(&self) -> u64 {
+        self.count
+    }
+
+    fn stdout(&self) -> &str {
         &self.sys.stdout
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            pc: self.pc,
+            executed: self.count,
+            arch: ArchSnap::Straight { sp: self.sp, ring: self.ring.to_vec() },
+            sys: self.sys.clone(),
+            stats: self.stats.clone(),
+            pages: checkpoint::collect_pages(&self.dirty, &self.mem),
+        }
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) -> Result<(), CheckpointError> {
+        let ArchSnap::Straight { sp, ring } = &cp.arch else {
+            return Err(CheckpointError::IsaMismatch);
+        };
+        self.pc = cp.pc;
+        self.count = cp.executed;
+        self.sp = *sp;
+        for (dst, v) in self.ring.iter_mut().zip(ring) {
+            *dst = *v;
+        }
+        self.sys = cp.sys.clone();
+        self.stats = cp.stats.clone();
+        self.mem.fill(0);
+        self.image.load_into(&mut self.mem);
+        cp.apply_pages(&mut self.mem);
+        self.dirty = cp.dirty_map();
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emu::EmuResult;
     use straight_asm::{link_straight, parse_straight_asm};
 
-    fn run_asm(src: &str) -> EmuResult {
+    fn image_for(src: &str) -> Image {
         let prog = parse_straight_asm(src).expect("assembles");
-        let image = link_straight(&prog).expect("links");
-        StraightEmu::new(image).run(1_000_000)
+        link_straight(&prog).expect("links")
+    }
+
+    fn run_asm(src: &str) -> EmuResult {
+        StraightEmu::new(image_for(src)).run(1_000_000)
     }
 
     #[test]
@@ -341,7 +1046,7 @@ mod tests {
         assert_eq!(r.exit_code(), Some(0));
         assert_eq!(r.stdout, "0\n");
         assert!(r.stats.retired > 20, "{}", r.stats.retired);
-        assert!(r.stats.kinds.get("nop").copied().unwrap_or(0) > 0);
+        assert!(r.stats.kinds().get("nop").copied().unwrap_or(0) > 0);
     }
 
     #[test]
@@ -361,16 +1066,14 @@ mod tests {
 
     #[test]
     fn distance_profile_collected() {
-        let prog = parse_straight_asm(
+        let image = image_for(
             ".text
              func main:
                 ADDi [0] 1
                 ADD [1] [1]
                 RMOV [2]
                 JR [4]",
-        )
-        .unwrap();
-        let image = link_straight(&prog).unwrap();
+        );
         let mut emu = StraightEmu::new(image);
         emu.profile_distances = true;
         let r = emu.run(1000);
@@ -412,7 +1115,7 @@ mod tests {
 
     #[test]
     fn sanitizer_flags_distance_above_compiled_bound() {
-        let prog = parse_straight_asm(
+        let image = image_for(
             ".text
              func main:
                 ADDi [0] 1
@@ -421,9 +1124,7 @@ mod tests {
                 NOP
                 ADD [4] [1]
                 HALT",
-        )
-        .unwrap();
-        let image = link_straight(&prog).unwrap();
+        );
         // Without the sanitizer the program completes...
         let ok = StraightEmu::new(image.clone()).run(1000);
         assert_eq!(ok.exit_code(), Some(0));
@@ -439,14 +1140,12 @@ mod tests {
 
     #[test]
     fn sanitizer_flags_sp_escape() {
-        let prog = parse_straight_asm(
+        let image = image_for(
             ".text
              func main:
                 SPADD 16
                 HALT",
-        )
-        .unwrap();
-        let image = link_straight(&prog).unwrap();
+        );
         let mut emu = StraightEmu::new(image);
         emu.check_sp = true;
         let r = emu.run(1000);
@@ -470,5 +1169,61 @@ mod tests {
             r.trap().map(|t| t.kind),
             Some(TrapKind::MisalignedLoad { addr: 3, width: MemWidth::W })
         );
+    }
+
+    #[test]
+    fn fast_tier_matches_interpreter_exactly() {
+        let src = ".text
+             func main:
+                ADDi [0] 10      ; counter
+                NOP
+             loop:
+                ADDi [2] -1
+                BNZ [1] loop
+                SYS 1 [2]
+                HALT";
+        let interp = StraightEmu::new(image_for(src)).run(1_000_000);
+        let fast =
+            StraightEmu::new(image_for(src)).run_tiered(1_000_000, TierConfig::fast_lockstep());
+        assert_eq!(interp.exit, fast.exit);
+        assert_eq!(interp.stdout, fast.stdout);
+        assert_eq!(interp.stats, fast.stats);
+    }
+
+    #[test]
+    fn fast_tier_traps_like_the_interpreter() {
+        let src = ".text
+             func main:
+                ADDi [0] 2
+                LD [1] 1
+                HALT";
+        let interp = StraightEmu::new(image_for(src)).run(1_000_000);
+        let fast = StraightEmu::new(image_for(src)).run_tiered(1_000_000, TierConfig::fast());
+        assert_eq!(interp.exit, fast.exit);
+        assert_eq!(interp.stats, fast.stats);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_run() {
+        let src = ".text
+             func main:
+                ADDi [0] 10
+                NOP
+             loop:
+                ADDi [2] -1
+                BNZ [1] loop
+                SYS 1 [2]
+                HALT";
+        let mut emu = StraightEmu::new(image_for(src));
+        assert_eq!(emu.run_until(7), EmuExit::StepLimit);
+        let cp = emu.checkpoint();
+        let done = emu.run_until(u64::MAX);
+
+        let mut resumed = StraightEmu::new(image_for(src));
+        resumed.restore(&cp).expect("same ISA");
+        assert_eq!(resumed.checkpoint().to_bytes(), cp.to_bytes());
+        let done2 = resumed.run_until(u64::MAX);
+        assert_eq!(done, done2);
+        assert_eq!(emu.checkpoint().to_bytes(), resumed.checkpoint().to_bytes());
     }
 }

@@ -3,7 +3,7 @@
 use straight_asm::abi;
 
 /// Captured console output and termination state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SysState {
     /// Text printed so far.
     pub stdout: String,

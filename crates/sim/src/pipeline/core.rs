@@ -36,8 +36,9 @@ use straight_asm::{Image, ImageIsa, MEM_SIZE, STACK_TOP};
 use straight_isa::{MemWidth, Trap, TrapKind};
 use straight_riscv::Reg;
 
+use crate::emu::checkpoint::ArchSnap;
 use crate::emu::sys::SysState;
-use crate::emu::{EmuExit, RiscvEmu, StraightEmu};
+use crate::emu::{Checkpoint, EmuExit, ExecBackend, RiscvEmu, StraightEmu};
 use crate::inject::FaultKind;
 use crate::mem::Hierarchy;
 use crate::predict::{build, DirectionPredictor, Ras, RasCheckpoint, StoreSets};
@@ -296,6 +297,70 @@ impl Core {
             #[cfg(feature = "stage-profile")]
             stage_ns: [0; 5],
         })
+    }
+
+    /// Builds a core whose architectural state continues from an
+    /// emulator [`Checkpoint`] instead of the image entry point: memory
+    /// is the image overlaid with the checkpoint's dirty pages, fetch
+    /// starts at the checkpoint PC, commit sequence numbers continue
+    /// from the checkpoint's executed count, and the register state is
+    /// seeded ISA-appropriately — the RMT-mapped physical registers
+    /// for SS, the RP position plus the reachable tail of the result
+    /// ring for STRAIGHT (distance `d` resolves to physical register
+    /// `(rp + phys − d) mod phys`, exactly what the RP adders will
+    /// compute for the first resumed instructions).
+    ///
+    /// Microarchitectural state (predictors, caches, RAS, store sets)
+    /// starts cold — that is the documented sampling bias of the
+    /// `Sampled` experiments. The hazard sanitizer is unavailable on a
+    /// resumed core (its oracle emulator can only replay from the
+    /// image start) and is disabled regardless of configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IsaMismatch`] when the machine, the image,
+    /// and the checkpoint do not all agree on the ISA, and the same
+    /// construction errors as [`Core::new`] otherwise.
+    pub fn resume_from(
+        image: Image,
+        cfg: MachineConfig,
+        cp: &Checkpoint,
+    ) -> Result<Core, CoreError> {
+        let machine = cfg.isa;
+        let mut core = Core::new(image, cfg)?;
+        if cp.isa() != core.image.isa {
+            return Err(CoreError::IsaMismatch { machine, image: cp.isa() });
+        }
+        cp.apply_pages(&mut core.mem);
+        core.fetch_pc = cp.pc();
+        core.sys = cp.sys.clone();
+        match &cp.arch {
+            ArchSnap::Straight { sp, ring } => {
+                let phys = u64::from(core.cfg.phys_regs);
+                let n = cp.executed();
+                let rp = (n % phys) as u32;
+                core.rp_state = RpState { rp, sp: *sp };
+                core.arch_rp = RpState { rp, sp: *sp };
+                // Seed every physical register a resumed distance can
+                // reach: producer `n - d` lives in ring slot
+                // `(n - d) mod RING` and must appear in physical
+                // register `(rp + phys - d) mod phys`.
+                let reach = (phys - 1).min(n).min(ring.len() as u64);
+                for d in 1..=reach {
+                    let p = ((u64::from(rp) + phys - d) % phys) as usize;
+                    core.prf[p] = ring[((n - d) % ring.len() as u64) as usize];
+                }
+            }
+            ArchSnap::Riscv { regs } => {
+                for (l, &v) in regs.iter().enumerate() {
+                    core.prf[core.rmt_state.rmt[l] as usize] = v;
+                }
+            }
+        }
+        core.next_seq = cp.executed();
+        core.rob.reset_base(cp.executed());
+        core.shadow_done = true;
+        Ok(core)
     }
 
     // -- helpers ----------------------------------------------------
@@ -1443,6 +1508,29 @@ impl Core {
     /// budget), leaving the core inspectable.
     pub fn run_in_place(&mut self, max_cycles: u64) -> SimResult {
         while self.halted.is_none() && self.fatal.is_none() && self.cycle < max_cycles {
+            self.step();
+        }
+        self.stats.mem = self.hier.stats();
+        SimResult {
+            exit: self.exit(),
+            exit_code: self.halted,
+            watchdog: self.watchdog_report.clone(),
+            stdout: self.sys.stdout.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Runs in place until `max_retired` instructions have committed
+    /// (or completion, trap, watchdog, or the cycle budget). A stop at
+    /// the retire budget reports [`SimExit::CycleLimit`] — no separate
+    /// exit variant exists, and sampled-interval callers distinguish
+    /// the cases by the retired count in the stats.
+    pub fn run_retired(&mut self, max_retired: u64, max_cycles: u64) -> SimResult {
+        while self.halted.is_none()
+            && self.fatal.is_none()
+            && self.cycle < max_cycles
+            && self.stats.retired < max_retired
+        {
             self.step();
         }
         self.stats.mem = self.hier.stats();

@@ -207,6 +207,15 @@ impl RobSlab {
         self.head_seq = 0;
         self.len = 0;
     }
+
+    /// Empties the slab and rebases the contiguous-sequence window at
+    /// `seq`, so the next `push` must carry exactly `seq`. Used when a
+    /// core resumes from a checkpoint mid-stream: commit sequence
+    /// numbers continue from the emulator's executed count.
+    pub fn reset_base(&mut self, seq: u64) {
+        self.clear();
+        self.head_seq = seq;
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! ```
 
 use straight_core::{build, Target};
-use straight_sim::emu::StraightEmu;
+use straight_sim::emu::{ExecBackend, StraightEmu};
 use straight_workloads::kernels;
 
 fn main() {

@@ -7,7 +7,7 @@
 //! ```
 
 use straight_asm::{link_straight, parse_straight_asm};
-use straight_sim::emu::StraightEmu;
+use straight_sim::emu::{ExecBackend, StraightEmu};
 
 fn main() {
     // Figure 1's repeated `ADD [1] [2]` computes a Fibonacci series;

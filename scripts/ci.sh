@@ -54,6 +54,41 @@ target/release/straight-lab --normalize "$SMOKE_DIR/golden-live/BENCH_fig11.json
     > "$SMOKE_DIR/golden-live.norm"
 cmp "$SMOKE_DIR/golden.norm" "$SMOKE_DIR/golden-live.norm"
 
+# Fast-tier gate: the instruction-mix figure run on the fast
+# (decoded-trace) emulator tier in lockstep mode — cross-checked
+# against an interpreter twin every sync window, trapping on any
+# architectural divergence — must produce a record byte-identical,
+# after --normalize, to the interpreter tier's.
+STRAIGHT_GIT_REV=ci target/release/straight-lab --figure fig15 --quick --quiet \
+    --out "$SMOKE_DIR/tier-interp"
+STRAIGHT_GIT_REV=ci target/release/straight-lab --figure fig15 --quick --quiet \
+    --emu-tier fast-lockstep --out "$SMOKE_DIR/tier-fast"
+target/release/straight-lab --normalize "$SMOKE_DIR/tier-interp/BENCH_fig15.json" \
+    > "$SMOKE_DIR/tier-interp.norm"
+target/release/straight-lab --normalize "$SMOKE_DIR/tier-fast/BENCH_fig15.json" \
+    > "$SMOKE_DIR/tier-fast.norm"
+cmp "$SMOKE_DIR/tier-interp.norm" "$SMOKE_DIR/tier-fast.norm"
+
+# Sampled-simulation smoke: the checkpoint-sampled methodology figure
+# must produce a record its own validator accepts, with paired
+# (full)/(sampled) cells per workload x machine and positive estimates.
+target/release/straight-lab --figure sampled --quick --quiet --out "$SMOKE_DIR/sampled"
+test -s "$SMOKE_DIR/sampled/BENCH_sampled.json"
+target/release/straight-lab --validate "$SMOKE_DIR/sampled/BENCH_sampled.json"
+python3 - "$SMOKE_DIR/sampled/BENCH_sampled.json" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+full = {c["id"].replace(" (full)", ""): c for c in cells if c["id"].endswith(" (full)")}
+samp = {c["id"].replace(" (sampled)", ""): c for c in cells if c["id"].endswith(" (sampled)")}
+assert full and set(full) == set(samp), (sorted(full), sorted(samp))
+for key, f in full.items():
+    s = samp[key]
+    assert f["cycles"] > 0 and s["cycles"] > 0, key
+    assert f["retired"] == s["retired"], key
+    assert s["ipc"] > 0, key
+print(f"sampled schema OK: {len(full)} (full)/(sampled) pairs")
+EOF
+
 # Daemon smoke: start straightd on a Unix socket, run the same figure
 # through `straight-lab --remote`, and require the fetched record to be
 # byte-identical (after normalization) to the in-process one above.

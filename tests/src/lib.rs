@@ -7,7 +7,7 @@
 use straight_asm::{link_riscv, link_straight, Image};
 use straight_compiler::{compile_riscv, compile_straight, StraightOptions};
 use straight_ir::{compile_source, interp, Module};
-use straight_sim::emu::{EmuResult, RiscvEmu, StraightEmu};
+use straight_sim::emu::{EmuResult, ExecBackend, RiscvEmu, StraightEmu};
 
 /// One program's behaviour: output text plus exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]

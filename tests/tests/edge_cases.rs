@@ -3,6 +3,7 @@
 //! calling convention, and the frame shuffles.
 
 use straight_compiler::StraightOptions;
+use straight_sim::emu::ExecBackend;
 use straight_sim::pipeline::{simulate, MachineConfig};
 use straight_tests::{build_ir, build_riscv, build_straight, check_differential, run_interp, run_straight};
 

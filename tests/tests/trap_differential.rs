@@ -10,7 +10,7 @@
 use straight_asm::{link_riscv, link_straight, parse_straight_asm, Image, RvFunc, RvItem, RvProgram};
 use straight_isa::{AluImmOp, Trap, TrapKind};
 use straight_riscv::{Reg, RvInst};
-use straight_sim::emu::{EmuExit, RiscvEmu, StraightEmu};
+use straight_sim::emu::{EmuExit, ExecBackend, RiscvEmu, StraightEmu};
 use straight_sim::pipeline::{simulate, MachineConfig, SimExit};
 
 const MAX: u64 = 1_000_000;

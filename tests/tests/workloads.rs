@@ -71,8 +71,8 @@ fn re_plus_reduces_rmov_count_on_coremark() {
     let module = build_ir(&coremark(1));
     let raw = straight_tests::run_straight(build_straight(&module, &StraightOptions::raw()));
     let re = straight_tests::run_straight(build_straight(&module, &StraightOptions::default()));
-    let raw_rmov = raw.stats.kinds.get("rmov").copied().unwrap_or(0);
-    let re_rmov = re.stats.kinds.get("rmov").copied().unwrap_or(0);
+    let raw_rmov = raw.stats.kinds().get("rmov").copied().unwrap_or(0);
+    let re_rmov = re.stats.kinds().get("rmov").copied().unwrap_or(0);
     assert!(
         (re_rmov as f64) < 0.6 * raw_rmov as f64,
         "RE+ should cut RMOVs: RAW={raw_rmov} RE+={re_rmov}"
